@@ -1,0 +1,111 @@
+// Package ampnet is a full reimplementation, as a deterministic
+// simulation, of AmpNet — the highly available cluster interconnection
+// network of Apon & Wilbur (IPPS/IPDPS 2003).
+//
+// AmpNet is a gigabit, Fibre-Channel-PHY ring network whose nodes are
+// small computers: every node carries a replica of a network cache (so
+// the cluster's data and management state survive any node's death), a
+// register-insertion-ring MAC that guarantees zero congestion loss even
+// under simultaneous all-to-all broadcast, and a hardware rostering
+// algorithm that rebuilds the largest possible logical ring within
+// about two ring-tour times of any failure. On top of that substrate
+// sit network semaphores, pub/sub, file transfer, remote threads, an IP
+// shim with MPI-style collectives, and application failover with
+// control groups — "no down time and no loss of data".
+//
+// Quick start:
+//
+//	c := ampnet.New(ampnet.Options{Nodes: 6, Switches: 4})
+//	if err := c.Boot(0); err != nil { ... }
+//	c.Services[0].Sub.Subscribe(1, func(src ampnet.NodeID, data []byte) { ... })
+//	c.Services[2].Sub.Publish(1, []byte("hello ring"))
+//	c.Run(5 * ampnet.Millisecond)
+//
+// Everything — the PHY's 8b/10b symbols, MicroPacket framing, ring
+// insertion, rostering floods, cache replication — runs on a virtual
+// nanosecond clock (package internal/sim), so results are exactly
+// reproducible and failure timing claims can be measured precisely.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every quantitative claim in the paper.
+package ampnet
+
+import (
+	"repro/internal/ampdc"
+	"repro/internal/ampdk"
+	"repro/internal/ampip"
+	"repro/internal/core"
+	"repro/internal/failover"
+	"repro/internal/micropacket"
+	"repro/internal/netcache"
+	"repro/internal/sim"
+)
+
+// Cluster is a bootable AmpNet network; see core.Cluster.
+type Cluster = core.Cluster
+
+// Options configures New.
+type Options = core.Options
+
+// New assembles a cluster (nothing runs until Boot).
+func New(opts Options) *Cluster { return core.New(opts) }
+
+// Time is virtual simulation time in nanoseconds.
+type Time = sim.Time
+
+// Convenient durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NodeID addresses a node; Broadcast addresses all.
+type NodeID = micropacket.NodeID
+
+// Broadcast is the all-nodes destination.
+const Broadcast = micropacket.Broadcast
+
+// Node is one AmpNet node (kernel + NIC model).
+type Node = ampdk.Node
+
+// Version is a node software version (high byte = major, must match to
+// assimilate).
+type Version = ampdk.Version
+
+// TagApp is the first Data-packet tag available to applications.
+const TagApp = ampdk.TagApp
+
+// Services bundles AmpSubscribe, AmpFiles and AmpThreads on a node.
+type Services = ampdc.Services
+
+// Stack is a node's AmpIP (IP-over-AmpNet) instance.
+type Stack = ampip.Stack
+
+// Comm provides MPI-style collectives over a set of nodes.
+type Comm = ampip.Comm
+
+// NewComm builds a communicator over the given node ids.
+func NewComm(s *Stack, nodes []int, port uint16) *Comm { return ampip.NewComm(s, nodes, port) }
+
+// NodeToIP maps node ids into the cluster's address space.
+func NodeToIP(node int) ampip.Addr { return ampip.NodeToIP(node) }
+
+// Record is a Lamport-counter (seqlock) record in the network cache.
+type Record = netcache.Record
+
+// DoubleBuffer is a crash-safe checkpoint cell (two alternating
+// records).
+type DoubleBuffer = netcache.DoubleBuffer
+
+// NewDoubleBuffer lays out a checkpoint cell in a cache region.
+func NewDoubleBuffer(region uint8, off uint32, size int) DoubleBuffer {
+	return netcache.NewDoubleBuffer(region, off, size)
+}
+
+// Manager runs control groups on a node; GroupConfig declares one.
+type (
+	Manager     = failover.Manager
+	Group       = failover.Group
+	GroupConfig = failover.GroupConfig
+)

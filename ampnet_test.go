@@ -1,0 +1,155 @@
+package ampnet_test
+
+import (
+	"bytes"
+	"testing"
+
+	ampnetpkg "repro"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface: boot, pub/sub,
+// cache, semaphores, files, threads, IP, collectives, failover and
+// self-healing, through the facade only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	c := ampnetpkg.New(ampnetpkg.Options{
+		Nodes: 4, Switches: 2,
+		Regions: map[uint8]int{1: 8192},
+	})
+	if err := c.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pub/sub.
+	var got []byte
+	c.Services[3].Sub.Subscribe(1, func(_ ampnetpkg.NodeID, data []byte) { got = data })
+	c.Services[0].Sub.Publish(1, []byte("facade"))
+	c.Run(2 * ampnetpkg.Millisecond)
+	if string(got) != "facade" {
+		t.Fatalf("pubsub: %q", got)
+	}
+
+	// Cache record.
+	rec := ampnetpkg.Record{Region: 1, Off: 0, Size: 8}
+	if err := c.Nodes[1].CacheW.WriteRecord(rec, []byte("01234567")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * ampnetpkg.Millisecond)
+	if d, ok := c.Nodes[2].Cache.TryRead(rec); !ok || !bytes.Equal(d, []byte("01234567")) {
+		t.Fatalf("cache replica: %q ok=%v", d, ok)
+	}
+
+	// Double buffer.
+	db := ampnetpkg.NewDoubleBuffer(1, 512, 8)
+	if err := db.Write(c.Nodes[0].CacheW, []byte("checkpnt")); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * ampnetpkg.Millisecond)
+	if d, _, ok := db.Read(c.Nodes[3].Cache); !ok || string(d) != "checkpnt" {
+		t.Fatalf("double buffer: %q ok=%v", d, ok)
+	}
+
+	// Semaphore lock.
+	locked := false
+	c.Nodes[2].Sem.Lock(5, func() { locked = true; c.Nodes[2].Sem.Unlock(5) })
+	c.Run(3 * ampnetpkg.Millisecond)
+	if !locked {
+		t.Fatal("lock never granted")
+	}
+
+	// File transfer.
+	var fileOK bool
+	c.Services[2].Files.OnFile = func(_ ampnetpkg.NodeID, name string, data []byte, ok bool) {
+		fileOK = ok && name == "f" && len(data) == 1000
+	}
+	c.Services[1].Files.Send(2, "f", make([]byte, 1000), nil)
+	c.Run(5 * ampnetpkg.Millisecond)
+	if !fileOK {
+		t.Fatal("file transfer failed")
+	}
+
+	// Remote thread.
+	c.Services[0].Threads.Register(1, func(a uint32) uint32 { return a + 1 })
+	var res uint32
+	c.Services[3].Threads.Call(0, 1, 41, func(v uint32, ok bool) {
+		if ok {
+			res = v
+		}
+	})
+	c.Run(3 * ampnetpkg.Millisecond)
+	if res != 42 {
+		t.Fatalf("thread call = %d", res)
+	}
+
+	// Collectives.
+	comms := make([]*ampnetpkg.Comm, 4)
+	for i, s := range c.Stacks {
+		comms[i] = ampnetpkg.NewComm(s, []int{0, 1, 2, 3}, 9000)
+	}
+	total := uint64(0)
+	done := 0
+	for i, cm := range comms {
+		cm.AllReduceSum(uint64(i), func(v uint64) { total = v; done++ })
+	}
+	c.Run(5 * ampnetpkg.Millisecond)
+	if done != 4 || total != 6 {
+		t.Fatalf("allreduce done=%d total=%d", done, total)
+	}
+
+	// Self-heal.
+	before := c.RingSize()
+	c.FailSwitch(0)
+	c.Run(10 * ampnetpkg.Millisecond)
+	if c.RingSize() != before {
+		t.Fatalf("ring size after heal = %d, want %d", c.RingSize(), before)
+	}
+	if c.Drops() != 0 {
+		t.Fatalf("congestion drops = %d", c.Drops())
+	}
+
+	// Failover group.
+	cfg := ampnetpkg.GroupConfig{
+		ID: 1, Members: []int{0, 1, 2, 3},
+		Rank: map[int]int{0: 9, 1: 5, 2: 3, 3: 1}, Period: ampnetpkg.Millisecond,
+		State: ampnetpkg.NewDoubleBuffer(1, 1024, 8),
+	}
+	groups := make([]*ampnetpkg.Group, 4)
+	for i, m := range c.Managers {
+		groups[i] = m.AddGroup(cfg)
+	}
+	if groups[1].Primary() != 0 {
+		t.Fatalf("primary = %d", groups[1].Primary())
+	}
+	took := false
+	groups[1].OnTakeover = func([]byte) { took = true }
+	c.CrashNode(0)
+	c.Run(20 * ampnetpkg.Millisecond)
+	if !took || groups[2].Primary() != 1 {
+		t.Fatalf("failover: took=%v primary=%d", took, groups[2].Primary())
+	}
+}
+
+func TestAddressHelpers(t *testing.T) {
+	if ampnetpkg.NodeToIP(0).String() != "10.77.0.1" {
+		t.Fatal("NodeToIP")
+	}
+	if ampnetpkg.Broadcast != 0xFF {
+		t.Fatal("Broadcast constant")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, string) {
+		c := ampnetpkg.New(ampnetpkg.Options{Nodes: 5, Switches: 4, Seed: 7})
+		if err := c.Boot(0); err != nil {
+			t.Fatal(err)
+		}
+		c.FailSwitch(1)
+		c.Run(10 * ampnetpkg.Millisecond)
+		return c.K.Fired, c.Roster()
+	}
+	f1, r1 := run()
+	f2, r2 := run()
+	if f1 != f2 || r1 != r2 {
+		t.Fatalf("nondeterministic: %d/%d events, rosters %q vs %q", f1, f2, r1, r2)
+	}
+}

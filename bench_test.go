@@ -1,0 +1,273 @@
+// Benchmarks regenerating every table/figure of the AmpNet paper, one
+// per experiment in DESIGN.md §2 (E1–E12), plus micro-benchmarks of the
+// substrates. The printable tables come from cmd/ampbench; these
+// benchmarks time the same code paths and report domain metrics
+// (ring-tours, µs of virtual heal time, Mb/s) via b.ReportMetric.
+package ampnet
+
+import (
+	"testing"
+
+	"repro/internal/enc8b10b"
+	"repro/internal/experiments"
+	"repro/internal/micropacket"
+	"repro/internal/netcache"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// --- E1/E2: MicroPacket codec ---
+
+func BenchmarkE1MicroPacketCodec(b *testing.B) {
+	p := micropacket.NewData(1, 2, 3, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raw, err := p.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := micropacket.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2WireFormatsVariable(b *testing.B) {
+	data := make([]byte, 64)
+	p := micropacket.NewDMA(1, 2, micropacket.DMAHeader{Channel: 3}, data)
+	b.SetBytes(int64(micropacket.WireSize(micropacket.TypeDMA, 64)))
+	for i := 0; i < b.N; i++ {
+		raw, err := p.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := micropacket.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark8b10bEncode(b *testing.B) {
+	enc := enc8b10b.NewEncoder()
+	b.SetBytes(1)
+	for i := 0; i < b.N; i++ {
+		enc.EncodeData(byte(i))
+	}
+}
+
+func Benchmark8b10bDecode(b *testing.B) {
+	enc := enc8b10b.NewEncoder()
+	syms := make([]enc8b10b.Symbol, 4096)
+	for i := range syms {
+		syms[i] = enc.EncodeData(byte(i))
+	}
+	dec := enc8b10b.NewDecoder()
+	b.SetBytes(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(syms[i%len(syms)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E3: multi-stream insertion (slide 7) ---
+
+func BenchmarkE3MultiStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E3MultiStream(100)
+		if len(t.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- E4: all-to-all losslessness (slide 8) ---
+
+func BenchmarkE4AllToAllLossless(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E4AllToAll(8, 50)
+		if len(t.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+		if t.Rows[0][6] != "LOSSLESS" {
+			b.Fatalf("AmpNet dropped: %v", t.Rows[0])
+		}
+	}
+}
+
+// --- E5: seqlock cache (slide 9) ---
+
+func BenchmarkE5SeqlockTryRead(b *testing.B) {
+	c := netcache.New()
+	c.AddRegion(1, 4096)
+	w := netcache.NewWriter(c, nil)
+	rec := netcache.Record{Region: 1, Off: 0, Size: 64}
+	w.WriteRecord(rec, make([]byte, 64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.TryRead(rec); !ok {
+			b.Fatal("torn")
+		}
+	}
+}
+
+func BenchmarkE5HostRecordReadUnderWrites(b *testing.B) {
+	h := netcache.NewHostRecord(64)
+	h.Write(make([]byte, 64))
+	stop := make(chan struct{})
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Write(buf)
+			}
+		}
+	}()
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Read(buf)
+	}
+	b.StopTimer()
+	close(stop)
+}
+
+// --- E6: network semaphores (slide 10) ---
+
+func BenchmarkE6Semaphores(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E6Semaphores(4, 5)
+		if t.Rows[0][4] != "YES" {
+			b.Fatalf("mutual exclusion violated: %v", t.Rows[0])
+		}
+	}
+}
+
+// --- E7: redundancy (slides 14–15) ---
+
+func BenchmarkE7Redundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E7Redundancy(6)
+		for _, row := range t.Rows {
+			if row[3] != "yes" {
+				b.Fatalf("ring not full: %v", row)
+			}
+		}
+	}
+}
+
+// --- E8: rostering completion (slide 16) ---
+
+func BenchmarkE8Rostering(b *testing.B) {
+	// One heal of the 8-node, 1 km quad-redundant ring per iteration;
+	// reports virtual heal time and ring-tours as metrics. The full
+	// node-count × fiber sweep is in cmd/ampbench -exp e8.
+	var healNS, tours float64
+	for i := 0; i < b.N; i++ {
+		heal, tour := healOnce(uint64(i + 1))
+		healNS = float64(heal)
+		tours = float64(heal) / float64(tour)
+	}
+	b.ReportMetric(healNS/1000, "virtual-heal-µs")
+	b.ReportMetric(tours, "ring-tours")
+}
+
+// --- E9: assimilation (slide 17) ---
+
+func BenchmarkE9Assimilation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E9Assimilation()
+		last := t.Rows[len(t.Rows)-1]
+		if last[3] != "rejected (correct)" {
+			b.Fatalf("version gate failed: %v", last)
+		}
+	}
+}
+
+// --- E10: failover (slides 18–19) ---
+
+func BenchmarkE10Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E10Failover()
+		for _, row := range t.Rows {
+			if row[5] != "NONE" {
+				b.Fatalf("data loss: %v", row)
+			}
+		}
+	}
+}
+
+// --- E11: self-heal vs baseline (slides 2, 13, 18) ---
+
+func BenchmarkE11SelfHealVsBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E11SelfHealVsBaseline()
+		if len(t.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// --- E12: AmpIP + collectives (slides 3, 12) ---
+
+func BenchmarkE12AmpIPCollectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.E12Collectives(4)
+		for _, row := range t.Rows {
+			if row[2] == "INCOMPLETE" {
+				b.Fatalf("collective incomplete: %v", row)
+			}
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkSimKernelEventThroughput(b *testing.B) {
+	k := sim.NewKernel(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(10, tick)
+		}
+	}
+	k.After(0, tick)
+	k.Run()
+	if n < b.N {
+		b.Fatal("did not run all events")
+	}
+}
+
+func BenchmarkPhysPointToPoint(b *testing.B) {
+	k := sim.NewKernel(1)
+	net := phys.NewNet(k)
+	delivered := 0
+	a := net.NewPort("a", nil)
+	p := net.NewPort("b", func(_ *phys.Port, f phys.Frame) { delivered++ })
+	net.Connect(a, p, 10)
+	f := phys.NewFrame(micropacket.NewData(1, 2, 0, nil))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !a.Send(f) {
+			k.Step()
+		}
+		k.Run()
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+// healOnce performs one switch-failure heal on an 8-node/1 km rig and
+// returns (heal time from detection, tour estimate).
+func healOnce(seed uint64) (sim.Time, sim.Time) {
+	h := experiments.NewHealBench(seed, 8, 4, 1000)
+	return h.HealOnce()
+}

@@ -1,0 +1,52 @@
+// Command ampbench regenerates every table, figure and quantitative
+// claim of the AmpNet paper (see DESIGN.md §2 for the experiment index
+// and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	ampbench             # run every experiment
+//	ampbench -exp e8     # run one experiment
+//	ampbench -list       # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.All() {
+			fmt.Printf("  %-4s %s\n", s.ID, s.Short)
+		}
+		return
+	}
+	if *exp != "" {
+		s := experiments.ByID(*exp)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "ampbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		run(*s)
+		return
+	}
+	fmt.Println("AmpNet reproduction — all experiments (deterministic; see EXPERIMENTS.md)")
+	for _, s := range experiments.All() {
+		run(s)
+	}
+}
+
+func run(s experiments.Spec) {
+	start := time.Now()
+	t := s.Run()
+	t.Fprint(os.Stdout)
+	fmt.Printf("  [%s completed in %v wall time]\n", s.ID, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,65 @@
+// Command amproster visualizes the rostering algorithm: it builds a
+// cluster, injects a failure sequence, and prints each roster adoption
+// as it happens — epoch, trigger-to-adoption latency in ring tours, and
+// the resulting logical ring.
+//
+// Usage:
+//
+//	amproster -nodes 6 -switches 4 -fiber 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	ampnet "repro"
+	"repro/internal/rostering"
+	"repro/internal/sim"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 6, "number of nodes")
+	switches := flag.Int("switches", 4, "number of switches")
+	fiber := flag.Float64("fiber", 1000, "fiber meters per link")
+	flag.Parse()
+
+	c := ampnet.New(ampnet.Options{Nodes: *nodes, Switches: *switches, FiberMeters: *fiber})
+
+	// Print node 0's adoptions (all nodes adopt equal rosters).
+	agent := c.Nodes[0].Agent
+	agent.OnAdopt = func(r *rostering.Roster) {
+		lat := c.Now() - agent.RoundStart()
+		tour := rostering.EstimateTour(*nodes, *fiber, c.Net)
+		fmt.Printf("t=%-12v ADOPT epoch %-3d (%.2f ring tours after trigger)\n",
+			c.Now(), r.Epoch, float64(lat)/float64(tour))
+		fmt.Printf("               %s\n", r)
+	}
+
+	if err := c.Boot(0); err != nil {
+		log.Fatal(err)
+	}
+	tour := rostering.EstimateTour(*nodes, *fiber, c.Net)
+	fmt.Printf("ring tour estimate: %v (N=%d, fiber=%.0fm)\n\n", tour, *nodes, *fiber)
+
+	scenario := []struct {
+		desc string
+		act  func()
+	}{
+		{"fail switch 0", func() { c.FailSwitch(0) }},
+		{"cut link node1 ↔ switch1", func() { c.FailLink(1, 1) }},
+		{"crash node 2", func() { c.CrashNode(2) }},
+		{"reboot node 2", func() { c.RebootNode(2) }},
+		{"restore switch 0", func() { c.RestoreSwitch(0) }},
+	}
+	for _, s := range scenario {
+		s := s
+		c.K.After(5*sim.Millisecond, func() {
+			fmt.Printf("t=%-12v EVENT %s\n", c.Now(), s.desc)
+			s.act()
+		})
+		c.Run(5 * sim.Millisecond)
+		c.Run(10 * sim.Millisecond)
+	}
+	fmt.Printf("\nfinal ring (size %d): %s\n", c.RingSize(), c.Roster())
+}

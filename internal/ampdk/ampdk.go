@@ -1,0 +1,659 @@
+// Package ampdk implements the AmpNet Distributed Kernel (paper, slides
+// 17–18): the per-node micro-kernel that self-boots, enforces
+// assimilation rules and version compatibility before a node comes
+// online, keeps the replicated configuration database, exchanges
+// heartbeats for millisecond failure detection, and wires together the
+// node's MAC station, rostering agent, DMA engine, network cache and
+// semaphore service.
+//
+//	"Every node is a real-time Micro Computer, managed by AmpNet
+//	 Distributed Kernel (AmpDK). Instantly Self-Boots — Doesn't need a
+//	 Host. Conforms to assimilation rules before coming online.
+//	 Enforces version compatibilities across the network." (slide 17)
+//
+// Assimilation (slides 2, 17, 18): a booting node floods a join request
+// on the ring. The sponsor — the lowest-id online node — checks version
+// compatibility (equal major version), streams a full cache refresh
+// over a dedicated DMA channel, and marks the join complete; only then
+// does the node go online and start heartbeating. While assimilating,
+// the joiner buffers live cache updates and replays them after the
+// refresh so no write is lost. If nothing is heard at all (first boot
+// of the cluster), the lowest-id booting node founds the network and
+// creates "the first network database … containing all the information
+// required to operate the network" (slide 2).
+package ampdk
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/dma"
+	"repro/internal/insertion"
+	"repro/internal/micropacket"
+	"repro/internal/netcache"
+	"repro/internal/netsem"
+	"repro/internal/phys"
+	"repro/internal/rostering"
+	"repro/internal/sim"
+)
+
+// State is a node's assimilation state (slide 17 lifecycle).
+type State uint8
+
+// Node lifecycle states.
+const (
+	StateOffline State = iota
+	StateAssimilating
+	StateOnline
+	StateRejected // version incompatible: refused assimilation
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateOffline:
+		return "offline"
+	case StateAssimilating:
+		return "assimilating"
+	case StateOnline:
+		return "online"
+	case StateRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Message tags on Data MicroPackets used by the kernel. Application
+// tags must be >= TagApp.
+const (
+	TagHeartbeat uint8 = 0x01
+	TagJoinReq   uint8 = 0x02
+	TagJoinOK    uint8 = 0x03 // sponsor → joiner: refresh complete
+	TagJoinRej   uint8 = 0x04 // sponsor → joiner: version incompatible
+	TagApp       uint8 = 0x10
+)
+
+// Version is a kernel/software version; the high byte is the major
+// version, which must match for assimilation (slide 17: "enforces
+// version compatibilities across the network").
+type Version uint16
+
+// Major returns the major (compatibility) component.
+func (v Version) Major() uint8 { return uint8(v >> 8) }
+
+// Compatible reports whether two versions may share a network.
+func Compatible(a, b Version) bool { return a.Major() == b.Major() }
+
+// Reserved cache layout: region 0 is the configuration database.
+const (
+	ConfigRegion     uint8 = 0
+	ConfigRegionSize       = 4096
+	// CacheChannel carries replicated cache writes; RefreshChannel
+	// carries assimilation refresh streams.
+	CacheChannel   = 15
+	RefreshChannel = 14
+)
+
+// Config parameterizes a node.
+type Config struct {
+	ID      int
+	Version Version
+	// Regions lists additional cache regions (id → size). Region 0 is
+	// always present (the configuration database).
+	Regions map[uint8]int
+
+	// HeartbeatInterval and HeartbeatMiss set failure detection: a
+	// peer is declared down after Miss consecutive intervals of
+	// silence. The defaults give sub-millisecond detection (slide 19:
+	// "millisecond application failure detection").
+	HeartbeatInterval sim.Time
+	HeartbeatMiss     int
+
+	// JoinTimeout is how long a booting node solicits sponsors before
+	// concluding it is the first node up.
+	JoinTimeout sim.Time
+
+	// FiberM is the per-link fiber length (used to calibrate rostering).
+	FiberM float64
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 250 * sim.Microsecond
+	}
+	if c.HeartbeatMiss == 0 {
+		c.HeartbeatMiss = 3
+	}
+	if c.JoinTimeout == 0 {
+		c.JoinTimeout = 2 * sim.Millisecond
+	}
+	if c.Version == 0 {
+		c.Version = 0x0100
+	}
+	if c.FiberM == 0 {
+		c.FiberM = 50
+	}
+}
+
+// Peer is what a node knows about another node.
+type Peer struct {
+	ID      int
+	Version Version
+	LastHB  sim.Time
+	Online  bool
+}
+
+// Node is one AmpNet node: NIC model plus distributed kernel.
+type Node struct {
+	Cfg     Config
+	K       *sim.Kernel
+	Cluster *phys.Cluster
+
+	Station *insertion.Station
+	Agent   *rostering.Agent
+	DMA     *dma.Engine
+	Cache   *netcache.Cache
+	CacheW  *netcache.Writer
+	Sem     *netsem.Service
+
+	// State is the assimilation state.
+	State State
+
+	// OnMessage receives application Data MicroPackets (tag >= TagApp).
+	OnMessage func(src micropacket.NodeID, tag uint8, payload [8]byte)
+	// OnInterrupt receives Interrupt MicroPackets.
+	OnInterrupt func(src micropacket.NodeID, vector uint8)
+	// OnPeerDown/OnPeerUp fire on heartbeat-driven liveness changes.
+	OnPeerDown func(id int)
+	OnPeerUp   func(id int)
+	// OnOnline fires when this node completes assimilation.
+	OnOnline func()
+	// OnRoster fires when this node adopts a roster (before the
+	// certification probe is sent).
+	OnRoster func(*rostering.Roster)
+	// RegionHandler overrides delivery of DMA writes for specific
+	// regions (registered app memory); unhandled regions apply to the
+	// cache replica.
+	RegionHandler map[uint8]dma.WriteHandler
+
+	peers      map[int]*Peer
+	sponsoring map[int]bool // joiners whose refresh stream is in flight
+	hbSeq      uint32
+	stopped    bool
+	joinTry    int
+	sawPeers   bool // heard any heartbeat during join window
+
+	// Assimilation buffering of live updates.
+	buffering bool
+	buffered  []bufferedWrite
+
+	// Outstanding ping callbacks, FIFO (the ring preserves order).
+	pingCBs []func()
+
+	// Counters.
+	HBSent     uint64
+	HBSeen     uint64
+	Sponsored  uint64 // refresh streams served as sponsor
+	Rejections uint64 // joins rejected for version mismatch
+	RefreshedB uint64 // refresh bytes received while assimilating
+
+	// Smart-recovery counters (recovery.go).
+	RefreshReqs    uint64 // region refreshes requested after gaps
+	RefreshServed  uint64 // region refreshes served to peers
+	AutoRecoveries uint64 // auto-recovery rounds triggered
+
+	// Certification state and counters (certify.go).
+	certEpoch uint32
+	certOK    bool
+	CertOK    uint64 // configurations certified by this node
+	CertFail  uint64 // certification timeouts (re-rostered)
+}
+
+type bufferedWrite struct {
+	region uint8
+	off    uint32
+	data   []byte
+}
+
+// NewNode builds a node over the cluster's ports. It does not boot it;
+// call Boot.
+func NewNode(k *sim.Kernel, cluster *phys.Cluster, cfg Config) *Node {
+	cfg.fill()
+	n := &Node{
+		Cfg: cfg, K: k, Cluster: cluster,
+		peers:         map[int]*Peer{},
+		sponsoring:    map[int]bool{},
+		RegionHandler: map[uint8]dma.WriteHandler{},
+	}
+	n.Station = insertion.NewStation(k, micropacket.NodeID(cfg.ID), cluster.NodePorts[cfg.ID])
+	n.Agent = rostering.NewAgent(k, cfg.ID, cluster, n.Station, cfg.FiberM)
+	n.DMA = dma.NewEngine(k, n.Station)
+	n.Cache = netcache.New()
+	n.Cache.AddRegion(ConfigRegion, ConfigRegionSize)
+	for id, size := range cfg.Regions {
+		n.Cache.AddRegion(id, size)
+	}
+	n.CacheW = netcache.NewWriter(n.Cache, dma.CacheTransport{E: n.DMA, Ch: CacheChannel})
+	n.Sem = netsem.NewService(k, n.Station, n.semHome)
+	n.Station.OnDeliver = n.deliver
+	n.DMA.OnWrite = n.dmaWrite
+	n.Agent.OnAdopt = n.onRosterAdopted
+	return n
+}
+
+// semHome elects the semaphore home: the lowest node on the current
+// roster (every node computes the same roster, so this is consistent).
+func (n *Node) semHome() micropacket.NodeID {
+	r := n.Agent.Roster()
+	if r == nil || r.Size() == 0 {
+		return micropacket.NodeID(n.Cfg.ID)
+	}
+	lo := r.Nodes[0]
+	for _, id := range r.Nodes {
+		if id < lo {
+			lo = id
+		}
+	}
+	return micropacket.NodeID(lo)
+}
+
+// Boot self-boots the node (slide 17): the rostering agent starts
+// (hardware joins the ring), then the kernel seeks assimilation.
+func (n *Node) Boot() {
+	n.stopped = false
+	n.State = StateAssimilating
+	n.buffering = true
+	n.buffered = nil
+	n.sawPeers = false
+	n.joinTry = 0
+	n.Agent.Start()
+	n.solicit()
+	n.detectLoop()
+}
+
+// Online reports whether the node completed assimilation.
+func (n *Node) Online() bool { return n.State == StateOnline }
+
+// Peers returns a snapshot of known peers.
+func (n *Node) Peers() []Peer {
+	out := make([]Peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		out = append(out, *p)
+	}
+	return out
+}
+
+// OnlinePeerIDs returns ids of peers currently believed online,
+// including this node if online.
+func (n *Node) OnlinePeerIDs() []int {
+	var out []int
+	if n.Online() {
+		out = append(out, n.Cfg.ID)
+	}
+	for id, p := range n.peers {
+		if p.Online {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Crash kills the node entirely: kernel stops and all its fibers go
+// dark (NIC death). Peers heal via rostering and heartbeat timeout.
+func (n *Node) Crash() {
+	n.stopped = true
+	n.State = StateOffline
+	n.Agent.Stop()
+	n.Cluster.FailNode(n.Cfg.ID)
+}
+
+// AppFail models an application/host failure with a healthy NIC: the
+// kernel stops heartbeating (so peers fail it over) but the ring keeps
+// forwarding — the paper's scenario for application failover with the
+// network intact.
+func (n *Node) AppFail() {
+	n.stopped = true
+	n.State = StateOffline
+}
+
+// Reboot restores fibers (if dark) and boots again.
+func (n *Node) Reboot() {
+	n.Cluster.RestoreNode(n.Cfg.ID)
+	n.peers = map[int]*Peer{}
+	n.Boot()
+}
+
+// --- join / assimilation ---
+
+// solicit broadcasts a join request and arms the founding timeout.
+func (n *Node) solicit() {
+	if n.stopped || n.State != StateAssimilating {
+		return
+	}
+	n.joinTry++
+	var pl [8]byte
+	binary.LittleEndian.PutUint16(pl[0:2], uint16(n.Cfg.Version))
+	pl[2] = byte(n.joinTry)
+	pkt := micropacket.NewData(micropacket.NodeID(n.Cfg.ID), micropacket.Broadcast, TagJoinReq, pl[:])
+	n.Station.Send(pkt) // may be refused pre-roster; we retry below
+	retry := n.Cfg.JoinTimeout / 4
+	if retry <= 0 {
+		retry = 500 * sim.Microsecond
+	}
+	n.K.After(retry, func() {
+		if n.stopped || n.State != StateAssimilating {
+			return
+		}
+		if n.joinTry*int(retry) >= int(n.Cfg.JoinTimeout) && !n.sawPeers && n.lowestBooting() {
+			n.found()
+			return
+		}
+		n.solicit()
+	})
+}
+
+// lowestBooting reports whether this node has the lowest id among the
+// nodes it has heard booting (including itself) — the founding
+// tiebreak when a whole cluster powers on at once.
+func (n *Node) lowestBooting() bool {
+	for id := range n.peers {
+		if id < n.Cfg.ID {
+			return false
+		}
+	}
+	return true
+}
+
+// found creates the network: first node online writes the configuration
+// database (slide 2: "the first network database created contains all
+// the information required to operate the network").
+func (n *Node) found() {
+	n.goOnline()
+	n.writeConfigDB()
+}
+
+// goOnline transitions to online and starts heartbeating.
+func (n *Node) goOnline() {
+	if n.State == StateOnline {
+		return
+	}
+	n.State = StateOnline
+	n.buffering = false
+	// Replay updates buffered during refresh, in arrival order.
+	for _, w := range n.buffered {
+		n.Cache.Apply(w.region, w.off, w.data)
+	}
+	n.buffered = nil
+	n.heartbeatLoop()
+	if n.OnOnline != nil {
+		n.OnOnline()
+	}
+}
+
+// --- heartbeats & failure detection ---
+
+func (n *Node) heartbeatLoop() {
+	if n.stopped || n.State != StateOnline {
+		return
+	}
+	n.hbSeq++
+	var pl [8]byte
+	binary.LittleEndian.PutUint16(pl[0:2], uint16(n.Cfg.Version))
+	pl[2] = byte(n.State)
+	binary.LittleEndian.PutUint32(pl[3:7], n.hbSeq)
+	pkt := micropacket.NewData(micropacket.NodeID(n.Cfg.ID), micropacket.Broadcast, TagHeartbeat, pl[:])
+	n.Station.Send(pkt)
+	n.HBSent++
+	n.K.After(n.Cfg.HeartbeatInterval, n.heartbeatLoop)
+}
+
+// detectLoop declares peers down after HeartbeatMiss silent intervals.
+func (n *Node) detectLoop() {
+	if n.stopped {
+		return
+	}
+	deadline := sim.Time(n.Cfg.HeartbeatMiss) * n.Cfg.HeartbeatInterval
+	now := n.K.Now()
+	for id, p := range n.peers {
+		if p.Online && now-p.LastHB > deadline {
+			p.Online = false
+			if n.OnPeerDown != nil {
+				n.OnPeerDown(id)
+			}
+		}
+	}
+	n.K.After(n.Cfg.HeartbeatInterval, n.detectLoop)
+}
+
+// --- delivery demux ---
+
+func (n *Node) deliver(p *micropacket.Packet) {
+	switch p.Type {
+	case micropacket.TypeDMA:
+		n.DMA.HandleDMA(p)
+	case micropacket.TypeD64Atomic:
+		n.Sem.Handle(p)
+	case micropacket.TypeInterrupt:
+		if n.OnInterrupt != nil && n.State == StateOnline {
+			n.OnInterrupt(p.Src, p.Tag)
+		}
+	case micropacket.TypeDiagnostic:
+		n.handleDiag(p)
+	case micropacket.TypeData:
+		n.handleData(p)
+	}
+}
+
+func (n *Node) handleData(p *micropacket.Packet) {
+	switch p.Tag {
+	case TagHeartbeat:
+		n.noteHeartbeat(p)
+	case TagJoinReq:
+		n.handleJoinReq(p)
+	case TagJoinOK:
+		if n.State == StateAssimilating {
+			n.goOnline()
+		}
+	case TagJoinRej:
+		if n.State == StateAssimilating {
+			n.State = StateRejected
+		}
+	case TagRefreshReq:
+		n.handleRefreshReq(p)
+	default:
+		if p.Tag >= TagApp && n.OnMessage != nil && n.State == StateOnline {
+			n.OnMessage(p.Src, p.Tag, p.Payload)
+		}
+	}
+}
+
+func (n *Node) noteHeartbeat(p *micropacket.Packet) {
+	n.HBSeen++
+	n.sawPeers = true
+	id := int(p.Src)
+	ver := Version(binary.LittleEndian.Uint16(p.Payload[0:2]))
+	pe, ok := n.peers[id]
+	if !ok {
+		pe = &Peer{ID: id, Version: ver}
+		n.peers[id] = pe
+	}
+	pe.Version = ver
+	pe.LastHB = n.K.Now()
+	if !pe.Online {
+		pe.Online = true
+		if n.OnPeerUp != nil {
+			n.OnPeerUp(id)
+		}
+	}
+}
+
+// handleJoinReq: the sponsor (lowest online node) checks compatibility
+// and streams the cache refresh.
+func (n *Node) handleJoinReq(p *micropacket.Packet) {
+	src := int(p.Src)
+	if src == n.Cfg.ID {
+		return
+	}
+	// Track booting peers for the founding tiebreak.
+	if _, ok := n.peers[src]; !ok {
+		n.peers[src] = &Peer{ID: src, LastHB: n.K.Now()}
+	}
+	if n.State != StateOnline {
+		return
+	}
+	// Only the sponsor responds.
+	for id, pe := range n.peers {
+		if pe.Online && id < n.Cfg.ID {
+			return
+		}
+	}
+	ver := Version(binary.LittleEndian.Uint16(p.Payload[0:2]))
+	if !Compatible(ver, n.Cfg.Version) {
+		n.Rejections++
+		var pl [8]byte
+		binary.LittleEndian.PutUint16(pl[0:2], uint16(n.Cfg.Version))
+		n.Station.Send(micropacket.NewData(micropacket.NodeID(n.Cfg.ID), p.Src, TagJoinRej, pl[:]))
+		return
+	}
+	if n.sponsoring[src] {
+		return // refresh already streaming; the retry is redundant
+	}
+	n.sponsoring[src] = true
+	n.Sponsored++
+	n.streamRefresh(p.Src)
+}
+
+// streamRefresh sends every cache region's contents to the joiner over
+// the refresh DMA channel, then the JoinOK marker. The marker is
+// queued to the MAC after the final refresh segment has been accepted,
+// so it cannot overtake the stream.
+func (n *Node) streamRefresh(dst micropacket.NodeID) {
+	regions := n.Cache.Regions()
+	// Deterministic order.
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[j] < regions[i] {
+				regions[i], regions[j] = regions[j], regions[i]
+			}
+		}
+	}
+	remaining := len(regions)
+	for _, id := range regions {
+		buf := n.Cache.Region(id)
+		n.DMA.Write(RefreshChannel, dst, id, 0, buf, func() {
+			remaining--
+			if remaining == 0 {
+				var pl [8]byte
+				pl[0] = byte(len(regions))
+				n.Station.Send(micropacket.NewData(micropacket.NodeID(n.Cfg.ID), dst, TagJoinOK, pl[:]))
+				// Allow a future re-join (reboot) to refresh again.
+				delete(n.sponsoring, int(dst))
+			}
+		})
+	}
+}
+
+// dmaWrite routes arriving DMA payloads: registered app regions first,
+// then the cache replica (with assimilation buffering).
+func (n *Node) dmaWrite(src micropacket.NodeID, hdr micropacket.DMAHeader, data []byte, last bool) {
+	if h, ok := n.RegionHandler[hdr.Region]; ok {
+		h(src, hdr, data, last)
+		return
+	}
+	if n.buffering && hdr.Channel == CacheChannel {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		n.buffered = append(n.buffered, bufferedWrite{hdr.Region, hdr.Offset, cp})
+		return
+	}
+	if n.State == StateAssimilating && hdr.Channel == RefreshChannel {
+		n.RefreshedB += uint64(len(data))
+	}
+	n.Cache.Apply(hdr.Region, hdr.Offset, data)
+}
+
+// --- diagnostics (ping) ---
+
+const (
+	diagPing = 0xD0
+	diagPong = 0xD1
+)
+
+// Ping sends a Diagnostic probe to dst; cb receives the round-trip
+// time. Outstanding pings resolve in FIFO order (the ring preserves
+// per-destination ordering).
+func (n *Node) Ping(dst micropacket.NodeID, cb func(rtt sim.Time)) {
+	start := n.K.Now()
+	n.pingCBs = append(n.pingCBs, func() { cb(n.K.Now() - start) })
+	n.Station.Send(micropacket.NewDiagnostic(micropacket.NodeID(n.Cfg.ID), dst, diagPing))
+}
+
+func (n *Node) handleDiag(p *micropacket.Packet) {
+	switch p.Tag {
+	case diagPing:
+		n.Station.Send(micropacket.NewDiagnostic(micropacket.NodeID(n.Cfg.ID), p.Src, diagPong))
+	case diagPong:
+		if len(n.pingCBs) > 0 {
+			cb := n.pingCBs[0]
+			n.pingCBs = n.pingCBs[1:]
+			cb()
+		}
+	case diagCertPing, diagCertPong:
+		n.handleCert(p)
+	}
+}
+
+// SendMessage sends an application Data MicroPacket (tag >= TagApp).
+func (n *Node) SendMessage(dst micropacket.NodeID, tag uint8, payload []byte) bool {
+	if tag < TagApp {
+		panic("ampdk: application tags start at TagApp")
+	}
+	return n.Station.Send(micropacket.NewData(micropacket.NodeID(n.Cfg.ID), dst, tag, payload))
+}
+
+// Interrupt raises a doorbell on dst.
+func (n *Node) Interrupt(dst micropacket.NodeID, vector uint8) bool {
+	return n.Station.Send(micropacket.NewInterrupt(micropacket.NodeID(n.Cfg.ID), dst, vector))
+}
+
+// --- configuration database (region 0) ---
+
+// Config DB layout: record 0 holds {magic, version, nodes, switches}.
+var configRec = netcache.Record{Region: ConfigRegion, Off: 0, Size: 16}
+
+const configMagic = 0xA3
+
+// writeConfigDB initializes the configuration database (founding node).
+func (n *Node) writeConfigDB() {
+	var rec [16]byte
+	rec[0] = configMagic
+	binary.LittleEndian.PutUint16(rec[1:3], uint16(n.Cfg.Version))
+	rec[3] = byte(n.Cluster.NumNodes())
+	rec[4] = byte(n.Cluster.NumSwitches())
+	if err := n.CacheW.WriteRecord(configRec, rec[:]); err != nil {
+		panic(err)
+	}
+}
+
+// NetworkInfo is the decoded configuration database record.
+type NetworkInfo struct {
+	Founded  bool
+	Version  Version
+	Nodes    int
+	Switches int
+}
+
+// ReadConfigDB decodes the configuration record from the local replica.
+func (n *Node) ReadConfigDB() NetworkInfo {
+	data, ok := n.Cache.TryRead(configRec)
+	if !ok || data[0] != configMagic {
+		return NetworkInfo{}
+	}
+	return NetworkInfo{
+		Founded:  true,
+		Version:  Version(binary.LittleEndian.Uint16(data[1:3])),
+		Nodes:    int(data[3]),
+		Switches: int(data[4]),
+	}
+}

@@ -1,0 +1,96 @@
+package ampdk
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCertificationAfterBoot(t *testing.T) {
+	k, _, nodes := bootCluster(4, 2, nil)
+	run(k, 30*sim.Millisecond)
+	for i, nd := range nodes {
+		if !nd.Certified() {
+			t.Fatalf("node %d not certified after boot (ok=%d fail=%d)", i, nd.CertOK, nd.CertFail)
+		}
+		if nd.CertFail != 0 {
+			t.Fatalf("node %d had %d certification failures on a healthy fabric", i, nd.CertFail)
+		}
+	}
+}
+
+func TestCertificationAfterHeal(t *testing.T) {
+	k, c, nodes := bootCluster(4, 2, nil)
+	run(k, 20*sim.Millisecond)
+	epochBefore := nodes[0].Agent.Epoch()
+	k.After(0, func() { c.Switches[0].Fail() })
+	run(k, 30*sim.Millisecond)
+	for i, nd := range nodes {
+		if nd.Agent.Epoch() == epochBefore {
+			t.Fatalf("node %d never re-rostered", i)
+		}
+		if !nd.Certified() {
+			t.Fatalf("node %d healed roster not certified", i)
+		}
+	}
+}
+
+func TestConfigDBReflectsNewConfiguration(t *testing.T) {
+	k, c, nodes := bootCluster(4, 2, nil)
+	run(k, 30*sim.Millisecond)
+	cfg, ok := nodes[3].ReadRingConfig()
+	if !ok {
+		t.Fatal("ring configuration never recorded")
+	}
+	if cfg.RingSize != 4 || cfg.Certifier != 0 {
+		t.Fatalf("boot config = %+v", cfg)
+	}
+	epoch1 := cfg.Epoch
+
+	// Heal; the database must reflect the new configuration at every
+	// replica (slide 18).
+	k.After(0, func() { c.Switches[0].Fail() })
+	run(k, 30*sim.Millisecond)
+	for i, nd := range nodes {
+		cfg2, ok := nd.ReadRingConfig()
+		if !ok {
+			t.Fatalf("node %d lost the ring config", i)
+		}
+		if cfg2.Epoch <= epoch1 {
+			t.Fatalf("node %d config epoch not advanced: %d", i, cfg2.Epoch)
+		}
+		if cfg2.RingSize != 4 {
+			t.Fatalf("node %d ring size = %d", i, cfg2.RingSize)
+		}
+	}
+}
+
+func TestConfigDBAfterNodeLoss(t *testing.T) {
+	k, _, nodes := bootCluster(4, 2, nil)
+	run(k, 30*sim.Millisecond)
+	k.After(0, func() { nodes[0].Crash() }) // the certifier dies
+	run(k, 40*sim.Millisecond)
+	cfg, ok := nodes[2].ReadRingConfig()
+	if !ok {
+		t.Fatal("ring config unreadable after certifier death")
+	}
+	if cfg.RingSize != 3 {
+		t.Fatalf("ring size = %d, want 3", cfg.RingSize)
+	}
+	if cfg.Certifier != 1 {
+		t.Fatalf("certifier = %d, want 1 (new lowest)", cfg.Certifier)
+	}
+}
+
+func TestReadRingConfigBeforeAnyWrite(t *testing.T) {
+	k := sim.NewKernel(1)
+	_ = k
+	nd := &Node{}
+	_ = nd
+	// A fresh node (own cache only) has no config record.
+	k2, _, nodes := bootCluster(2, 2, nil)
+	_ = k2
+	if _, ok := nodes[0].ReadRingConfig(); ok {
+		t.Fatal("config readable before boot")
+	}
+}

@@ -1,0 +1,100 @@
+package ampdk
+
+import (
+	"repro/internal/micropacket"
+	"repro/internal/sim"
+)
+
+// Smart data recovery (paper, slide 18: "Smart Data Recovery is
+// supported by Cache Refresh; Cached Database reflects new
+// configuration").
+//
+// Frames destroyed by a failure (cut fiber, roster transition) show up
+// at receivers as DMA sequence gaps. A node that detects gaps on the
+// cache channel after a heal asks the sponsor (lowest online node) for
+// a region refresh; the sponsor streams the region exactly as it does
+// during assimilation.
+//
+// Consistency note: the Lamport counters keep every record readable as
+// a whole (never torn), but a record whose writer is actively updating
+// it during the refresh may briefly revert to the snapshot value until
+// the writer's next update lands. Records written under netsem locks
+// (the paper's rule, slide 10) and DoubleBuffer checkpoint cells (which
+// compare versions on read) are unaffected in the ways applications
+// observe: the recovered value is always one the writer committed.
+
+// TagRefreshReq asks the sponsor to re-stream one cache region.
+const TagRefreshReq uint8 = 0x06
+
+// RequestRefresh asks the current sponsor to re-stream region's
+// contents to this node. It is a no-op if this node is the sponsor
+// itself (its replica is authoritative by construction of the request).
+func (n *Node) RequestRefresh(region uint8) {
+	sponsor := n.sponsorID()
+	if sponsor == n.Cfg.ID {
+		return
+	}
+	var pl [8]byte
+	pl[0] = region
+	n.Station.Send(micropacket.NewData(micropacket.NodeID(n.Cfg.ID), micropacket.NodeID(sponsor), TagRefreshReq, pl[:]))
+	n.RefreshReqs++
+}
+
+// sponsorID returns the lowest online node this node knows of
+// (including itself).
+func (n *Node) sponsorID() int {
+	lo := -1
+	if n.Online() {
+		lo = n.Cfg.ID
+	}
+	for id, p := range n.peers {
+		if p.Online && (lo < 0 || id < lo) {
+			lo = id
+		}
+	}
+	if lo < 0 {
+		lo = n.Cfg.ID
+	}
+	return lo
+}
+
+// handleRefreshReq streams one region to the requester.
+func (n *Node) handleRefreshReq(p *micropacket.Packet) {
+	if n.State != StateOnline {
+		return
+	}
+	region := p.Payload[0]
+	buf := n.Cache.Region(region)
+	if buf == nil {
+		return
+	}
+	n.RefreshServed++
+	n.DMA.Write(RefreshChannel, p.Src, region, 0, buf, nil)
+}
+
+// EnableAutoRecovery arms a periodic check: whenever new DMA gaps have
+// been observed on this node (frames lost to a failure), every cache
+// region is re-requested from the sponsor. interval controls the check
+// pace; the paper's story is that recovery follows rostering
+// automatically.
+func (n *Node) EnableAutoRecovery(interval sim.Time) {
+	if interval <= 0 {
+		interval = 5 * sim.Millisecond
+	}
+	seen := uint64(0)
+	var loop func()
+	loop = func() {
+		if n.stopped {
+			return
+		}
+		if n.State == StateOnline && n.DMA.Gaps > seen {
+			seen = n.DMA.Gaps
+			for _, region := range n.Cache.Regions() {
+				n.RequestRefresh(region)
+			}
+			n.AutoRecoveries++
+		}
+		n.K.After(interval, loop)
+	}
+	n.K.After(interval, loop)
+}

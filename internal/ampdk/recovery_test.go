@@ -1,0 +1,131 @@
+package ampdk
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netcache"
+	"repro/internal/sim"
+)
+
+// TestSmartRecoveryAfterLoss: updates lost in a ring transition are
+// restored by an explicit region refresh (slide 18's "smart data
+// recovery").
+func TestSmartRecoveryAfterLoss(t *testing.T) {
+	k, _, nodes := bootCluster(4, 2, func(i int) Config {
+		return Config{Regions: map[uint8]int{1: 4096}}
+	})
+	run(k, 20*sim.Millisecond)
+
+	// Detach node 3's MAC silently (simulates the window where a
+	// transition loses frames without taking links dark): updates
+	// broadcast now will not reach it... we emulate by writing records
+	// directly while node 3's egress path drops transit via a cut that
+	// rostering will heal.
+	recs := netcache.Layout(1, 0, 16, 8)
+	writeAll := func(val byte) {
+		for _, r := range recs {
+			if err := nodes[0].CacheW.WriteRecord(r, bytes.Repeat([]byte{val}, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	k.After(0, func() { writeAll(1) })
+	run(k, 5*sim.Millisecond)
+
+	// Corrupt node 3's replica to model lost updates (the transport
+	// gap), then recover via refresh.
+	n3 := nodes[3]
+	copy(n3.Cache.Region(1), make([]byte, 1024)) // wipe
+	if _, ok := n3.Cache.TryRead(recs[0]); ok {
+		// wiped counters read as version 0 with zero data — "ok" but stale
+	}
+	k.After(0, func() { n3.RequestRefresh(1) })
+	run(k, 20*sim.Millisecond)
+
+	for i, r := range recs {
+		got, ok := n3.Cache.TryRead(r)
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte{1}, 16)) {
+			t.Fatalf("record %d not recovered: %v ok=%v", i, got[:2], ok)
+		}
+	}
+	if n3.RefreshReqs != 1 {
+		t.Fatalf("refresh requests = %d", n3.RefreshReqs)
+	}
+	served := nodes[0].RefreshServed
+	if served != 1 {
+		t.Fatalf("sponsor served = %d", served)
+	}
+}
+
+// TestAutoRecoveryTriggersOnGaps: DMA gaps observed after a heal cause
+// an automatic refresh round.
+func TestAutoRecoveryTriggersOnGaps(t *testing.T) {
+	k, c, nodes := bootCluster(4, 2, func(i int) Config {
+		return Config{Regions: map[uint8]int{1: 2048}}
+	})
+	for _, nd := range nodes {
+		nd.EnableAutoRecovery(2 * sim.Millisecond)
+	}
+	run(k, 20*sim.Millisecond)
+
+	// Continuous cache writes while a switch dies: some updates are in
+	// flight during the transition and are lost at some replicas,
+	// producing sequence gaps there.
+	rec := netcache.Record{Region: 1, Off: 0, Size: 16}
+	i := byte(0)
+	var tick func()
+	tick = func() {
+		i++
+		nodes[0].CacheW.WriteRecord(rec, bytes.Repeat([]byte{i}, 16))
+		if i < 200 {
+			k.After(20*sim.Microsecond, tick)
+		}
+	}
+	k.After(0, tick)
+	k.After(500*sim.Microsecond, func() { c.Switches[0].Fail() })
+	run(k, 60*sim.Millisecond)
+
+	var gaps, recoveries uint64
+	for _, nd := range nodes {
+		gaps += nd.DMA.Gaps
+		recoveries += nd.AutoRecoveries
+	}
+	if gaps == 0 {
+		t.Skip("transition lost no frames at this timing; nothing to recover")
+	}
+	if recoveries == 0 {
+		t.Fatal("gaps observed but auto-recovery never triggered")
+	}
+	// After recovery, every replica converges to the final record.
+	want := bytes.Repeat([]byte{200}, 16)
+	for id, nd := range nodes {
+		got, ok := nd.Cache.TryRead(rec)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("node %d not converged: %v ok=%v", id, got[:2], ok)
+		}
+	}
+}
+
+// TestRefreshReqToSelfIsNoop: the sponsor asking itself does nothing.
+func TestRefreshReqToSelfIsNoop(t *testing.T) {
+	k, _, nodes := bootCluster(2, 2, nil)
+	run(k, 15*sim.Millisecond)
+	nodes[0].RequestRefresh(0) // node 0 is its own sponsor
+	run(k, 5*sim.Millisecond)
+	if nodes[0].RefreshReqs != 0 {
+		t.Fatal("self-refresh should be a no-op")
+	}
+}
+
+// TestRefreshUnknownRegionIgnored: refresh requests for absent regions
+// are dropped without effect.
+func TestRefreshUnknownRegionIgnored(t *testing.T) {
+	k, _, nodes := bootCluster(2, 2, nil)
+	run(k, 15*sim.Millisecond)
+	nodes[1].RequestRefresh(99)
+	run(k, 5*sim.Millisecond)
+	if nodes[0].RefreshServed != 0 {
+		t.Fatal("unknown region served")
+	}
+}

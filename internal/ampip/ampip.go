@@ -1,0 +1,136 @@
+// Package ampip implements the AmpIP driver of the paper's protocol
+// stack (slides 3 and 12): IP-style datagram service encapsulated over
+// AmpNet DMA MicroPackets, giving sockets to hosts so that MPI/PVM-
+// style middleware can run unchanged over the ring. A small collective
+// communication layer (broadcast, barrier, all-reduce, all-to-all) sits
+// on top, standing in for the MPI box in slide 12's stack figure.
+//
+// Addressing: AmpNet node n is IP host 10.77.0.(n+1); the mapping is
+// static, part of the ubiquitous configuration database.
+package ampip
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ampdk"
+	"repro/internal/micropacket"
+)
+
+// IPChannel and IPRegion carry encapsulated datagrams.
+const (
+	IPChannel = 11
+	IPRegion  = 0xD0
+)
+
+// Addr is an IPv4 address.
+type Addr uint32
+
+// NodeToIP maps an AmpNet node id to its IP address (10.77.0.n+1).
+func NodeToIP(node int) Addr {
+	return Addr(10<<24 | 77<<16 | 0<<8 | uint32(node+1))
+}
+
+// IPToNode inverts NodeToIP; ok is false for foreign addresses.
+func IPToNode(a Addr) (int, bool) {
+	if a>>8 != (10<<16 | 77<<8) {
+		return 0, false
+	}
+	return int(a&0xFF) - 1, true
+}
+
+// String renders dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Datagram header: srcIP(4) dstIP(4) srcPort(2) dstPort(2) len(2).
+const dgHeader = 14
+
+// Handler receives datagrams bound to a port.
+type Handler func(src Addr, srcPort uint16, data []byte)
+
+// Stack is one node's AmpIP instance.
+type Stack struct {
+	Node *ampdk.Node
+	IP   Addr
+
+	binds map[uint16]Handler
+	asm   map[micropacket.NodeID][]byte
+
+	// Sent and Received count datagrams; NoBind counts arrivals with
+	// no bound port (dropped, as UDP would).
+	Sent     uint64
+	Received uint64
+	NoBind   uint64
+}
+
+// NewStack attaches an IP stack to a node.
+func NewStack(n *ampdk.Node) *Stack {
+	s := &Stack{
+		Node:  n,
+		IP:    NodeToIP(n.Cfg.ID),
+		binds: map[uint16]Handler{},
+		asm:   map[micropacket.NodeID][]byte{},
+	}
+	n.RegionHandler[IPRegion] = s.handleDMA
+	return s
+}
+
+// Bind installs a handler for a local port. Rebinding replaces.
+func (s *Stack) Bind(port uint16, h Handler) { s.binds[port] = h }
+
+// SendTo transmits a datagram. Delivery is best-effort (UDP
+// semantics); datagrams to this node's own address loop back locally.
+func (s *Stack) SendTo(dst Addr, dstPort, srcPort uint16, data []byte) error {
+	node, ok := IPToNode(dst)
+	if !ok {
+		return fmt.Errorf("ampip: %v is not an AmpNet address", dst)
+	}
+	frame := make([]byte, dgHeader+len(data))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(s.IP))
+	binary.BigEndian.PutUint32(frame[4:8], uint32(dst))
+	binary.BigEndian.PutUint16(frame[8:10], srcPort)
+	binary.BigEndian.PutUint16(frame[10:12], dstPort)
+	binary.BigEndian.PutUint16(frame[12:14], uint16(len(data)))
+	copy(frame[dgHeader:], data)
+	s.Sent++
+	if node == s.Node.Cfg.ID {
+		s.deliver(frame)
+		return nil
+	}
+	s.Node.DMA.Write(IPChannel, micropacket.NodeID(node), IPRegion, 0, frame, nil)
+	return nil
+}
+
+func (s *Stack) handleDMA(src micropacket.NodeID, _ micropacket.DMAHeader, data []byte, last bool) {
+	s.asm[src] = append(s.asm[src], data...)
+	if !last {
+		return
+	}
+	frame := s.asm[src]
+	delete(s.asm, src)
+	s.deliver(frame)
+}
+
+func (s *Stack) deliver(frame []byte) {
+	if len(frame) < dgHeader {
+		return
+	}
+	srcIP := Addr(binary.BigEndian.Uint32(frame[0:4]))
+	srcPort := binary.BigEndian.Uint16(frame[8:10])
+	dstPort := binary.BigEndian.Uint16(frame[10:12])
+	n := int(binary.BigEndian.Uint16(frame[12:14]))
+	payload := frame[dgHeader:]
+	if n > len(payload) {
+		return // truncated
+	}
+	payload = payload[:n]
+	h, ok := s.binds[dstPort]
+	if !ok {
+		s.NoBind++
+		return
+	}
+	s.Received++
+	h(srcIP, srcPort, payload)
+}

@@ -1,0 +1,517 @@
+package ampip
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Comm is a communicator over a fixed set of nodes, providing the
+// MPI-style collectives of slide 12's stack (broadcast, barrier,
+// all-reduce, all-to-all). All ranks must issue collectives in the same
+// order, the standard MPI matching rule; operations are matched by a
+// per-kind sequence number, so early arrivals are buffered.
+//
+// Datagram delivery over the ring is best-effort: a roster transition
+// (self-heal) can destroy frames in flight. The collectives are
+// therefore built idempotently — contributions are keyed by sender
+// rank, payloads are retransmitted until acknowledged or released, and
+// coordinators answer retransmissions for already-completed operations
+// from a bounded result memory — so a collective crossing a self-heal
+// completes as soon as the ring is back.
+type Comm struct {
+	Stack *Stack
+	Nodes []int // node ids, identical order on every rank
+	Port  uint16
+
+	// Retransmit is the retry pace for unacknowledged collective
+	// traffic (lost only during ring transitions, so this is idle in
+	// steady state).
+	Retransmit sim.Time
+
+	rank int
+	seq  [numKinds]uint32 // per-kind issue counters
+	ops  map[opKey]*opState
+
+	// Bounded memory of completed coordinator results, so stragglers
+	// retransmitting into a finished op still get their answer.
+	doneReduce  map[uint32]uint64
+	doneBarrier map[uint32]bool
+
+	// Resends counts retransmitted messages (0 in a healthy run).
+	Resends uint64
+}
+
+// Collective kinds.
+const (
+	kindBcast = iota
+	kindBarrier
+	kindReduce
+	kindAll2All
+	kindGather
+	kindScatter
+	numKinds
+)
+
+// Message parts.
+const (
+	partContrib = 0 // arrive / contribution / block / bcast payload
+	partRelease = 1 // release / result
+	partAck     = 2 // acknowledgement (bcast, all-to-all)
+)
+
+// DefaultRetransmit is the retry pace for collective traffic.
+const DefaultRetransmit = 500 * sim.Microsecond
+
+// completedMemory bounds the per-kind result memory.
+const completedMemory = 128
+
+type opKey struct {
+	kind uint8
+	seq  uint32
+}
+
+type opState struct {
+	// Idempotent receive state.
+	from     map[int]uint64 // barrier arrivals / reduce contributions by rank
+	blocks   map[int][]byte // all-to-all blocks by rank
+	acked    map[int]bool   // peers that acknowledged our payload
+	buf      []byte         // bcast payload
+	value    uint64         // reduce result at non-root
+	started  bool           // this rank issued the op (vs early arrival)
+	done     func(*opState)
+	released bool
+	finished bool
+	retry    *sim.Timer
+	resend   func()
+}
+
+// NewComm builds a communicator; nodes must list every participant
+// (including this node) in the same order everywhere.
+func NewComm(s *Stack, nodes []int, port uint16) *Comm {
+	c := &Comm{
+		Stack: s, Nodes: append([]int{}, nodes...), Port: port,
+		Retransmit:  DefaultRetransmit,
+		ops:         map[opKey]*opState{},
+		doneReduce:  map[uint32]uint64{},
+		doneBarrier: map[uint32]bool{},
+	}
+	c.rank = -1
+	for i, id := range c.Nodes {
+		if id == s.Node.Cfg.ID {
+			c.rank = i
+		}
+	}
+	s.Bind(port, c.recv)
+	return c
+}
+
+// Rank returns this node's rank in the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of participants.
+func (c *Comm) Size() int { return len(c.Nodes) }
+
+// state fetches or creates the op state (early arrivals create it).
+func (c *Comm) state(k opKey) *opState {
+	st, ok := c.ops[k]
+	if !ok {
+		st = &opState{from: map[int]uint64{}, blocks: map[int][]byte{}, acked: map[int]bool{}}
+		c.ops[k] = st
+	}
+	return st
+}
+
+// message wire: kind(1) seq(4) srcRank(2) part(2) body…
+func (c *Comm) send(toRank int, kind uint8, seq uint32, part uint16, body []byte) {
+	msg := make([]byte, 9+len(body))
+	msg[0] = kind
+	binary.BigEndian.PutUint32(msg[1:5], seq)
+	binary.BigEndian.PutUint16(msg[5:7], uint16(c.rank))
+	binary.BigEndian.PutUint16(msg[7:9], part)
+	copy(msg[9:], body)
+	c.Stack.SendTo(NodeToIP(c.Nodes[toRank]), c.Port, c.Port, msg)
+}
+
+// armRetry starts the op's retransmission loop.
+func (c *Comm) armRetry(k opKey, st *opState) {
+	if st.resend == nil {
+		return
+	}
+	var loop func()
+	loop = func() {
+		if st.finished {
+			return
+		}
+		c.Resends++
+		st.resend()
+		st.retry = c.Stack.Node.K.After(c.Retransmit, loop)
+	}
+	st.retry = c.Stack.Node.K.After(c.Retransmit, loop)
+}
+
+func (c *Comm) finish(k opKey, st *opState) {
+	st.finished = true
+	if st.retry != nil {
+		st.retry.Cancel()
+	}
+	delete(c.ops, k)
+}
+
+// rememberReduce records a completed reduce result, bounded.
+func (c *Comm) rememberReduce(seq uint32, v uint64) {
+	if len(c.doneReduce) > completedMemory {
+		for s := range c.doneReduce {
+			if s+completedMemory < seq {
+				delete(c.doneReduce, s)
+			}
+		}
+	}
+	c.doneReduce[seq] = v
+}
+
+func (c *Comm) rememberBarrier(seq uint32) {
+	if len(c.doneBarrier) > completedMemory {
+		for s := range c.doneBarrier {
+			if s+completedMemory < seq {
+				delete(c.doneBarrier, s)
+			}
+		}
+	}
+	c.doneBarrier[seq] = true
+}
+
+func (c *Comm) recv(_ Addr, _ uint16, data []byte) {
+	if len(data) < 9 {
+		return
+	}
+	kind := data[0]
+	seq := binary.BigEndian.Uint32(data[1:5])
+	from := int(binary.BigEndian.Uint16(data[5:7]))
+	part := binary.BigEndian.Uint16(data[7:9])
+	body := data[9:]
+	k := opKey{kind, seq}
+
+	// Retransmission into an op this coordinator already completed:
+	// answer from memory.
+	if _, open := c.ops[k]; !open && c.rank == 0 && part == partContrib {
+		switch kind {
+		case kindBarrier:
+			if c.doneBarrier[seq] {
+				c.send(from, kindBarrier, seq, partRelease, nil)
+				return
+			}
+		case kindReduce:
+			if v, ok := c.doneReduce[seq]; ok {
+				var b [8]byte
+				binary.BigEndian.PutUint64(b[:], v)
+				c.send(from, kindReduce, seq, partRelease, b[:])
+				return
+			}
+		}
+	}
+
+	st := c.state(k)
+	switch kind {
+	case kindBcast:
+		switch part {
+		case partContrib: // payload from root
+			st.buf = append([]byte{}, body...)
+			st.released = true
+			c.send(from, kindBcast, seq, partAck, nil)
+		case partAck:
+			st.from[from] = 1
+		}
+	case kindBarrier:
+		switch part {
+		case partContrib:
+			st.from[from] = 1
+		case partRelease:
+			st.released = true
+		}
+	case kindReduce:
+		switch part {
+		case partContrib:
+			st.from[from] = binary.BigEndian.Uint64(body)
+		case partRelease:
+			st.value = binary.BigEndian.Uint64(body)
+			st.released = true
+		}
+	case kindAll2All:
+		switch part {
+		case partContrib:
+			st.blocks[from] = append([]byte{}, body...)
+			c.send(from, kindAll2All, seq, partAck, nil)
+		case partAck:
+			st.acked[from] = true
+		}
+	case kindGather:
+		switch part {
+		case partContrib: // block arriving at root
+			st.blocks[from] = append([]byte{}, body...)
+			c.send(from, kindGather, seq, partAck, nil)
+		case partAck: // root acknowledged our block
+			st.released = true
+		}
+	case kindScatter:
+		switch part {
+		case partContrib: // our slice arriving from root
+			st.buf = append([]byte{}, body...)
+			st.released = true
+			c.send(from, kindScatter, seq, partAck, nil)
+		case partAck:
+			st.acked[from] = true
+		}
+	}
+	if st.done != nil {
+		st.done(st)
+	}
+}
+
+// Bcast distributes data from root (a rank). Every rank's done receives
+// the payload. Must be called by all ranks.
+func (c *Comm) Bcast(root int, data []byte, done func([]byte)) {
+	seq := c.seq[kindBcast]
+	c.seq[kindBcast]++
+	k := opKey{kindBcast, seq}
+	st := c.state(k)
+	st.started = true
+	if c.rank == root {
+		payload := append([]byte{}, data...)
+		sendAll := func() {
+			for r := range c.Nodes {
+				if r != root && st.from[r] == 0 {
+					c.send(r, kindBcast, seq, partContrib, payload)
+				}
+			}
+		}
+		st.resend = sendAll
+		st.done = func(s *opState) {
+			if len(s.from) == len(c.Nodes)-1 && !s.finished {
+				c.finish(k, s)
+				done(payload)
+			}
+		}
+		sendAll()
+		c.armRetry(k, st)
+		st.done(st)
+		return
+	}
+	st.done = func(s *opState) {
+		if s.released && !s.finished {
+			c.finish(k, s)
+			done(s.buf)
+		}
+	}
+	st.done(st)
+}
+
+// Barrier completes (in callback style) once every rank has arrived.
+// Rank 0 coordinates: it collects arrivals and sends releases.
+func (c *Comm) Barrier(done func()) {
+	seq := c.seq[kindBarrier]
+	c.seq[kindBarrier]++
+	k := opKey{kindBarrier, seq}
+	st := c.state(k)
+	st.started = true
+	if c.rank == 0 {
+		st.from[0] = 1
+		st.done = func(s *opState) {
+			if len(s.from) == len(c.Nodes) && !s.finished {
+				for r := 1; r < len(c.Nodes); r++ {
+					c.send(r, kindBarrier, seq, partRelease, nil)
+				}
+				c.rememberBarrier(seq)
+				c.finish(k, s)
+				done()
+			}
+		}
+		st.done(st)
+		return
+	}
+	st.resend = func() { c.send(0, kindBarrier, seq, partContrib, nil) }
+	st.done = func(s *opState) {
+		if s.released && !s.finished {
+			c.finish(k, s)
+			done()
+		}
+	}
+	c.send(0, kindBarrier, seq, partContrib, nil)
+	c.armRetry(k, st)
+	st.done(st)
+}
+
+// AllReduceSum sums a uint64 across all ranks; every rank's done
+// receives the total. Rank 0 reduces and redistributes.
+func (c *Comm) AllReduceSum(v uint64, done func(uint64)) {
+	seq := c.seq[kindReduce]
+	c.seq[kindReduce]++
+	k := opKey{kindReduce, seq}
+	st := c.state(k)
+	st.started = true
+	if c.rank == 0 {
+		st.from[0] = v
+		st.done = func(s *opState) {
+			if len(s.from) == len(c.Nodes) && !s.finished {
+				var total uint64
+				for _, x := range s.from {
+					total += x
+				}
+				var b [8]byte
+				binary.BigEndian.PutUint64(b[:], total)
+				for r := 1; r < len(c.Nodes); r++ {
+					c.send(r, kindReduce, seq, partRelease, b[:])
+				}
+				c.rememberReduce(seq, total)
+				c.finish(k, s)
+				done(total)
+			}
+		}
+		st.done(st)
+		return
+	}
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], v)
+	contrib := append([]byte{}, body[:]...)
+	st.resend = func() { c.send(0, kindReduce, seq, partContrib, contrib) }
+	st.done = func(s *opState) {
+		if s.released && !s.finished {
+			total := s.value
+			c.finish(k, s)
+			done(total)
+		}
+	}
+	c.send(0, kindReduce, seq, partContrib, contrib)
+	c.armRetry(k, st)
+	st.done(st)
+}
+
+// Gather collects one block from every rank at root. The root's done
+// receives the blocks indexed by rank (its own block included);
+// non-root ranks complete once the root has acknowledged their block.
+// Must be called by all ranks.
+func (c *Comm) Gather(root int, block []byte, done func(blocks [][]byte)) {
+	seq := c.seq[kindGather]
+	c.seq[kindGather]++
+	k := opKey{kindGather, seq}
+	st := c.state(k)
+	st.started = true
+	if c.rank == root {
+		st.blocks[root] = append([]byte{}, block...)
+		st.done = func(s *opState) {
+			if len(s.blocks) == len(c.Nodes) && !s.finished {
+				out := make([][]byte, len(c.Nodes))
+				for r, b := range s.blocks {
+					out[r] = b
+				}
+				c.finish(k, s)
+				done(out)
+			}
+		}
+		st.done(st)
+		return
+	}
+	mine := append([]byte{}, block...)
+	st.resend = func() { c.send(root, kindGather, seq, partContrib, mine) }
+	st.done = func(s *opState) {
+		if s.released && !s.finished {
+			c.finish(k, s)
+			done(nil)
+		}
+	}
+	c.send(root, kindGather, seq, partContrib, mine)
+	c.armRetry(k, st)
+	st.done(st)
+}
+
+// Scatter distributes slices[r] from root to each rank r; every rank's
+// done receives its slice. Must be called by all ranks (non-roots pass
+// nil slices).
+func (c *Comm) Scatter(root int, slices [][]byte, done func(mine []byte)) {
+	seq := c.seq[kindScatter]
+	c.seq[kindScatter]++
+	k := opKey{kindScatter, seq}
+	st := c.state(k)
+	st.started = true
+	if c.rank == root {
+		own := append([]byte{}, slices[root]...)
+		st.acked[root] = true
+		outbound := make([][]byte, len(c.Nodes))
+		for r := range c.Nodes {
+			if r != root {
+				outbound[r] = append([]byte{}, slices[r]...)
+			}
+		}
+		sendAll := func() {
+			for r := range c.Nodes {
+				if r != root && !st.acked[r] {
+					c.send(r, kindScatter, seq, partContrib, outbound[r])
+				}
+			}
+		}
+		st.resend = sendAll
+		st.done = func(s *opState) {
+			if len(s.acked) == len(c.Nodes) && !s.finished {
+				c.finish(k, s)
+				done(own)
+			}
+		}
+		sendAll()
+		c.armRetry(k, st)
+		st.done(st)
+		return
+	}
+	st.done = func(s *opState) {
+		if s.released && !s.finished {
+			c.finish(k, s)
+			done(s.buf)
+		}
+	}
+	st.done(st)
+}
+
+// AllToAll sends blocks[r] to rank r and completes with the blocks
+// received from every rank (own block included, at its own index).
+// Completion requires both receiving everyone's block and having our
+// blocks acknowledged by every peer, so retransmission covers losses
+// in either direction.
+func (c *Comm) AllToAll(blocks [][]byte, done func(recv [][]byte)) {
+	seq := c.seq[kindAll2All]
+	c.seq[kindAll2All]++
+	k := opKey{kindAll2All, seq}
+	st := c.state(k)
+	st.started = true
+	st.blocks[c.rank] = append([]byte{}, blocks[c.rank]...)
+	st.acked[c.rank] = true
+	mine := make([][]byte, len(blocks))
+	for i := range blocks {
+		mine[i] = append([]byte{}, blocks[i]...)
+	}
+	sendAll := func() {
+		for r := range c.Nodes {
+			if r != c.rank && !st.acked[r] {
+				c.send(r, kindAll2All, seq, partContrib, mine[r])
+			}
+		}
+	}
+	st.resend = sendAll
+	st.done = func(s *opState) {
+		if len(s.blocks) == len(c.Nodes) && len(s.acked) == len(c.Nodes) && !s.finished {
+			out := make([][]byte, len(c.Nodes))
+			ranks := make([]int, 0, len(s.blocks))
+			for r := range s.blocks {
+				ranks = append(ranks, r)
+			}
+			sort.Ints(ranks)
+			for _, r := range ranks {
+				out[r] = s.blocks[r]
+			}
+			c.finish(k, s)
+			done(out)
+		}
+	}
+	sendAll()
+	c.armRetry(k, st)
+	st.done(st)
+}

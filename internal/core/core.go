@@ -1,0 +1,215 @@
+// Package core assembles the full AmpNet system — physical fabric,
+// MAC stations, rostering agents, distributed kernels, network cache,
+// semaphores, AmpDC services, AmpIP stacks and failover managers — into
+// one bootable simulated cluster. It is the integration point the
+// public ampnet package (repo root) re-exports, and what the examples,
+// experiments and benchmarks drive.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ampdc"
+	"repro/internal/ampdk"
+	"repro/internal/ampip"
+	"repro/internal/enc8b10b"
+	"repro/internal/failover"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Options configures a cluster. Zero values select the paper's
+// defaults: the slide-14 quad-redundant 6×4 topology, 50 m fiber,
+// version 1.0.
+type Options struct {
+	// Nodes and Switches shape the redundant fabric (slide 14:
+	// 6 nodes × 4 switches is quad-redundant).
+	Nodes    int
+	Switches int
+	// FiberMeters is the per-link fiber length.
+	FiberMeters float64
+	// Seed makes the whole run deterministic.
+	Seed uint64
+	// Regions adds application cache regions (id → bytes). Region 0 is
+	// always the configuration database.
+	Regions map[uint8]int
+	// Version is the software version every node boots with; override
+	// per node via VersionOf.
+	Version ampdk.Version
+	// VersionOf, if set, overrides Version per node id.
+	VersionOf func(id int) ampdk.Version
+	// HeartbeatInterval and HeartbeatMiss tune failure detection.
+	HeartbeatInterval sim.Time
+	HeartbeatMiss     int
+
+	// DeepPHY runs every delivered frame through the real datapath —
+	// MicroPacket wire codec plus 8b/10b line coding — so the whole
+	// stack is exercised bit-for-bit. Slower, but the strongest
+	// fidelity mode; see phys.Net.DeepPHY.
+	DeepPHY bool
+	// BER, with DeepPHY, injects symbol errors with the given
+	// per-symbol probability. Corrupted frames are discarded by the
+	// receive hardware (CRC/code violation) and repaired by the
+	// higher layers.
+	BER float64
+}
+
+func (o *Options) fill() {
+	if o.Nodes == 0 {
+		o.Nodes = 6
+	}
+	if o.Switches == 0 {
+		o.Switches = 4
+	}
+	if o.FiberMeters == 0 {
+		o.FiberMeters = 50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Version == 0 {
+		o.Version = 0x0100
+	}
+}
+
+// Cluster is a fully assembled AmpNet network.
+type Cluster struct {
+	Opts Options
+	K    *sim.Kernel
+	Net  *phys.Net
+	Phys *phys.Cluster
+
+	Nodes    []*ampdk.Node
+	Services []*ampdc.Services
+	Stacks   []*ampip.Stack
+	Managers []*failover.Manager
+}
+
+// New assembles a cluster. Nothing runs until Boot (or manual Node
+// boots) and Run.
+func New(opts Options) *Cluster {
+	opts.fill()
+	c := &Cluster{Opts: opts}
+	c.K = sim.NewKernel(opts.Seed)
+	c.Net = phys.NewNet(c.K)
+	c.Net.DeepPHY = opts.DeepPHY
+	if opts.DeepPHY && opts.BER > 0 {
+		rng := c.K.RNG().Split()
+		ber := opts.BER
+		c.Net.Corrupt = func(_ phys.Frame, syms []enc8b10b.Symbol) {
+			for i := range syms {
+				if rng.Float64() < ber {
+					syms[i] ^= 1 << rng.Intn(10)
+				}
+			}
+		}
+	}
+	c.Phys = phys.BuildCluster(c.Net, opts.Nodes, opts.Switches, opts.FiberMeters)
+	for i := 0; i < opts.Nodes; i++ {
+		ver := opts.Version
+		if opts.VersionOf != nil {
+			ver = opts.VersionOf(i)
+		}
+		nd := ampdk.NewNode(c.K, c.Phys, ampdk.Config{
+			ID: i, Version: ver, Regions: opts.Regions,
+			HeartbeatInterval: opts.HeartbeatInterval,
+			HeartbeatMiss:     opts.HeartbeatMiss,
+			FiberM:            opts.FiberMeters,
+		})
+		c.Nodes = append(c.Nodes, nd)
+		c.Services = append(c.Services, ampdc.New(nd))
+		c.Stacks = append(c.Stacks, ampip.NewStack(nd))
+		c.Managers = append(c.Managers, failover.NewManager(nd))
+	}
+	return c
+}
+
+// Boot boots every node at the current virtual time and runs the
+// simulation until all compatible nodes are online (or the deadline
+// passes). It returns an error naming any node that failed to come
+// online within the window.
+func (c *Cluster) Boot(window sim.Time) error {
+	for _, nd := range c.Nodes {
+		nd := nd
+		c.K.After(0, func() { nd.Boot() })
+	}
+	if window == 0 {
+		window = 50 * sim.Millisecond
+	}
+	deadline := c.K.Now() + window
+	for c.K.Now() < deadline {
+		c.K.RunUntil(c.K.Now() + sim.Millisecond)
+		if c.allSettled() {
+			return nil
+		}
+	}
+	for _, nd := range c.Nodes {
+		if nd.State != ampdk.StateOnline && nd.State != ampdk.StateRejected {
+			return fmt.Errorf("core: node %d stuck in state %v after boot window", nd.Cfg.ID, nd.State)
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) allSettled() bool {
+	for _, nd := range c.Nodes {
+		if nd.State != ampdk.StateOnline && nd.State != ampdk.StateRejected {
+			return false
+		}
+	}
+	return true
+}
+
+// Run advances virtual time by d.
+func (c *Cluster) Run(d sim.Time) { c.K.RunUntil(c.K.Now() + d) }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() sim.Time { return c.K.Now() }
+
+// Roster returns the current logical ring as seen by the lowest online
+// node (all live nodes converge to the same roster; crashed nodes hold
+// stale ones).
+func (c *Cluster) Roster() string {
+	for _, nd := range c.Nodes {
+		if nd.State != ampdk.StateOnline {
+			continue
+		}
+		if r := nd.Agent.Roster(); r != nil {
+			return r.String()
+		}
+	}
+	return "<no roster>"
+}
+
+// RingSize returns the current logical ring size as seen by the lowest
+// live node.
+func (c *Cluster) RingSize() int {
+	for _, nd := range c.Nodes {
+		if nd.State == ampdk.StateOnline {
+			if r := nd.Agent.Roster(); r != nil {
+				return r.Size()
+			}
+		}
+	}
+	return 0
+}
+
+// FailSwitch takes a switch down; RestoreSwitch re-lights it.
+func (c *Cluster) FailSwitch(s int)    { c.Phys.Switches[s].Fail() }
+func (c *Cluster) RestoreSwitch(s int) { c.Phys.Switches[s].Restore() }
+
+// FailLink cuts the fiber between node n and switch s.
+func (c *Cluster) FailLink(n, s int)    { c.Phys.NodeLinks[n][s].Fail() }
+func (c *Cluster) RestoreLink(n, s int) { c.Phys.NodeLinks[n][s].Restore() }
+
+// CrashNode kills a node (NIC and all); RebootNode brings it back
+// through assimilation.
+func (c *Cluster) CrashNode(n int)  { c.Nodes[n].Crash() }
+func (c *Cluster) RebootNode(n int) { c.Nodes[n].Reboot() }
+
+// Drops returns congestion drops on the fabric (must stay 0 under
+// AmpNet MACs).
+func (c *Cluster) Drops() uint64 { return c.Net.Drops.N }
+
+// Lost returns frames destroyed by failures.
+func (c *Cluster) Lost() uint64 { return c.Net.Lost.N }

@@ -1,0 +1,91 @@
+package enc8b10b
+
+// FC-1 receivers see an undifferentiated serial bit stream: symbol
+// boundaries are not transmitted. Alignment is recovered from the comma
+// pattern (0011111 or 1100000), which the code guarantees can only
+// appear starting at a symbol boundary (the "singular comma" property,
+// verified in the tests). This file implements the serializer and the
+// receive-side aligner — the piece of FC-1 that lets an AmpNet node
+// lock onto the ring after power-up or after a bit slip.
+
+// BitWriter serializes symbols MSB-first into a bit stream.
+type BitWriter struct {
+	bits []byte // one byte per bit (0/1); simple and test-friendly
+}
+
+// WriteSymbol appends the ten bits of sym, 'a' first.
+func (w *BitWriter) WriteSymbol(sym Symbol) {
+	for i := 9; i >= 0; i-- {
+		w.bits = append(w.bits, byte(sym>>i)&1)
+	}
+}
+
+// Bits returns the accumulated bit stream.
+func (w *BitWriter) Bits() []byte { return w.bits }
+
+// Aligner recovers symbol boundaries from a serial bit stream. Feed it
+// bits; once it has seen a comma it emits aligned symbols.
+type Aligner struct {
+	window  uint16 // continuous sliding window, newest bit in bit 0
+	nbits   int    // bits accumulated toward the next symbol
+	seen    int    // total bits consumed (saturating)
+	aligned bool
+
+	// Slips counts re-alignments after the first lock (each one is a
+	// detected bit slip).
+	Slips uint64
+}
+
+// comma7 patterns at the head of a symbol.
+const (
+	commaPos = 0b0011111
+	commaNeg = 0b1100000
+)
+
+// Aligned reports whether the aligner has symbol lock.
+func (a *Aligner) Aligned() bool { return a.aligned }
+
+// Push consumes one bit and returns (symbol, true) each time a full
+// aligned symbol completes.
+func (a *Aligner) Push(bit byte) (Symbol, bool) {
+	a.window = a.window<<1 | uint16(bit&1)
+	if a.seen < 16 {
+		a.seen++
+	}
+	if a.nbits < 10 {
+		a.nbits++
+	}
+	// Check whether the last 7 bits are a comma: if so, a symbol
+	// started exactly 7 bits ago. If we believed a boundary was
+	// elsewhere, that is a bit slip — realign. The window slides
+	// continuously across symbol boundaries, so commas are found even
+	// when the current (mis-)framing would split them; the singular
+	// comma property guarantees valid traffic never fakes one.
+	last7 := a.window & 0x7F
+	if a.seen >= 7 && (last7 == commaPos || last7 == commaNeg) {
+		if a.aligned && a.nbits != 7 {
+			a.Slips++
+		}
+		a.aligned = true
+		a.nbits = 7 // the comma's 7 bits open the new symbol
+	}
+	if !a.aligned {
+		return 0, false
+	}
+	if a.nbits == 10 {
+		a.nbits = 0
+		return Symbol(a.window & 0x3FF), true
+	}
+	return 0, false
+}
+
+// PushBits feeds a bit slice and collects completed symbols.
+func (a *Aligner) PushBits(bits []byte) []Symbol {
+	var out []Symbol
+	for _, b := range bits {
+		if s, ok := a.Push(b); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}

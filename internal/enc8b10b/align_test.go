@@ -1,0 +1,212 @@
+package enc8b10b
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// stream builds the serial bit stream of an idle-prefixed data
+// sequence, as a transmitter would emit it.
+func stream(idles int, data []byte) ([]byte, []Symbol) {
+	enc := NewEncoder()
+	var w BitWriter
+	var syms []Symbol
+	for i := 0; i < idles; i++ {
+		s, _ := enc.Encode(K28_5, true)
+		w.WriteSymbol(s)
+		syms = append(syms, s)
+	}
+	for _, b := range data {
+		s := enc.EncodeData(b)
+		w.WriteSymbol(s)
+		syms = append(syms, s)
+	}
+	return w.Bits(), syms
+}
+
+func TestAlignerLocksFromAnyOffset(t *testing.T) {
+	bits, syms := stream(3, []byte{0x00, 0x55, 0xAA, 0xFF, 0x12, 0x34})
+	for off := 0; off < 15; off++ {
+		a := &Aligner{}
+		got := a.PushBits(bits[off:])
+		if !a.Aligned() {
+			t.Fatalf("offset %d: never aligned", off)
+		}
+		// The aligner must reproduce a suffix of the true symbol
+		// stream exactly.
+		if len(got) == 0 {
+			t.Fatalf("offset %d: no symbols", off)
+		}
+		want := syms[len(syms)-len(got):]
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("offset %d: symbol %d = %010b, want %010b", off, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAlignerDecodesCleanStream(t *testing.T) {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	bits, _ := stream(2, data)
+	a := &Aligner{}
+	syms := a.PushBits(bits)
+	// First two symbols are idles (K28.5); the rest decode to data.
+	dec := NewDecoder()
+	out := make([]byte, 0, len(data))
+	for i, s := range syms {
+		d, err := dec.Decode(s)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if d.Control {
+			if d.Byte != K28_5 {
+				t.Fatalf("unexpected control 0x%02X", d.Byte)
+			}
+			continue
+		}
+		out = append(out, d.Byte)
+	}
+	if len(out) != len(data) {
+		t.Fatalf("decoded %d of %d", len(out), len(data))
+	}
+	for i := range out {
+		if out[i] != data[i] {
+			t.Fatalf("byte %d = 0x%02X want 0x%02X", i, out[i], data[i])
+		}
+	}
+	if a.Slips != 0 {
+		t.Fatalf("false slips: %d", a.Slips)
+	}
+}
+
+// TestAlignerRecoversFromBitSlip: drop one bit mid-stream; the next
+// comma re-locks and the slip is counted.
+func TestAlignerRecoversFromBitSlip(t *testing.T) {
+	enc := NewEncoder()
+	var w BitWriter
+	lock, _ := enc.Encode(K28_5, true)
+	w.WriteSymbol(lock)
+	for i := 0; i < 10; i++ {
+		w.WriteSymbol(enc.EncodeData(byte(i)))
+	}
+	bits := w.Bits()
+	// Drop a bit inside symbol 5.
+	cut := 10 + 5*10 + 3
+	slipped := append(append([]byte{}, bits[:cut]...), bits[cut+1:]...)
+	// Append a re-lock comma and more data.
+	var w2 BitWriter
+	relock, _ := enc.Encode(K28_5, true)
+	w2.WriteSymbol(relock)
+	tail := []byte{0x77, 0x78}
+	for _, b := range tail {
+		w2.WriteSymbol(enc.EncodeData(b))
+	}
+	slipped = append(slipped, w2.Bits()...)
+
+	a := &Aligner{}
+	syms := a.PushBits(slipped)
+	if a.Slips == 0 {
+		t.Fatal("bit slip not detected")
+	}
+	// The final three symbols must be the re-lock comma and the tail
+	// bytes; decode with a fresh decoder whose disparity is anchored by
+	// the comma.
+	if len(syms) < 3 {
+		t.Fatalf("too few symbols: %d", len(syms))
+	}
+	dc := NewDecoder()
+	if _, err := dc.Decode(syms[len(syms)-3]); err != nil {
+		t.Fatalf("re-lock comma undecodable: %v", err)
+	}
+	got := make([]byte, 0, 2)
+	for _, s := range syms[len(syms)-2:] {
+		d, err := dc.Decode(s)
+		if err != nil {
+			t.Fatalf("tail decode: %v", err)
+		}
+		got = append(got, d.Byte)
+	}
+	if got[0] != 0x77 || got[1] != 0x78 {
+		t.Fatalf("post-slip tail = %x", got)
+	}
+}
+
+// TestSingularComma: the comma pattern never appears across the
+// boundary of two adjacent data symbols — the property alignment
+// depends on. Exhaustive over all byte pairs and both disparities.
+func TestSingularComma(t *testing.T) {
+	check := func(s1, s2 Symbol) bool {
+		// 20-bit window; scan positions 1..9 (0 and 10 are true
+		// boundaries).
+		window := uint32(s1)<<10 | uint32(s2)
+		for pos := 1; pos < 10; pos++ {
+			seg := (window >> (20 - 7 - pos)) & 0x7F
+			if seg == commaPos || seg == commaNeg {
+				return false
+			}
+		}
+		return true
+	}
+	for _, rd := range []Disparity{DispNeg, DispPos} {
+		for b1 := 0; b1 < 256; b1++ {
+			s1, mid, _ := encodeAt(byte(b1), false, rd)
+			for b2 := 0; b2 < 256; b2++ {
+				s2, _, _ := encodeAt(byte(b2), false, mid)
+				if !check(s1, s2) {
+					t.Fatalf("comma across D%d/D%d boundary (rd=%d)", b1, b2, rd)
+				}
+			}
+		}
+	}
+}
+
+// TestAlignerQuick: random data streams always align and reproduce the
+// symbol suffix from any cut offset.
+func TestAlignerQuick(t *testing.T) {
+	f := func(data []byte, off uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		bits, syms := stream(2, data)
+		// Cut anywhere that still leaves the second idle's comma
+		// intact downstream (a comma is required to lock, by design).
+		o := int(off) % 11
+		a := &Aligner{}
+		got := a.PushBits(bits[o:])
+		if len(got) == 0 {
+			return false
+		}
+		want := syms[len(syms)-len(got):]
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitWriter(t *testing.T) {
+	var w BitWriter
+	w.WriteSymbol(0b1010101010)
+	bits := w.Bits()
+	if len(bits) != 10 {
+		t.Fatalf("len = %d", len(bits))
+	}
+	for i, b := range bits {
+		want := byte(1 - i%2)
+		if b != want {
+			t.Fatalf("bit %d = %d", i, b)
+		}
+	}
+}

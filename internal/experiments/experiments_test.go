@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite doubles as an integration test layer: each test
+// runs an experiment (scaled down where the default is slow) and
+// asserts the verdict cells that encode the paper's claims.
+
+func TestE1TableMatchesSlide4(t *testing.T) {
+	tab := E1TypeTable()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "ok" {
+			t.Fatalf("codec failure: %v", row)
+		}
+	}
+	if tab.Rows[5][2] != "No" {
+		t.Fatal("D64 Atomic must be optional")
+	}
+}
+
+func TestE2Sizes(t *testing.T) {
+	tab := E2WireFormats()
+	if tab.Rows[0][2] != "24" {
+		t.Fatalf("fixed wire size: %v", tab.Rows[0])
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[2] != "88" {
+		t.Fatalf("max variable wire size: %v", last)
+	}
+	for _, row := range tab.Rows {
+		if row[5] != "ok" {
+			t.Fatalf("symbol round trip: %v", row)
+		}
+	}
+}
+
+func TestE3InsertionBeatsTokenRing(t *testing.T) {
+	tab := E3MultiStream(100)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	if tab.Rows[0][5] != "0" {
+		t.Fatalf("AmpNet drops: %v", tab.Rows[0])
+	}
+}
+
+func TestE4Lossless(t *testing.T) {
+	tab := E4AllToAll(8, 40)
+	if tab.Rows[0][6] != "LOSSLESS" {
+		t.Fatalf("AmpNet verdict: %v", tab.Rows[0])
+	}
+	if tab.Rows[1][6] == "LOSSLESS" {
+		t.Fatalf("baseline should drop: %v", tab.Rows[1])
+	}
+}
+
+func TestE5NoTornValues(t *testing.T) {
+	tab := E5Seqlock()
+	for _, row := range tab.Rows {
+		if row[5] != "0" {
+			t.Fatalf("torn values: %v", row)
+		}
+	}
+}
+
+func TestE6Exact(t *testing.T) {
+	tab := E6Semaphores(3, 5)
+	if tab.Rows[0][4] != "YES" {
+		t.Fatalf("mutual exclusion: %v", tab.Rows[0])
+	}
+}
+
+func TestE6aCompletes(t *testing.T) {
+	tab := E6aWriteThrough(4)
+	for _, row := range tab.Rows {
+		if row[2] == "INCOMPLETE" {
+			t.Fatalf("replication incomplete: %v", row)
+		}
+	}
+}
+
+func TestE7QuadSurvivesThree(t *testing.T) {
+	tab := E7Redundancy(6)
+	for _, row := range tab.Rows {
+		if row[3] != "yes" {
+			t.Fatalf("ring not full: %v", row)
+		}
+	}
+}
+
+func TestE7aConsistent(t *testing.T) {
+	tab := E7aLinkFailures(6, 4, 4, 2)
+	for _, row := range tab.Rows {
+		if row[4] != "yes" {
+			t.Fatalf("inconsistent rosters: %v", row)
+		}
+	}
+}
+
+func TestE8TwoTours(t *testing.T) {
+	hb := NewHealBench(1, 8, 4, 1000)
+	heal, tour := hb.HealOnce()
+	ratio := float64(heal) / float64(tour)
+	if ratio < 1 || ratio > 3 {
+		t.Fatalf("heal = %.2f ring tours, want ≈2", ratio)
+	}
+}
+
+func TestE9VersionGate(t *testing.T) {
+	// Run only the version-gate portion cheaply via the full table
+	// (the sweep itself is bounded).
+	tab := E9Assimilation()
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[3] != "rejected (correct)" {
+		t.Fatalf("version gate: %v", last)
+	}
+	for _, row := range tab.Rows[:len(tab.Rows)-1] {
+		if row[3] != "online" {
+			t.Fatalf("assimilation failed: %v", row)
+		}
+	}
+}
+
+func TestE10NoDataLoss(t *testing.T) {
+	tab := E10Failover()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[5] != "NONE" {
+			t.Fatalf("data loss: %v", row)
+		}
+	}
+}
+
+func TestE11AmpNetBeatsBaseline(t *testing.T) {
+	tab := E11SelfHealVsBaseline()
+	// AmpNet outage must be µs-scale; baseline must be its protection
+	// delay (1 s).
+	if !strings.Contains(tab.Rows[0][1], "µs") && !strings.Contains(tab.Rows[0][1], "ms") {
+		t.Fatalf("AmpNet outage: %v", tab.Rows[0])
+	}
+	if !strings.Contains(tab.Rows[1][1], "s") {
+		t.Fatalf("baseline outage: %v", tab.Rows[1])
+	}
+}
+
+func TestE12AllComplete(t *testing.T) {
+	tab := E12Collectives(4)
+	for _, row := range tab.Rows {
+		if row[2] == "INCOMPLETE" {
+			t.Fatalf("incomplete: %v", row)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 14 {
+		t.Fatalf("registry has %d specs", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.ID] {
+			t.Fatalf("duplicate id %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Run == nil || s.Short == "" {
+			t.Fatalf("incomplete spec %s", s.ID)
+		}
+	}
+	if ByID("e8") == nil || ByID("nope") != nil {
+		t.Fatal("ByID broken")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "test", Header: []string{"a", "bb"}}
+	tab.Add("1", "2")
+	tab.Addf("3|4")
+	tab.Note("n=%d", 5)
+	s := tab.String()
+	for _, want := range []string{"X — test", "a", "bb", "1", "4", "note: n=5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}

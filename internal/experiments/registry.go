@@ -1,0 +1,42 @@
+package experiments
+
+// Spec names one experiment and how to run it with default parameters.
+type Spec struct {
+	ID    string
+	Run   func() *Table
+	Short string
+}
+
+// All returns every experiment in DESIGN.md §2 order, with the default
+// parameters used by cmd/ampbench and recorded in EXPERIMENTS.md.
+func All() []Spec {
+	return []Spec{
+		{"e1", E1TypeTable, "MicroPacket type table (slide 4)"},
+		{"e2", E2WireFormats, "wire formats fixed/variable (slides 5–6)"},
+		{"e3", func() *Table { return E3MultiStream(400) }, "multi-stream segment insertion (slide 7)"},
+		{"e4", func() *Table { return E4AllToAll(16, 100) }, "all-to-all broadcast losslessness (slide 8)"},
+		{"e4a", func() *Table { return E4aLoadSweep(8) }, "offered-load sweep ablation"},
+		{"e5", E5Seqlock, "Lamport-counter cache consistency (slide 9)"},
+		{"e6", func() *Table { return E6Semaphores(5, 20) }, "network semaphores mutual exclusion (slide 10)"},
+		{"e6a", func() *Table { return E6aWriteThrough(6) }, "write-through replication latency (slide 10)"},
+		{"e7", func() *Table { return E7Redundancy(6) }, "dual/quad redundancy survivability (slides 14–15)"},
+		{"e7a", func() *Table { return E7aLinkFailures(8, 4, 8, 5) }, "random link-failure ring salvage"},
+		{"e8", E8Rostering, "rostering: two ring-tours, 1–2 ms (slide 16)"},
+		{"e8a", E8aDetectionSensitivity, "detection-latency ablation"},
+		{"e9", E9Assimilation, "assimilation & cache refresh (slide 17)"},
+		{"e10", E10Failover, "failover: detection, period, no data loss (slides 18–19)"},
+		{"e11", E11SelfHealVsBaseline, "self-healing vs static network (slides 2, 13, 18)"},
+		{"e12", func() *Table { return E12Collectives(8) }, "AmpIP + collectives stack (slides 3, 12)"},
+	}
+}
+
+// ByID returns the spec with the given id, or nil.
+func ByID(id string) *Spec {
+	for _, s := range All() {
+		if s.ID == id {
+			sc := s
+			return &sc
+		}
+	}
+	return nil
+}

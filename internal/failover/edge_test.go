@@ -1,0 +1,105 @@
+package failover
+
+import (
+	"testing"
+
+	"repro/internal/netcache"
+	"repro/internal/sim"
+)
+
+// TestGroupSubsetOfCluster: a control group spanning only some nodes
+// elects within its membership.
+func TestGroupSubsetOfCluster(t *testing.T) {
+	cfg := GroupConfig{
+		ID: 2, Members: []int{1, 3},
+		Rank:   map[int]int{1: 2, 3: 1},
+		Period: 500 * sim.Microsecond,
+	}
+	r := newRig(t, 4, cfg)
+	for i, g := range r.grps {
+		if g.Primary() != 1 {
+			t.Fatalf("node %d primary = %d", i, g.Primary())
+		}
+	}
+	// Failing a non-member changes nothing.
+	r.k.After(0, func() { r.nodes[0].AppFail() })
+	r.run(20 * sim.Millisecond)
+	if r.grps[2].Primary() != 1 {
+		t.Fatalf("non-member failure moved control to %d", r.grps[2].Primary())
+	}
+	// Failing the member primary moves within the membership.
+	r.k.After(0, func() { r.nodes[1].AppFail() })
+	r.run(20 * sim.Millisecond)
+	if r.grps[3].Primary() != 3 {
+		t.Fatalf("primary = %d, want 3", r.grps[3].Primary())
+	}
+}
+
+// TestMultipleGroupsIndependent: two groups with different primaries
+// fail over independently.
+func TestMultipleGroupsIndependent(t *testing.T) {
+	cfgA := GroupConfig{
+		ID: 1, Members: []int{0, 1, 2},
+		Rank:   map[int]int{0: 3, 1: 2, 2: 1},
+		Period: 300 * sim.Microsecond,
+		State:  netcache.NewDoubleBuffer(1, 0, 8),
+	}
+	r := newRig(t, 3, cfgA)
+	cfgB := GroupConfig{
+		ID: 2, Members: []int{0, 1, 2},
+		Rank:   map[int]int{2: 3, 1: 2, 0: 1}, // node 2 leads group B
+		Period: 300 * sim.Microsecond,
+		State:  netcache.NewDoubleBuffer(1, 256, 8),
+	}
+	var grpsB []*Group
+	for _, m := range r.mgrs {
+		grpsB = append(grpsB, m.AddGroup(cfgB))
+	}
+	r.run(5 * sim.Millisecond)
+	if r.grps[1].Primary() != 0 || grpsB[1].Primary() != 2 {
+		t.Fatalf("primaries = %d/%d, want 0/2", r.grps[1].Primary(), grpsB[1].Primary())
+	}
+	// Kill node 2: group B moves, group A stays.
+	r.k.After(0, func() { r.nodes[2].AppFail() })
+	r.run(20 * sim.Millisecond)
+	if r.grps[1].Primary() != 0 {
+		t.Fatalf("group A moved to %d", r.grps[1].Primary())
+	}
+	if grpsB[1].Primary() != 1 {
+		t.Fatalf("group B primary = %d, want 1", grpsB[1].Primary())
+	}
+}
+
+// TestCheckpointVersioningAcrossTakeovers: the new primary's
+// checkpoints continue the version sequence, so a later failback
+// recovers the newest state.
+func TestCheckpointVersioningAcrossTakeovers(t *testing.T) {
+	r := newRig(t, 3, groupCfg(3))
+	r.k.After(0, func() {
+		r.grps[0].CheckpointState(mkState(1))
+		r.grps[0].CheckpointState(mkState(2))
+	})
+	r.run(5 * sim.Millisecond)
+	r.grps[1].OnTakeover = func(state []byte) {
+		// New primary checkpoints on top of the recovered state.
+		r.grps[1].CheckpointState(mkState(3))
+	}
+	r.k.After(0, func() { r.nodes[0].AppFail() })
+	r.run(20 * sim.Millisecond)
+	// Node 2 (bystander) must see version 3 as newest.
+	data, ver, ok := r.grps[2].ReadState()
+	if !ok || data[0] != 3 {
+		t.Fatalf("state = %v ok=%v", data[:2], ok)
+	}
+	if ver != 3 {
+		t.Fatalf("version = %d, want 3", ver)
+	}
+}
+
+func mkState(v byte) []byte {
+	b := make([]byte, 32)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}

@@ -1,0 +1,274 @@
+// Package insertion implements AmpNet's MAC layer: a variant of a
+// register insertion ring (paper, slide 8).
+//
+// Each node (Station) sits on the current logical ring with one ingress
+// and one egress hop. Ring traffic passing through the node has absolute
+// priority; the node may insert its own MicroPackets only when its
+// egress path is sufficiently idle (the insertion register rule), and it
+// adapts its contribution to the total flow by watching its local view
+// of the ring — the occupancy of its own transit path — exactly as
+// slide 8 describes:
+//
+//	"Each node monitors its local view of the network and can increase
+//	 or decrease its contribution to the total flow accordingly. Even if
+//	 everyone does a broadcast at the same time (all-to-all broadcast)
+//	 the network is guaranteed to not drop packets."
+//
+// The losslessness guarantee holds because (a) transit traffic is never
+// displaced by insertion, (b) insertion requires the egress queue to be
+// at or below InsertThreshold, and (c) a ring node has exactly one
+// upstream link, so transit arrivals can never exceed the line rate that
+// the egress serializes at. The experiments assert phys.Net.Drops == 0
+// under saturating all-to-all broadcast (experiment E4).
+//
+// Stripping rules: the destination strips unicast MicroPackets (allowing
+// spatial reuse — slide 7's multiple simultaneous streams); the source
+// strips its own broadcasts after a full tour.
+package insertion
+
+import (
+	"repro/internal/micropacket"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Defaults for station tuning.
+const (
+	// DefaultForwardDelay models the insertion-register latency of the
+	// transit path (about four byte times).
+	DefaultForwardDelay = 40 * sim.Nanosecond
+	// DefaultInsertThreshold: insert only when the egress FIFO is empty.
+	DefaultInsertThreshold = 0
+	// DefaultInsertQueue is the host-side insertion queue depth; a full
+	// queue pushes back on the host (Refused), never onto the wire.
+	DefaultInsertQueue = 256
+	// DefaultBasePace is the minimum spacing between insertion attempts
+	// when the ring looks idle.
+	DefaultBasePace = 0
+	// DefaultMaxPace bounds the adaptive backoff.
+	DefaultMaxPace = 50 * sim.Microsecond
+	// paceStep is the initial backoff when the local view is congested.
+	paceStep = 500 * sim.Nanosecond
+)
+
+// Station is one node's MAC engine.
+type Station struct {
+	ID micropacket.NodeID
+	K  *sim.Kernel
+
+	// Ports are the node's physical ports, indexed by switch.
+	Ports []*phys.Port
+
+	egress       *phys.Port
+	egressSwitch int
+
+	// InsertThreshold is the maximum egress queue length at which the
+	// station may still insert its own traffic.
+	InsertThreshold int
+	// ForwardDelay is the transit-path latency through the node.
+	ForwardDelay sim.Time
+	// MaxInsertQueue bounds the host insertion queue.
+	MaxInsertQueue int
+	// MaxHops expires transit frames after this many forwards,
+	// protecting against transient loops while rosters converge.
+	MaxHops uint8
+
+	// OnDeliver receives MicroPackets addressed to (or broadcast past)
+	// this node.
+	OnDeliver func(*micropacket.Packet)
+	// OnControl receives Rostering MicroPackets; they do not transit
+	// the ring MAC (the rostering agent floods them itself).
+	OnControl func(*phys.Port, phys.Frame)
+	// OnStatus receives port status changes (loss of light / re-light).
+	OnStatus func(*phys.Port, bool)
+
+	// LastRx is the time the station last saw any frame arrive on any
+	// of its ports — the ring-liveness signal the rostering watchdog
+	// uses to detect a dead upstream hop (a node failure leaves all
+	// fibers lit, so loss-of-light alone cannot catch it).
+	LastRx sim.Time
+
+	insertQ []phys.Frame
+	pace    sim.Time
+	paceTmr *sim.Timer
+
+	// Local-view congestion estimate: EWMA of egress queue occupancy
+	// sampled at each transit forward, scaled ×16 fixed point.
+	viewX16 int
+
+	// Counters.
+	Inserted  uint64 // own frames put on the ring
+	Forwarded uint64 // transit frames passed through
+	Delivered uint64 // frames handed to OnDeliver
+	Stripped  uint64 // own broadcasts removed after a full tour
+	Refused   uint64 // host sends rejected (queue full) — backpressure
+	Unrouted  uint64 // transit frames with no egress (mid-rostering)
+	Expired   uint64 // transit frames that exceeded MaxHops
+}
+
+// NewStation creates a station owning the given ports (one per switch)
+// and installs itself as their frame/status handler.
+func NewStation(k *sim.Kernel, id micropacket.NodeID, ports []*phys.Port) *Station {
+	s := &Station{
+		ID: id, K: k, Ports: ports,
+		InsertThreshold: DefaultInsertThreshold,
+		ForwardDelay:    DefaultForwardDelay,
+		MaxInsertQueue:  DefaultInsertQueue,
+		MaxHops:         255,
+		egressSwitch:    -1,
+	}
+	for _, p := range ports {
+		p.SetHandler(s.handleFrame)
+		p.SetStatusHandler(func(port *phys.Port, up bool) {
+			if s.OnStatus != nil {
+				s.OnStatus(port, up)
+			}
+		})
+		p.SetTxDone(s.tryInsert)
+	}
+	return s
+}
+
+// SetEgress programs the station's ring egress: frames leave via the
+// port facing switch sw. Pass sw < 0 to detach from the ring.
+func (s *Station) SetEgress(sw int) {
+	if sw < 0 {
+		s.egress = nil
+		s.egressSwitch = -1
+		return
+	}
+	s.egress = s.Ports[sw]
+	s.egressSwitch = sw
+	s.tryInsert()
+}
+
+// EgressSwitch returns the switch index of the current egress, or -1.
+func (s *Station) EgressSwitch() int { return s.egressSwitch }
+
+// OnRing reports whether the station currently has a ring egress.
+func (s *Station) OnRing() bool { return s.egress != nil }
+
+// QueueLen returns the host insertion queue length.
+func (s *Station) QueueLen() int { return len(s.insertQ) }
+
+// LocalView returns the station's current congestion estimate (EWMA of
+// egress occupancy; 0 = idle ring).
+func (s *Station) LocalView() float64 { return float64(s.viewX16) / 16 }
+
+// Send enqueues a host MicroPacket for insertion onto the ring. It
+// returns false (backpressure) when the insertion queue is full or the
+// station is off-ring.
+func (s *Station) Send(p *micropacket.Packet) bool {
+	if s.egress == nil || len(s.insertQ) >= s.MaxInsertQueue {
+		s.Refused++
+		return false
+	}
+	s.insertQ = append(s.insertQ, phys.NewFrame(p))
+	s.tryInsert()
+	return true
+}
+
+// tryInsert inserts the head host frame if the MAC rules allow it now,
+// otherwise arms the adaptive pacing timer.
+func (s *Station) tryInsert() {
+	if s.egress == nil || len(s.insertQ) == 0 {
+		return
+	}
+	if s.egress.QueueLen() <= s.InsertThreshold {
+		// The egress is idle: insert now, even if a paced retry was
+		// pending (a tx completion beat the timer to the opportunity).
+		if s.paceTmr != nil {
+			s.paceTmr.Cancel()
+			s.paceTmr = nil
+		}
+		f := s.insertQ[0]
+		s.insertQ = s.insertQ[1:]
+		if s.egress.Send(f) {
+			s.Inserted++
+		}
+		// Ring looks usable from here: relax the pace.
+		s.pace /= 2
+		if s.pace < DefaultBasePace {
+			s.pace = DefaultBasePace
+		}
+		return
+	}
+	if s.paceTmr != nil && s.paceTmr.Active() {
+		return // a paced attempt is already scheduled
+	}
+	// Local view says the ring is busy: back off and retry later.
+	if s.pace == 0 {
+		s.pace = paceStep
+	} else {
+		s.pace *= 2
+		if s.pace > DefaultMaxPace {
+			s.pace = DefaultMaxPace
+		}
+	}
+	s.paceTmr = s.K.After(s.pace, func() { s.tryInsert() })
+}
+
+// KeepaliveTag marks Diagnostic MicroPackets used as ring keepalives;
+// they refresh LastRx and are stripped without host delivery.
+const KeepaliveTag = 0xA5
+
+// handleFrame implements the ring forwarding rules.
+func (s *Station) handleFrame(port *phys.Port, f phys.Frame) {
+	s.LastRx = s.K.Now()
+	pkt := f.Pkt
+	if pkt.Type == micropacket.TypeRostering {
+		if s.OnControl != nil {
+			s.OnControl(port, f)
+		}
+		return
+	}
+	if pkt.Type == micropacket.TypeDiagnostic && pkt.Tag == KeepaliveTag && pkt.Dst == s.ID {
+		return // liveness already recorded; strip silently
+	}
+	switch {
+	case pkt.IsBroadcast() && pkt.Src == s.ID:
+		// Our broadcast completed a full tour: strip it.
+		s.Stripped++
+		return
+	case pkt.IsBroadcast():
+		s.Delivered++
+		if s.OnDeliver != nil {
+			s.OnDeliver(pkt)
+		}
+		s.forward(f)
+	case pkt.Dst == s.ID:
+		// Destination strip: unicast leaves the ring here.
+		s.Delivered++
+		if s.OnDeliver != nil {
+			s.OnDeliver(pkt)
+		}
+	default:
+		s.forward(f)
+	}
+}
+
+// forward sends a transit frame out the egress after the insertion
+// register delay. Transit traffic has priority by construction: it is
+// enqueued unconditionally, whereas insertion checks occupancy first.
+func (s *Station) forward(f phys.Frame) {
+	if s.egress == nil {
+		s.Unrouted++
+		return
+	}
+	if f.Hops >= s.MaxHops {
+		s.Expired++
+		return
+	}
+	f.Hops++
+	// Update the local view (EWMA with alpha = 1/4, ×16 fixed point).
+	occ := s.egress.QueueLen()
+	s.viewX16 += (occ*16 - s.viewX16) / 4
+	s.K.After(s.ForwardDelay, func() {
+		if s.egress == nil {
+			s.Unrouted++
+			return
+		}
+		s.Forwarded++
+		s.egress.Send(f)
+	})
+}

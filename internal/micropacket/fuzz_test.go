@@ -1,0 +1,87 @@
+package micropacket
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/enc8b10b"
+)
+
+// TestDecodeArbitraryBytesNeverPanics: whatever the wire carries,
+// Decode either returns a valid packet or an error — never a panic and
+// never an invalid packet.
+func TestDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		p, err := Decode(raw)
+		if err != nil {
+			return p == nil
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeMutatedFramesNeverInvalid: start from valid frames and
+// mutate bytes; any accepted decode must still validate. (Mutations of
+// the SOF/EOF/padding bytes are outside the CRC, so acceptance is
+// possible — but the packet contents are CRC-protected.)
+func TestDecodeMutatedFramesNeverInvalid(t *testing.T) {
+	base := []*Packet{
+		NewData(1, 2, 3, []byte{1, 2, 3}),
+		NewDMA(4, 5, DMAHeader{Channel: 6, Region: 7, Offset: 8}, []byte{9, 10, 11, 12, 13}),
+		NewAtomic(1, 2, 3, OpTestAndSet, 99),
+	}
+	rnd := uint64(12345)
+	next := func() uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd
+	}
+	for _, p := range base {
+		raw, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5000; trial++ {
+			mut := append([]byte{}, raw...)
+			nMuts := int(next()%3) + 1
+			for m := 0; m < nMuts; m++ {
+				mut[next()%uint64(len(mut))] ^= byte(next())
+			}
+			q, err := Decode(mut)
+			if err != nil {
+				continue
+			}
+			if q.Validate() != nil {
+				t.Fatalf("accepted invalid packet from mutation: %v", q)
+			}
+			// If the body survived (CRC matched), contents must be
+			// byte-identical to the original.
+			if q.Type == p.Type && q.Src == p.Src && q.Dst == p.Dst {
+				continue
+			}
+			t.Fatalf("CRC accepted altered contents: %v vs %v", q, p)
+		}
+	}
+}
+
+// TestSymbolDecodeArbitrarySymbolsNeverPanics covers the FC-1 path.
+func TestSymbolDecodeArbitrarySymbolsNeverPanics(t *testing.T) {
+	f := func(words []uint16) bool {
+		syms := make([]enc8b10b.Symbol, len(words))
+		for i, w := range words {
+			syms[i] = enc8b10b.Symbol(w & 0x3FF)
+		}
+		p, err := DecodeSymbols(syms, enc8b10b.NewDecoder())
+		if err != nil {
+			return p == nil
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

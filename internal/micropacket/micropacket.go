@@ -1,0 +1,324 @@
+// Package micropacket implements AmpNet's MicroPacket link layer
+// (paper, slides 3–6).
+//
+// The paper defines six MicroPacket types (slide 4):
+//
+//	Type        Length    Mandatory
+//	Rostering   Fixed     Yes
+//	Data        Fixed     Yes
+//	DMA         Variable  Yes
+//	Interrupt   Fixed     Yes
+//	Diagnostic  Fixed     Yes
+//	D64 Atomic  Fixed     No
+//
+// and two on-wire formats. The fixed format (slide 5) is three 32-bit
+// words — one control word and eight payload bytes — bracketed by
+// start/end delimiters. The variable format (slide 6) prepends two DMA
+// control words and carries up to 64 payload bytes (words 3..18).
+//
+// The slides do not give bit-level field assignments inside the control
+// words, so this package documents its reconstruction: control word =
+// {type|flags, source, destination, tag}; DMA control words = {channel,
+// region, length, sequence} and a 32-bit region offset. Delimiters are
+// modeled as Fibre-Channel-style four-character ordered sets opened by
+// the K28.5 comma (the paper sits MicroPackets directly on FC-0/FC-1),
+// and a CRC-32 trails the payload words, standing in for the "A"
+// (acknowledge/validity) delimiter field of slide 5.
+package micropacket
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Type identifies a MicroPacket type (slide 4).
+type Type uint8
+
+// The six MicroPacket types, in the order of the paper's table.
+const (
+	TypeRostering Type = iota
+	TypeData
+	TypeDMA
+	TypeInterrupt
+	TypeDiagnostic
+	TypeD64Atomic
+	numTypes
+)
+
+// String returns the paper's name for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeRostering:
+		return "Rostering"
+	case TypeData:
+		return "Data"
+	case TypeDMA:
+		return "DMA"
+	case TypeInterrupt:
+		return "Interrupt"
+	case TypeDiagnostic:
+		return "Diagnostic"
+	case TypeD64Atomic:
+		return "D64 Atomic"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is one of the six defined types.
+func (t Type) Valid() bool { return t < numTypes }
+
+// Variable reports whether the type uses the variable format. Only DMA
+// MicroPackets are variable (slide 4).
+func (t Type) Variable() bool { return t == TypeDMA }
+
+// Mandatory reports whether a conforming implementation must support the
+// type. Everything except D64 Atomic is mandatory (slide 4).
+func (t Type) Mandatory() bool { return t != TypeD64Atomic }
+
+// Info describes one row of the slide-4 type table; see Types.
+type Info struct {
+	Type      Type
+	Name      string
+	Variable  bool
+	Mandatory bool
+}
+
+// Types returns the slide-4 table in order, for conformance reporting.
+func Types() []Info {
+	out := make([]Info, 0, numTypes)
+	for t := Type(0); t < numTypes; t++ {
+		out = append(out, Info{Type: t, Name: t.String(), Variable: t.Variable(), Mandatory: t.Mandatory()})
+	}
+	return out
+}
+
+// NodeID addresses a node on the AmpNet network. The broadcast address
+// targets every node on the logical ring.
+type NodeID uint8
+
+// Broadcast is the all-nodes destination.
+const Broadcast NodeID = 0xFF
+
+// Flags is the four-bit flag nibble of control byte 0.
+type Flags uint8
+
+// Flag bits. FlagOp* values overlay the flag nibble for D64 Atomic
+// packets, encoding the atomic operation (see OpOf).
+const (
+	FlagAck  Flags = 1 << 0 // delivery acknowledgement requested/carried
+	FlagPrio Flags = 1 << 1 // high priority (Interrupt class service)
+	FlagLast Flags = 1 << 2 // final packet of a multi-packet transfer
+	FlagErr  Flags = 1 << 3 // diagnostic: error indication
+)
+
+// AtomicOp is the D64 Atomic operation, carried in the flag nibble of a
+// TypeD64Atomic packet.
+type AtomicOp uint8
+
+// D64 atomic operations. TestAndSet returns the previous value and sets
+// the word to the operand; FetchAdd returns the previous value and adds
+// the operand; Write stores unconditionally; Read fetches.
+const (
+	OpRead AtomicOp = iota
+	OpWrite
+	OpTestAndSet
+	OpFetchAdd
+	OpReply // response carrying the previous/fetched value
+	numOps
+)
+
+// String names the atomic op.
+func (o AtomicOp) String() string {
+	switch o {
+	case OpRead:
+		return "Read"
+	case OpWrite:
+		return "Write"
+	case OpTestAndSet:
+		return "TestAndSet"
+	case OpFetchAdd:
+		return "FetchAdd"
+	case OpReply:
+		return "Reply"
+	default:
+		return fmt.Sprintf("AtomicOp(%d)", uint8(o))
+	}
+}
+
+// Valid reports whether the op is defined.
+func (o AtomicOp) Valid() bool { return o < numOps }
+
+// DMAHeader is the pair of DMA control words present in variable-format
+// packets (slide 6, words 1–2): which of the sixteen channels, which
+// registered memory region, the byte offset within it, the number of
+// valid payload bytes, and a per-channel sequence number.
+type DMAHeader struct {
+	Channel uint8  // 0..15: the multiplexed DMA channel
+	Region  uint8  // registered memory region identifier
+	Length  uint8  // valid payload bytes, 0..64
+	Seq     uint8  // per-channel sequence number
+	Offset  uint32 // byte offset within the region
+}
+
+// Limits from the slide formats.
+const (
+	FixedPayload = 8  // payload bytes in the fixed format (words 1–2)
+	MaxPayload   = 64 // payload bytes in the variable format (words 3–18)
+	MaxChannels  = 16 // DMA channels per node (slide 11)
+)
+
+// Packet is one MicroPacket. Fixed-format types carry Payload; the DMA
+// type carries DMA + Data.
+type Packet struct {
+	Type  Type
+	Flags Flags
+	Src   NodeID
+	Dst   NodeID // Broadcast for all-nodes delivery
+	Tag   uint8  // protocol-defined: sequence, semaphore id, roster wave…
+
+	Payload [FixedPayload]byte // fixed-format payload (slide 5)
+
+	DMA  DMAHeader // variable format only (slide 6)
+	Data []byte    // variable payload, len 0..64
+}
+
+// Errors returned by Validate and Decode.
+var (
+	ErrBadType    = errors.New("micropacket: invalid type")
+	ErrTooLong    = errors.New("micropacket: variable payload exceeds 64 bytes")
+	ErrLengthMism = errors.New("micropacket: DMA length does not match data")
+	ErrBadChannel = errors.New("micropacket: DMA channel out of range")
+	ErrBadOp      = errors.New("micropacket: invalid D64 atomic op")
+)
+
+// Validate checks structural invariants prior to encoding.
+func (p *Packet) Validate() error {
+	if !p.Type.Valid() {
+		return ErrBadType
+	}
+	if p.Type.Variable() {
+		if len(p.Data) > MaxPayload {
+			return ErrTooLong
+		}
+		if int(p.DMA.Length) != len(p.Data) {
+			return ErrLengthMism
+		}
+		if p.DMA.Channel >= MaxChannels {
+			return ErrBadChannel
+		}
+	} else if len(p.Data) != 0 {
+		return ErrLengthMism
+	}
+	if p.Type == TypeD64Atomic && !p.Op().Valid() {
+		return ErrBadOp
+	}
+	return nil
+}
+
+// IsBroadcast reports whether the packet targets every node.
+func (p *Packet) IsBroadcast() bool { return p.Dst == Broadcast }
+
+// Op returns the atomic operation of a D64 Atomic packet (stored in the
+// flag nibble).
+func (p *Packet) Op() AtomicOp { return AtomicOp(p.Flags) & 0xF }
+
+// SetOp stores the atomic operation in the flag nibble.
+func (p *Packet) SetOp(op AtomicOp) { p.Flags = Flags(op) & 0xF }
+
+// Word64 returns the fixed payload as a little-endian 64-bit value, the
+// natural view for D64 Atomic packets.
+func (p *Packet) Word64() uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(p.Payload[i])
+	}
+	return v
+}
+
+// SetWord64 stores v into the fixed payload, little-endian.
+func (p *Packet) SetWord64(v uint64) {
+	for i := 0; i < 8; i++ {
+		p.Payload[i] = byte(v >> (8 * i))
+	}
+}
+
+// PayloadLen returns the number of meaningful payload bytes.
+func (p *Packet) PayloadLen() int {
+	if p.Type.Variable() {
+		return len(p.Data)
+	}
+	return FixedPayload
+}
+
+// Clone returns a deep copy (Data is copied, not aliased). The ring MAC
+// clones packets when replicating broadcasts.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Data != nil {
+		q.Data = make([]byte, len(p.Data))
+		copy(q.Data, p.Data)
+	}
+	return &q
+}
+
+// String renders a compact description for traces.
+func (p *Packet) String() string {
+	dst := fmt.Sprintf("%d", p.Dst)
+	if p.IsBroadcast() {
+		dst = "*"
+	}
+	if p.Type == TypeD64Atomic {
+		return fmt.Sprintf("[%s %s src=%d dst=%s tag=%d val=%d]", p.Type, p.Op(), p.Src, dst, p.Tag, p.Word64())
+	}
+	if p.Type.Variable() {
+		return fmt.Sprintf("[%s src=%d dst=%s ch=%d reg=%d off=%d len=%d]",
+			p.Type, p.Src, dst, p.DMA.Channel, p.DMA.Region, p.DMA.Offset, p.DMA.Length)
+	}
+	return fmt.Sprintf("[%s src=%d dst=%s tag=%d]", p.Type, p.Src, dst, p.Tag)
+}
+
+// NewData builds a fixed Data packet with up to 8 payload bytes.
+func NewData(src, dst NodeID, tag uint8, payload []byte) *Packet {
+	p := &Packet{Type: TypeData, Src: src, Dst: dst, Tag: tag}
+	copy(p.Payload[:], payload)
+	return p
+}
+
+// NewDMA builds a variable DMA packet. data longer than MaxPayload
+// panics; callers segment at the DMA layer.
+func NewDMA(src, dst NodeID, hdr DMAHeader, data []byte) *Packet {
+	if len(data) > MaxPayload {
+		panic("micropacket: DMA payload over 64 bytes")
+	}
+	hdr.Length = uint8(len(data))
+	p := &Packet{Type: TypeDMA, Src: src, Dst: dst, DMA: hdr}
+	p.Data = make([]byte, len(data))
+	copy(p.Data, data)
+	return p
+}
+
+// NewAtomic builds a D64 Atomic packet for semaphore sem with the given
+// operation and operand.
+func NewAtomic(src, dst NodeID, sem uint8, op AtomicOp, operand uint64) *Packet {
+	p := &Packet{Type: TypeD64Atomic, Src: src, Dst: dst, Tag: sem}
+	p.SetOp(op)
+	p.SetWord64(operand)
+	return p
+}
+
+// NewRostering builds a Rostering packet; the 8 payload bytes carry the
+// rostering protocol fields (see internal/rostering).
+func NewRostering(src NodeID, tag uint8, payload [FixedPayload]byte) *Packet {
+	return &Packet{Type: TypeRostering, Src: src, Dst: Broadcast, Tag: tag, Payload: payload}
+}
+
+// NewInterrupt builds an Interrupt packet (cross-node doorbell).
+func NewInterrupt(src, dst NodeID, vector uint8) *Packet {
+	return &Packet{Type: TypeInterrupt, Src: src, Dst: dst, Tag: vector, Flags: FlagPrio}
+}
+
+// NewDiagnostic builds a Diagnostic packet carrying a probe code.
+func NewDiagnostic(src, dst NodeID, code uint8) *Packet {
+	return &Packet{Type: TypeDiagnostic, Src: src, Dst: dst, Tag: code}
+}

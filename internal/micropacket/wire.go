@@ -1,0 +1,224 @@
+package micropacket
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/enc8b10b"
+)
+
+// Wire framing (reconstructed from slides 5–6 plus the FC-0/FC-1
+// substrate of slide 3):
+//
+//	SOF ordered set   4 bytes   K28.5 D21.5 D22.1 <format byte>
+//	word 0            4 bytes   control: {type<<4|flags, src, dst, tag}
+//	[words 1..2]      8 bytes   fixed payload            (fixed format)
+//	[words 1..2]      8 bytes   DMA control               (variable)
+//	[words 3..N]      0..64     variable payload, padded to word
+//	CRC-32            4 bytes   over words 0..N (Castagnoli)
+//	EOF ordered set   4 bytes   K28.5 D21.4 D21.3 D21.3
+//
+// The first SOF and EOF characters are control (K) characters at the
+// FC-1 layer; EncodeSymbols emits them as such.
+
+// Ordered-set data bytes (after the K28.5 opener).
+const (
+	sofByte1 = 0xB5 // D21.5
+	sofByte2 = 0x36 // D22.1
+	eofByte1 = 0x95 // D21.4
+	eofByte2 = 0x75 // D21.3
+	eofByte3 = 0x75 // D21.3
+)
+
+// Format byte values carried in the SOF set, distinguishing the two
+// slide formats on the wire.
+const (
+	formatFixed    = 0x0F
+	formatVariable = 0xF0
+)
+
+// Wire sizes.
+const (
+	sofLen      = 4
+	ctrlLen     = 4
+	crcLen      = 4
+	eofLen      = 4
+	FixedWire   = sofLen + ctrlLen + FixedPayload + crcLen + eofLen   // 24 bytes
+	MinVarWire  = sofLen + ctrlLen + 8 + crcLen + eofLen              // DMA with 0 payload
+	MaxVarWire  = sofLen + ctrlLen + 8 + MaxPayload + crcLen + eofLen // 88 bytes
+	maxWireSize = MaxVarWire
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WireSize returns the encoded size in bytes of a packet with the given
+// type and variable-payload length (ignored for fixed types). Payload is
+// padded to a 4-byte word boundary, matching the word-oriented formats
+// of slides 5–6.
+func WireSize(t Type, payloadLen int) int {
+	if !t.Variable() {
+		return FixedWire
+	}
+	return MinVarWire + pad4(payloadLen)
+}
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// Encode serializes the packet to its wire representation.
+func (p *Packet) Encode() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	size := WireSize(p.Type, len(p.Data))
+	buf := make([]byte, 0, size)
+
+	format := byte(formatFixed)
+	if p.Type.Variable() {
+		format = formatVariable
+	}
+	buf = append(buf, enc8b10b.K28_5, sofByte1, sofByte2, format)
+
+	body := make([]byte, 0, size-sofLen-crcLen-eofLen)
+	body = append(body, byte(p.Type)<<4|byte(p.Flags&0xF), byte(p.Src), byte(p.Dst), p.Tag)
+	if p.Type.Variable() {
+		body = append(body, p.DMA.Channel, p.DMA.Region, p.DMA.Length, p.DMA.Seq)
+		var off [4]byte
+		binary.LittleEndian.PutUint32(off[:], p.DMA.Offset)
+		body = append(body, off[:]...)
+		body = append(body, p.Data...)
+		for i := len(p.Data); i < pad4(len(p.Data)); i++ {
+			body = append(body, 0)
+		}
+	} else {
+		body = append(body, p.Payload[:]...)
+	}
+	buf = append(buf, body...)
+
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body, castagnoli))
+	buf = append(buf, crc[:]...)
+	buf = append(buf, enc8b10b.K28_5, eofByte1, eofByte2, eofByte3)
+	if len(buf) != size {
+		return nil, fmt.Errorf("micropacket: internal size error: %d != %d", len(buf), size)
+	}
+	return buf, nil
+}
+
+// Decode errors.
+var (
+	ErrTruncated = errors.New("micropacket: truncated frame")
+	ErrBadSOF    = errors.New("micropacket: bad SOF ordered set")
+	ErrBadEOF    = errors.New("micropacket: bad EOF ordered set")
+	ErrBadCRC    = errors.New("micropacket: CRC mismatch")
+	ErrBadFormat = errors.New("micropacket: format byte does not match type")
+)
+
+// Decode parses a wire frame produced by Encode.
+func Decode(buf []byte) (*Packet, error) {
+	if len(buf) < FixedWire {
+		return nil, ErrTruncated
+	}
+	if buf[0] != enc8b10b.K28_5 || buf[1] != sofByte1 || buf[2] != sofByte2 {
+		return nil, ErrBadSOF
+	}
+	format := buf[3]
+	if format != formatFixed && format != formatVariable {
+		return nil, ErrBadSOF
+	}
+	end := len(buf)
+	if buf[end-4] != enc8b10b.K28_5 || buf[end-3] != eofByte1 || buf[end-2] != eofByte2 || buf[end-1] != eofByte3 {
+		return nil, ErrBadEOF
+	}
+	body := buf[sofLen : end-crcLen-eofLen]
+	wantCRC := binary.LittleEndian.Uint32(buf[end-crcLen-eofLen : end-eofLen])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return nil, ErrBadCRC
+	}
+	if len(body) < ctrlLen {
+		return nil, ErrTruncated
+	}
+	p := &Packet{
+		Type:  Type(body[0] >> 4),
+		Flags: Flags(body[0] & 0xF),
+		Src:   NodeID(body[1]),
+		Dst:   NodeID(body[2]),
+		Tag:   body[3],
+	}
+	if !p.Type.Valid() {
+		return nil, ErrBadType
+	}
+	if p.Type.Variable() != (format == formatVariable) {
+		return nil, ErrBadFormat
+	}
+	rest := body[ctrlLen:]
+	if p.Type.Variable() {
+		if len(rest) < 8 {
+			return nil, ErrTruncated
+		}
+		p.DMA = DMAHeader{
+			Channel: rest[0], Region: rest[1], Length: rest[2], Seq: rest[3],
+			Offset: binary.LittleEndian.Uint32(rest[4:8]),
+		}
+		payload := rest[8:]
+		if int(p.DMA.Length) > len(payload) {
+			return nil, ErrLengthMism
+		}
+		if len(payload) != pad4(int(p.DMA.Length)) {
+			return nil, ErrLengthMism
+		}
+		p.Data = make([]byte, p.DMA.Length)
+		copy(p.Data, payload)
+	} else {
+		if len(rest) != FixedPayload {
+			return nil, ErrTruncated
+		}
+		copy(p.Payload[:], rest)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// EncodeSymbols serializes the packet all the way to FC-1 10-bit symbols
+// using the supplied encoder (which carries link running disparity).
+// The SOF and EOF K28.5 openers are emitted as control characters.
+func (p *Packet) EncodeSymbols(enc *enc8b10b.Encoder) ([]enc8b10b.Symbol, error) {
+	raw, err := p.Encode()
+	if err != nil {
+		return nil, err
+	}
+	syms := make([]enc8b10b.Symbol, 0, len(raw))
+	for i, b := range raw {
+		control := b == enc8b10b.K28_5 && (i == 0 || i == len(raw)-eofLen)
+		s, err := enc.Encode(b, control)
+		if err != nil {
+			return nil, err
+		}
+		syms = append(syms, s)
+	}
+	return syms, nil
+}
+
+// DecodeSymbols reverses EncodeSymbols using the supplied decoder. The
+// SOF and EOF ordered sets must open with a control (K) character and
+// every other position must be a data character — byte-value equality
+// is not enough, since e.g. D28.5 and the K28.5 comma share the byte
+// value 0xBC but are distinct transmission characters.
+func DecodeSymbols(syms []enc8b10b.Symbol, dec *enc8b10b.Decoder) (*Packet, error) {
+	raw := make([]byte, 0, len(syms))
+	for i, s := range syms {
+		d, err := dec.Decode(s)
+		if err != nil {
+			return nil, fmt.Errorf("micropacket: symbol %d: %w", i, err)
+		}
+		wantControl := i == 0 || i == len(syms)-eofLen
+		if d.Control != wantControl {
+			return nil, fmt.Errorf("micropacket: symbol %d: control/data class violation", i)
+		}
+		raw = append(raw, d.Byte)
+	}
+	return Decode(raw)
+}

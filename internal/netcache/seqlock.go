@@ -1,0 +1,83 @@
+package netcache
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// HostRecord is the host-memory counterpart of a cache record: the same
+// two-counter Lamport scheme implemented with real atomics, modeling
+// the host-side mapping of NIC memory (slide 10: host updates are
+// written through, never cached). It is safe for one writer and any
+// number of concurrent readers on real goroutines, and is exercised
+// under the race detector in the tests.
+type HostRecord struct {
+	head atomic.Uint64
+	tail atomic.Uint64
+	data []atomic.Uint64 // word-granular so torn bytes cannot occur
+	size int
+}
+
+// NewHostRecord allocates a host record holding size bytes.
+func NewHostRecord(size int) *HostRecord {
+	words := (size + 7) / 8
+	return &HostRecord{data: make([]atomic.Uint64, words), size: size}
+}
+
+// Size returns the record's data size in bytes.
+func (h *HostRecord) Size() int { return h.size }
+
+// Write stores data (len must equal Size) using the paper's protocol:
+// bump the first counter, write the payload, write the last counter.
+// Single writer at a time is the caller's contract (use a netsem lock
+// for multi-writer records).
+func (h *HostRecord) Write(data []byte) {
+	if len(data) != h.size {
+		panic("netcache: HostRecord.Write size mismatch")
+	}
+	v := h.head.Add(1)
+	for w := range h.data {
+		var word uint64
+		for b := 0; b < 8; b++ {
+			i := w*8 + b
+			if i < len(data) {
+				word |= uint64(data[i]) << (8 * b)
+			}
+		}
+		h.data[w].Store(word)
+	}
+	h.tail.Store(v)
+}
+
+// TryRead attempts one seqlock read. It returns ok=false when a write
+// was in flight.
+func (h *HostRecord) TryRead(buf []byte) bool {
+	if len(buf) != h.size {
+		panic("netcache: HostRecord.TryRead size mismatch")
+	}
+	v1 := h.head.Load()
+	if h.tail.Load() != v1 {
+		return false
+	}
+	for w := range h.data {
+		word := h.data[w].Load()
+		for b := 0; b < 8; b++ {
+			i := w*8 + b
+			if i < len(buf) {
+				buf[i] = byte(word >> (8 * b))
+			}
+		}
+	}
+	return h.head.Load() == v1
+}
+
+// Read spins (with Gosched backoff — the paper's "wait and go to
+// Start") until a consistent snapshot is obtained.
+func (h *HostRecord) Read(buf []byte) {
+	for !h.TryRead(buf) {
+		runtime.Gosched()
+	}
+}
+
+// Version returns the record's current version counter.
+func (h *HostRecord) Version() uint64 { return h.head.Load() }

@@ -1,0 +1,372 @@
+// Package phys models AmpNet's FC-0 physical layer (paper, slide 3) and
+// the redundant switched topologies of slides 14–15: gigabit serial
+// links with real serialization and fiber propagation delay, ports with
+// bounded egress FIFOs, switches, and failure injection with
+// loss-of-light detection.
+//
+// SUBST (DESIGN.md): this package replaces the paper's fibre-optic
+// hardware. The constants match the Fibre Channel gigabit PHY the paper
+// builds on: 1.0625 Gbaud line rate with 8b/10b coding (10 baud per
+// byte) and ~5 ns/m propagation in fiber. Loss-of-light is detected by
+// the receiver hardware after a configurable latency (default 10 µs).
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/enc8b10b"
+	"repro/internal/micropacket"
+	"repro/internal/sim"
+)
+
+// Physical constants (Fibre Channel gigabit PHY).
+const (
+	// BaudRate is the line rate in symbols (10-bit characters) per
+	// second: 1.0625 Gbaud.
+	BaudRate = 1_062_500_000
+	// NsPerMeter is signal propagation delay in optical fiber.
+	NsPerMeter = 5.0
+	// DefaultIFG is the inter-frame gap in bytes (two idle words).
+	DefaultIFG = 8
+	// DefaultDetect is the loss-of-light detection latency.
+	DefaultDetect = 10 * sim.Microsecond
+	// DefaultFIFO is the default egress FIFO capacity in frames.
+	DefaultFIFO = 64
+)
+
+// SerTime returns the serialization time of n bytes at the line rate
+// (10 baud per byte under 8b/10b).
+func SerTime(n int) sim.Time {
+	return sim.Time(float64(n)*10*1e9/BaudRate + 0.5)
+}
+
+// PropTime returns the propagation delay across meters of fiber.
+func PropTime(meters float64) sim.Time {
+	return sim.Time(meters*NsPerMeter + 0.5)
+}
+
+// Frame is one MicroPacket in flight, with its wire size (which
+// determines serialization time) and a hop count used by the MAC to
+// expire frames that would otherwise circulate during roster
+// transitions.
+type Frame struct {
+	Pkt  *micropacket.Packet
+	Wire int
+	Hops uint8
+	// Prio marks frames queued via SendPriority; used to keep priority
+	// traffic FIFO among itself while it overtakes data.
+	Prio bool
+}
+
+// NewFrame wraps a packet, computing its wire size.
+func NewFrame(p *micropacket.Packet) Frame {
+	return Frame{Pkt: p, Wire: micropacket.WireSize(p.Type, len(p.Data))}
+}
+
+// Handler receives frames delivered to a port.
+type Handler func(p *Port, f Frame)
+
+// StatusHandler is notified of link status changes seen by a port:
+// up=false on loss of light, up=true when light returns.
+type StatusHandler func(p *Port, up bool)
+
+// Net is a collection of ports and links sharing one simulation kernel
+// and one set of PHY parameters.
+type Net struct {
+	K *sim.Kernel
+
+	// IFG is the inter-frame gap in bytes added after every frame.
+	IFG int
+	// Detect is the loss-of-light detection latency.
+	Detect sim.Time
+	// FIFOCap is the egress FIFO capacity for new ports.
+	FIFOCap int
+
+	// DeepPHY, when true, serializes every delivered frame through the
+	// full MicroPacket wire codec and the 8b/10b line code and decodes
+	// it at the receiver — the hardware datapath, bit for bit. Frames
+	// that fail to decode (code violation, bad CRC, broken ordered
+	// sets) are discarded and counted in CRCDrops, exactly as the NIC
+	// hardware discards them; higher layers recover via sequence gaps
+	// and cache refresh. Corrupt, if set, may mutate the symbol stream
+	// in flight (bit-error injection).
+	DeepPHY bool
+	Corrupt func(f Frame, syms []enc8b10b.Symbol)
+	// CRCDrops counts frames discarded by the receive-side decode.
+	CRCDrops sim.Counter
+
+	// Drops counts frames rejected because an egress FIFO was full —
+	// congestion loss, which AmpNet's insertion-ring flow control must
+	// keep at zero (slide 8).
+	Drops sim.Counter
+	// Lost counts frames destroyed by link failures: in flight when the
+	// fiber was cut, or offered to a dark port. These are recovered at
+	// higher layers (DMA sequence numbers, cache refresh).
+	Lost sim.Counter
+	// Delivered counts frames handed to receivers.
+	Delivered sim.Counter
+
+	ports []*Port
+	links []*Link
+}
+
+// NewNet creates a physical network on kernel k with default parameters.
+func NewNet(k *sim.Kernel) *Net {
+	return &Net{K: k, IFG: DefaultIFG, Detect: DefaultDetect, FIFOCap: DefaultFIFO}
+}
+
+// Port is one optical transceiver. Frames sent on a port are serialized
+// in FIFO order at the line rate and delivered to the peer port after
+// the fiber propagation delay.
+type Port struct {
+	Name string
+	net  *Net
+	link *Link
+	end  int // 0 or 1: which end of link
+
+	onFrame  Handler
+	onStatus StatusHandler
+	onTxDone func()
+
+	fifo   []Frame
+	cap    int
+	txBusy bool
+	// Sent and Received count frames for diagnostics.
+	Sent     uint64
+	Received uint64
+}
+
+// NewPort creates an unconnected port. handler may be nil (frames are
+// then counted but discarded); use SetHandler to attach later.
+func (n *Net) NewPort(name string, handler Handler) *Port {
+	p := &Port{Name: name, net: n, onFrame: handler, cap: n.FIFOCap}
+	n.ports = append(n.ports, p)
+	return p
+}
+
+// SetHandler attaches the frame delivery callback.
+func (p *Port) SetHandler(h Handler) { p.onFrame = h }
+
+// SetStatusHandler attaches the link status callback.
+func (p *Port) SetStatusHandler(h StatusHandler) { p.onStatus = h }
+
+// SetTxDone attaches a callback invoked each time the transmitter
+// finishes serializing a frame; MAC layers use it to schedule insertion
+// opportunities.
+func (p *Port) SetTxDone(h func()) { p.onTxDone = h }
+
+// Connected reports whether the port is attached to a link.
+func (p *Port) Connected() bool { return p.link != nil }
+
+// Up reports whether the port's link exists and carries light.
+func (p *Port) Up() bool { return p.link != nil && p.link.up }
+
+// Peer returns the port at the other end of the link, or nil.
+func (p *Port) Peer() *Port {
+	if p.link == nil {
+		return nil
+	}
+	return p.link.ports[1-p.end]
+}
+
+// QueueLen returns the number of frames waiting in the egress FIFO
+// (including the frame currently being serialized).
+func (p *Port) QueueLen() int { return len(p.fifo) }
+
+// Capacity returns the egress FIFO capacity.
+func (p *Port) Capacity() int { return p.cap }
+
+// SetCapacity adjusts the egress FIFO capacity.
+func (p *Port) SetCapacity(c int) { p.cap = c }
+
+// Send enqueues a frame for transmission. It returns false — and counts
+// a drop — if the FIFO is full or the port is not connected. The MAC
+// layer above is responsible for avoiding drops via flow control; the
+// experiments assert the drop counter stays at zero for AmpNet MACs.
+func (p *Port) Send(f Frame) bool {
+	if p.link == nil || !p.link.up {
+		p.net.Lost.Inc()
+		return false
+	}
+	if len(p.fifo) >= p.cap {
+		p.net.Drops.Inc()
+		return false
+	}
+	p.fifo = append(p.fifo, f)
+	if !p.txBusy {
+		p.startTx()
+	}
+	return true
+}
+
+// SendPriority enqueues a frame ahead of queued frames (behind the one
+// currently being serialized). It is not subject to the FIFO capacity:
+// rostering traffic must get through even on a congested ring, as the
+// hardware's dedicated rostering path guarantees. Returns false only if
+// the link is dark.
+func (p *Port) SendPriority(f Frame) bool {
+	if p.link == nil || !p.link.up {
+		p.net.Lost.Inc()
+		return false
+	}
+	f.Prio = true
+	if p.txBusy && len(p.fifo) > 0 {
+		// Insert behind the frame being serialized and behind any
+		// earlier priority frames (priority is FIFO among itself).
+		pos := 1
+		for pos < len(p.fifo) && p.fifo[pos].Prio {
+			pos++
+		}
+		p.fifo = append(p.fifo, Frame{})
+		copy(p.fifo[pos+1:], p.fifo[pos:])
+		p.fifo[pos] = f
+	} else {
+		p.fifo = append(p.fifo, f)
+	}
+	if !p.txBusy {
+		p.startTx()
+	}
+	return true
+}
+
+// startTx begins serializing the head-of-line frame.
+func (p *Port) startTx() {
+	if len(p.fifo) == 0 {
+		p.txBusy = false
+		return
+	}
+	p.txBusy = true
+	f := p.fifo[0]
+	ser := SerTime(f.Wire + p.net.IFG)
+	link := p.link
+	epoch := link.epoch
+	// Delivery at tx end + propagation, if the link survives.
+	p.net.K.After(ser+link.prop, func() {
+		if link.epoch != epoch || !link.up {
+			p.net.Lost.Inc()
+			return
+		}
+		dst := link.ports[1-p.end]
+		if p.net.DeepPHY {
+			pkt, ok := p.net.deepPath(f)
+			if !ok {
+				p.net.CRCDrops.Inc()
+				return
+			}
+			hops := f.Hops
+			f = NewFrame(pkt)
+			f.Hops = hops
+		}
+		dst.Received++
+		p.net.Delivered.Inc()
+		if dst.onFrame != nil {
+			dst.onFrame(dst, f)
+		}
+	})
+	// Transmitter frees at tx end. A link failure bumps the epoch and
+	// clears the FIFO, so a stale completion must not pop the new queue.
+	p.net.K.After(ser, func() {
+		if link.epoch != epoch {
+			return
+		}
+		p.Sent++
+		p.fifo = p.fifo[1:]
+		p.startTx()
+		if p.onTxDone != nil {
+			p.onTxDone()
+		}
+	})
+}
+
+// deepPath runs a frame through the real transmit and receive datapath:
+// MicroPacket wire encode, 8b/10b line coding, optional corruption, and
+// the receive-side decode. It returns the received packet, or ok=false
+// when the hardware would discard the frame. Each frame starts from the
+// canonical negative running disparity (frames are separated by idle
+// fill words that re-establish it).
+func (n *Net) deepPath(f Frame) (*micropacket.Packet, bool) {
+	syms, err := f.Pkt.EncodeSymbols(enc8b10b.NewEncoder())
+	if err != nil {
+		return nil, false
+	}
+	if n.Corrupt != nil {
+		n.Corrupt(f, syms)
+	}
+	pkt, err := micropacket.DecodeSymbols(syms, enc8b10b.NewDecoder())
+	if err != nil {
+		return nil, false
+	}
+	return pkt, true
+}
+
+// Link is a bidirectional fiber between two ports.
+type Link struct {
+	ports  [2]*Port
+	prop   sim.Time
+	up     bool
+	epoch  uint64 // incremented on every failure, invalidating in-flight frames
+	net    *Net
+	Meters float64
+}
+
+// Connect joins two ports with meters of fiber. Both ports must be
+// unconnected.
+func (n *Net) Connect(a, b *Port, meters float64) *Link {
+	if a.link != nil || b.link != nil {
+		panic(fmt.Sprintf("phys: port already connected (%s / %s)", a.Name, b.Name))
+	}
+	l := &Link{ports: [2]*Port{a, b}, prop: PropTime(meters), up: true, net: n, Meters: meters}
+	a.link, a.end = l, 0
+	b.link, b.end = l, 1
+	n.links = append(n.links, l)
+	return l
+}
+
+// Up reports whether the link carries light.
+func (l *Link) Up() bool { return l.up }
+
+// Prop returns the one-way propagation delay.
+func (l *Link) Prop() sim.Time { return l.prop }
+
+// Fail cuts the fiber: in-flight frames are lost immediately and both
+// ports observe loss of light after the detection latency.
+func (l *Link) Fail() {
+	if !l.up {
+		return
+	}
+	l.up = false
+	l.epoch++
+	for _, p := range l.ports {
+		p.fifo = nil
+		p.txBusy = false
+	}
+	l.net.K.After(l.net.Detect, func() {
+		for _, p := range l.ports {
+			if p.onStatus != nil {
+				p.onStatus(p, false)
+			}
+		}
+	})
+}
+
+// Restore re-lights the fiber; ports observe light after the detection
+// latency.
+func (l *Link) Restore() {
+	if l.up {
+		return
+	}
+	l.up = true
+	l.net.K.After(l.net.Detect, func() {
+		for _, p := range l.ports {
+			if p.onStatus != nil {
+				p.onStatus(p, true)
+			}
+		}
+	})
+}
+
+// Links returns all links (for failure-injection sweeps).
+func (n *Net) Links() []*Link { return n.links }
+
+// Ports returns all ports.
+func (n *Net) Ports() []*Port { return n.ports }

@@ -1,0 +1,138 @@
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/micropacket"
+	"repro/internal/sim"
+)
+
+// Switch models one AmpNet switch (slides 14–15). AmpNet switches are
+// circuit-style forwarders: the rostering algorithm programs a crossbar
+// (ingress port → egress port) that realizes the node-to-node hops of
+// the current logical ring, so data MicroPackets cut through with a
+// fixed forwarding latency. Rostering MicroPackets are instead flooded
+// to every live port except the ingress — that is what lets the
+// "modified flooding algorithm" (slide 16) explore all available paths.
+//
+// Switches connect only to nodes in the paper's topologies (slide 14),
+// so rostering floods cannot loop inside the switch layer; nodes
+// deduplicate by wave identifier before re-flooding.
+type Switch struct {
+	Name    string
+	net     *Net
+	ports   []*Port
+	xbar    map[int]int // ingress port index → egress port index
+	latency sim.Time
+	failed  bool
+
+	// Flooded and Forwarded count rostering floods and crossbar
+	// forwards for diagnostics.
+	Flooded   uint64
+	Forwarded uint64
+	// Unrouted counts packets that arrived with no crossbar entry.
+	Unrouted uint64
+}
+
+// DefaultSwitchLatency is the cut-through forwarding latency.
+const DefaultSwitchLatency = 200 * sim.Nanosecond
+
+// NewSwitch creates a switch with nPorts unconnected ports.
+func (n *Net) NewSwitch(name string, nPorts int) *Switch {
+	s := &Switch{Name: name, net: n, xbar: map[int]int{}, latency: DefaultSwitchLatency}
+	for i := 0; i < nPorts; i++ {
+		idx := i
+		p := n.NewPort(fmt.Sprintf("%s.p%d", name, i), nil)
+		p.SetHandler(func(_ *Port, f Frame) { s.receive(idx, f) })
+		s.ports = append(s.ports, p)
+	}
+	return s
+}
+
+// Port returns the i-th switch port (to be connected to a node port).
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// NumPorts returns the port count.
+func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// SetLatency overrides the cut-through latency.
+func (s *Switch) SetLatency(d sim.Time) { s.latency = d }
+
+// SetRoute programs the crossbar: frames entering port in exit at port
+// out. Pass out < 0 to clear the route.
+func (s *Switch) SetRoute(in, out int) {
+	if out < 0 {
+		delete(s.xbar, in)
+		return
+	}
+	s.xbar[in] = out
+}
+
+// ClearRoutes empties the crossbar (done at the start of rostering).
+func (s *Switch) ClearRoutes() { s.xbar = map[int]int{} }
+
+// Failed reports whether the switch has been failed.
+func (s *Switch) Failed() bool { return s.failed }
+
+// Fail takes the whole switch down: every attached link goes dark.
+func (s *Switch) Fail() {
+	if s.failed {
+		return
+	}
+	s.failed = true
+	for _, p := range s.ports {
+		if p.link != nil {
+			p.link.Fail()
+		}
+	}
+}
+
+// Restore brings the switch back; attached links re-light.
+func (s *Switch) Restore() {
+	if !s.failed {
+		return
+	}
+	s.failed = false
+	for _, p := range s.ports {
+		if p.link != nil {
+			p.link.Restore()
+		}
+	}
+}
+
+// receive handles a frame arriving on port index in.
+func (s *Switch) receive(in int, f Frame) {
+	if s.failed {
+		return
+	}
+	if f.Pkt.Type == micropacket.TypeRostering {
+		// Flood to every other live port after the cut-through delay.
+		s.net.K.After(s.latency, func() {
+			if s.failed {
+				return
+			}
+			for i, p := range s.ports {
+				if i == in || !p.Up() {
+					continue
+				}
+				s.Flooded++
+				p.SendPriority(f)
+			}
+		})
+		return
+	}
+	out, ok := s.xbar[in]
+	if !ok {
+		s.Unrouted++
+		return
+	}
+	s.net.K.After(s.latency, func() {
+		if s.failed {
+			return
+		}
+		if out < len(s.ports) && s.ports[out].Up() {
+			s.Forwarded++
+			s.ports[out].Send(f)
+		}
+	})
+}

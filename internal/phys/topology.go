@@ -1,0 +1,74 @@
+package phys
+
+import "fmt"
+
+// Cluster is the paper's redundant switched topology (slides 14–15):
+// every node has one port to every switch. With 2 switches the segment
+// is dual-redundant; with 4, quad-redundant (slide 14 shows 6 nodes × 4
+// switches).
+type Cluster struct {
+	Net      *Net
+	Switches []*Switch
+	// NodePorts[n][s] is node n's port facing switch s.
+	NodePorts [][]*Port
+	// NodeLinks[n][s] is the fiber between node n and switch s.
+	NodeLinks [][]*Link
+}
+
+// BuildCluster wires nodes × switches with fiberM meters of fiber per
+// link. Node-side handlers are attached afterwards by the MAC layer.
+func BuildCluster(net *Net, nodes, switches int, fiberM float64) *Cluster {
+	c := &Cluster{Net: net}
+	for s := 0; s < switches; s++ {
+		c.Switches = append(c.Switches, net.NewSwitch(fmt.Sprintf("sw%d", s), nodes))
+	}
+	c.NodePorts = make([][]*Port, nodes)
+	c.NodeLinks = make([][]*Link, nodes)
+	for n := 0; n < nodes; n++ {
+		c.NodePorts[n] = make([]*Port, switches)
+		c.NodeLinks[n] = make([]*Link, switches)
+		for s := 0; s < switches; s++ {
+			p := net.NewPort(fmt.Sprintf("n%d.s%d", n, s), nil)
+			c.NodePorts[n][s] = p
+			c.NodeLinks[n][s] = net.Connect(p, c.Switches[s].Port(n), fiberM)
+		}
+	}
+	return c
+}
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.NodePorts) }
+
+// NumSwitches returns the switch count.
+func (c *Cluster) NumSwitches() int { return len(c.Switches) }
+
+// FailNode takes all of node n's links dark (models node death as seen
+// by the fabric).
+func (c *Cluster) FailNode(n int) {
+	for _, l := range c.NodeLinks[n] {
+		l.Fail()
+	}
+}
+
+// RestoreNode re-lights node n's links.
+func (c *Cluster) RestoreNode(n int) {
+	for _, l := range c.NodeLinks[n] {
+		l.Restore()
+	}
+}
+
+// LiveSwitchesBetween returns the switch indices that still have live
+// links to both node a and node b — the candidate hops for a logical
+// ring edge a→b.
+func (c *Cluster) LiveSwitchesBetween(a, b int) []int {
+	var out []int
+	for s := range c.Switches {
+		if c.Switches[s].Failed() {
+			continue
+		}
+		if c.NodeLinks[a][s].Up() && c.NodeLinks[b][s].Up() {
+			out = append(out, s)
+		}
+	}
+	return out
+}

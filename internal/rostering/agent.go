@@ -1,0 +1,332 @@
+package rostering
+
+import (
+	"encoding/binary"
+
+	"repro/internal/insertion"
+	"repro/internal/micropacket"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Announcement is one link-state record in the exploration database.
+type Announcement struct {
+	Origin int
+	Mask   LinkState
+	Seq    uint8
+}
+
+// Agent runs the rostering protocol on one node. It owns the node's
+// Rostering MicroPackets (delivered by the Station's OnControl hook) and
+// reprograms the Station and its hop's switch when a new roster is
+// adopted.
+type Agent struct {
+	ID      int
+	K       *sim.Kernel
+	Cluster *phys.Cluster
+	Station *insertion.Station
+
+	// SettleWindow is how long the link-state database must stay quiet
+	// before the roster is computed. The hardware's scheme paces its
+	// exploration and confirmation waves at ring-tour granularity (one
+	// tour each); the settle window stands in for both waves, so the
+	// default is two estimated ring tours — which is exactly where
+	// slide 16 puts rostering completion.
+	SettleWindow sim.Time
+
+	// KeepaliveInterval paces the idle keepalives each node sends its
+	// downstream ring neighbor; the downstream's watchdog uses their
+	// absence to detect a dead upstream hop. In hardware this role is
+	// played by the continuous FC idle/fill-word stream.
+	KeepaliveInterval sim.Time
+	// SilenceTimeout is how long the ring ingress may stay silent
+	// before the watchdog declares the upstream hop dead and triggers
+	// rostering.
+	SilenceTimeout sim.Time
+
+	// OnAdopt is called after this agent adopts a new roster.
+	OnAdopt func(*Roster)
+
+	epoch     uint32
+	seq       uint8
+	lsdb      map[int]Announcement
+	settle    *sim.Timer
+	current   *Roster
+	adoptedAt sim.Time
+	stopped   bool
+
+	// Adoptions counts rosters adopted; Announced counts own floods.
+	Adoptions uint64
+	Announced uint64
+
+	// exploring reports a rostering round is in progress.
+	exploring bool
+	// startedAt is when the current round began (for completion-time
+	// measurements).
+	startedAt sim.Time
+}
+
+// NewAgent wires a rostering agent to its station. The station's
+// OnControl and OnStatus hooks are installed. fiberM is used to
+// calibrate the default settle window.
+// Default liveness parameters. The watchdog gives "network failures
+// detected by hardware" (slide 18) for failures that leave fibers lit,
+// e.g. a dead node or switch crossbar.
+const (
+	DefaultKeepalive      = 20 * sim.Microsecond
+	DefaultSilenceTimeout = 60 * sim.Microsecond
+)
+
+func NewAgent(k *sim.Kernel, id int, cluster *phys.Cluster, st *insertion.Station, fiberM float64) *Agent {
+	a := &Agent{
+		ID: id, K: k, Cluster: cluster, Station: st,
+		SettleWindow:      2 * EstimateTour(cluster.NumNodes(), fiberM, cluster.Net),
+		KeepaliveInterval: DefaultKeepalive,
+		SilenceTimeout:    DefaultSilenceTimeout,
+		lsdb:              map[int]Announcement{},
+		stopped:           true, // dark until Start (NIC not yet booted)
+	}
+	st.OnControl = a.handleControl
+	st.OnStatus = func(_ *phys.Port, _ bool) {
+		if !a.stopped {
+			a.Trigger()
+		}
+	}
+	return a
+}
+
+// Stop halts the agent's periodic activity (node shutdown). The agent
+// no longer reacts to port status changes or emits keepalives.
+func (a *Agent) Stop() {
+	a.stopped = true
+	if a.settle != nil {
+		a.settle.Cancel()
+	}
+}
+
+// Roster returns the currently adopted roster (nil before the first
+// adoption).
+func (a *Agent) Roster() *Roster { return a.current }
+
+// Exploring reports whether a rostering round is in progress.
+func (a *Agent) Exploring() bool { return a.exploring }
+
+// Epoch returns the agent's current rostering epoch.
+func (a *Agent) Epoch() uint32 { return a.epoch }
+
+// Start begins initial rostering (node self-boot, slide 17) and arms
+// the keepalive and silence-watchdog loops.
+func (a *Agent) Start() {
+	a.stopped = false
+	a.Trigger()
+	a.keepaliveLoop()
+	a.watchdogLoop()
+}
+
+// keepaliveLoop sends a keepalive Diagnostic to the downstream neighbor
+// every KeepaliveInterval while the node is on a ring.
+func (a *Agent) keepaliveLoop() {
+	if a.stopped {
+		return
+	}
+	if r := a.current; r != nil && a.Station.OnRing() {
+		if next, _, ok := r.Next(a.ID); ok {
+			ka := micropacket.NewDiagnostic(micropacket.NodeID(a.ID), micropacket.NodeID(next), insertion.KeepaliveTag)
+			if p := a.Station.Ports[a.Station.EgressSwitch()]; p.Up() {
+				p.SendPriority(phys.NewFrame(ka))
+			}
+		}
+	}
+	a.K.After(a.KeepaliveInterval, a.keepaliveLoop)
+}
+
+// watchdogLoop detects upstream silence: if the node sits on a ring but
+// has heard nothing for SilenceTimeout — and is not mid-round, with a
+// grace period after adoption for the ring to fill — the upstream hop
+// is declared dead and rostering starts.
+func (a *Agent) watchdogLoop() {
+	if a.stopped {
+		return
+	}
+	now := a.K.Now()
+	grace := 2 * a.SettleWindow
+	if a.Station.OnRing() && !a.exploring &&
+		now-a.Station.LastRx > a.SilenceTimeout &&
+		now-a.adoptedAt > grace {
+		a.Trigger()
+	}
+	a.K.After(a.SilenceTimeout/2, a.watchdogLoop)
+}
+
+// Trigger starts a new rostering round: failure detected, light
+// restored, or a node (re-)booting.
+func (a *Agent) Trigger() {
+	a.beginEpoch(a.epoch + 1)
+	a.announce()
+}
+
+// mask returns this node's live-switch bitmask from its port status.
+func (a *Agent) mask() LinkState {
+	var m LinkState
+	for s, p := range a.Station.Ports {
+		if p.Up() {
+			m |= 1 << s
+		}
+	}
+	return m
+}
+
+// beginEpoch resets round state for epoch e.
+func (a *Agent) beginEpoch(e uint32) {
+	a.epoch = e
+	a.exploring = true
+	a.startedAt = a.K.Now()
+	a.lsdb = map[int]Announcement{}
+	a.lsdb[a.ID] = Announcement{Origin: a.ID, Mask: a.mask(), Seq: a.seq}
+	a.resetSettle()
+}
+
+// announce floods this node's link-state record out every live port.
+func (a *Agent) announce() {
+	a.seq++
+	a.lsdb[a.ID] = Announcement{Origin: a.ID, Mask: a.mask(), Seq: a.seq}
+	pkt := encodeAnnouncement(a.ID, a.epoch, a.lsdb[a.ID])
+	a.Announced++
+	a.floodExcept(pkt, nil)
+	a.resetSettle()
+}
+
+// floodExcept sends the packet on every live port except skip.
+func (a *Agent) floodExcept(pkt *micropacket.Packet, skip *phys.Port) {
+	f := phys.NewFrame(pkt)
+	for _, p := range a.Station.Ports {
+		if p == skip || !p.Up() {
+			continue
+		}
+		p.SendPriority(f)
+	}
+}
+
+// handleControl processes a Rostering MicroPacket arriving on port.
+// A stopped agent (node not booted, or shut down) ignores floods: it
+// must not be rostered, since it would neither keepalive nor forward
+// reliably.
+func (a *Agent) handleControl(port *phys.Port, f phys.Frame) {
+	if a.stopped {
+		return
+	}
+	origin, epoch, ann := decodeAnnouncement(f.Pkt)
+	switch {
+	case epoch < a.epoch:
+		return // stale round
+	case epoch > a.epoch:
+		// Someone started a newer round: join it and contribute our
+		// own link state.
+		a.beginEpoch(epoch)
+		a.lsdb[origin] = ann
+		a.floodExcept(f.Pkt, port)
+		a.seq++
+		a.lsdb[a.ID] = Announcement{Origin: a.ID, Mask: a.mask(), Seq: a.seq}
+		a.Announced++
+		a.floodExcept(encodeAnnouncement(a.ID, a.epoch, a.lsdb[a.ID]), nil)
+		a.resetSettle()
+		return
+	}
+	// Same epoch: accept if new origin or newer sequence.
+	prev, seen := a.lsdb[origin]
+	if seen && !newerSeq(ann.Seq, prev.Seq) {
+		return // duplicate: do not re-flood (this breaks flood loops)
+	}
+	a.lsdb[origin] = ann
+	a.floodExcept(f.Pkt, port)
+	if !a.exploring {
+		// New information for an epoch we had already adopted — a
+		// booting node whose epoch counter collided with the network's
+		// current round. Reopen the round and contribute our own link
+		// state so the newcomer learns the full database. The reopen
+		// happens at most once per new announcement (duplicates are
+		// filtered above), so floods cannot storm.
+		a.exploring = true
+		a.startedAt = a.K.Now()
+		a.seq++
+		a.lsdb[a.ID] = Announcement{Origin: a.ID, Mask: a.mask(), Seq: a.seq}
+		a.Announced++
+		a.floodExcept(encodeAnnouncement(a.ID, a.epoch, a.lsdb[a.ID]), nil)
+	}
+	a.resetSettle()
+}
+
+// newerSeq compares wrapping uint8 sequence numbers.
+func newerSeq(a, b uint8) bool { return int8(a-b) > 0 }
+
+// resetSettle (re)arms the quiescence timer for the current round.
+func (a *Agent) resetSettle() {
+	if a.settle != nil {
+		a.settle.Cancel()
+	}
+	epoch := a.epoch
+	a.settle = a.K.After(a.SettleWindow, func() {
+		if a.epoch == epoch && a.exploring {
+			a.adopt()
+		}
+	})
+}
+
+// adopt computes the roster from the settled database and programs this
+// node's share of it: its ring egress and its hop's crossbar route.
+func (a *Agent) adopt() {
+	a.exploring = false
+	a.adoptedAt = a.K.Now()
+	a.Station.LastRx = a.K.Now()
+	lsdb := make(map[int]LinkState, len(a.lsdb))
+	for id, ann := range a.lsdb {
+		lsdb[id] = ann.Mask
+	}
+	r := BuildRoster(a.epoch, lsdb)
+	a.current = r
+	a.Adoptions++
+
+	if next, via, ok := r.Next(a.ID); ok {
+		// Program the switch hop: our port on switch `via` routes to
+		// the downstream node's port. (Port n on every switch belongs
+		// to node n, by construction of the cluster wiring, which is
+		// part of the ubiquitous configuration database — slide 2.)
+		a.Cluster.Switches[via].SetRoute(a.ID, next)
+		a.Station.SetEgress(via)
+	} else {
+		a.Station.SetEgress(-1)
+	}
+	if a.OnAdopt != nil {
+		a.OnAdopt(r)
+	}
+}
+
+// RoundStart returns when the current/last round began.
+func (a *Agent) RoundStart() sim.Time { return a.startedAt }
+
+// --- announcement wire encoding (8-byte Rostering payload) ---
+//
+//	payload[0] = origin node id
+//	payload[1] = live-switch mask
+//	payload[2] = protocol version (1)
+//	payload[3..6] = epoch, little endian
+//	payload[7] = origin's announcement sequence
+
+const announceVersion = 1
+
+func encodeAnnouncement(id int, epoch uint32, ann Announcement) *micropacket.Packet {
+	var pl [8]byte
+	pl[0] = byte(ann.Origin)
+	pl[1] = byte(ann.Mask)
+	pl[2] = announceVersion
+	binary.LittleEndian.PutUint32(pl[3:7], epoch)
+	pl[7] = ann.Seq
+	return micropacket.NewRostering(micropacket.NodeID(id), 0, pl)
+}
+
+func decodeAnnouncement(p *micropacket.Packet) (origin int, epoch uint32, ann Announcement) {
+	origin = int(p.Payload[0])
+	epoch = binary.LittleEndian.Uint32(p.Payload[3:7])
+	ann = Announcement{Origin: origin, Mask: LinkState(p.Payload[1]), Seq: p.Payload[7]}
+	return
+}

@@ -1,0 +1,247 @@
+// Package rostering implements AmpNet's rostering algorithm (paper,
+// slides 13, 16, 18):
+//
+//	"Algorithm starts automatically whenever a failure is detected. A
+//	 modified flooding algorithm that explores the network for available
+//	 paths and allows the creation of the largest possible logical ring.
+//	 Packets are forwarded according to rostering rules. Rostering
+//	 completes in two ring-tour times — 1 to 2 milliseconds, depending
+//	 on the number of nodes and the length of the fiber."
+//
+// Every node runs an Agent. When any port sees a status change (loss of
+// light detected by the PHY, or light returning), the agent starts a new
+// rostering epoch: it floods a link-state announcement — a Rostering
+// MicroPacket carrying its identity and its live-switch mask — out every
+// live port. Switches flood Rostering MicroPackets on all live ports,
+// and nodes re-flood announcements they have not seen, so the
+// exploration wave reaches every reachable node over every available
+// path. Each node accumulates the announcements into an identical
+// link-state database, waits for the exploration to quiesce (the settle
+// window, calibrated to the ring-tour time as in the hardware's
+// two-wave scheme), deterministically computes the largest logical ring
+// the live paths allow, and adopts it: it programs its own ring egress
+// and the crossbar route for its hop. Because every node computes the
+// same roster from the same database, the ring converges without a
+// master.
+package rostering
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Roster is one logical ring: the cyclic node order and, for each hop
+// Nodes[i] → Nodes[(i+1) % len], the switch it crosses.
+type Roster struct {
+	Epoch uint32
+	Nodes []int
+	Via   []int
+}
+
+// Size returns the number of nodes on the ring.
+func (r *Roster) Size() int { return len(r.Nodes) }
+
+// Contains reports whether node id is on the ring.
+func (r *Roster) Contains(id int) bool {
+	for _, n := range r.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns node id's position on the ring, or -1.
+func (r *Roster) IndexOf(id int) int {
+	for i, n := range r.Nodes {
+		if n == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Next returns the downstream neighbor of node id and the switch the
+// hop crosses. ok is false if id is not on the ring or the ring has a
+// single node.
+func (r *Roster) Next(id int) (next, via int, ok bool) {
+	i := r.IndexOf(id)
+	if i < 0 || len(r.Nodes) < 2 {
+		return 0, 0, false
+	}
+	return r.Nodes[(i+1)%len(r.Nodes)], r.Via[i], true
+}
+
+// Equal reports whether two rosters describe the same ring (same
+// rotation-normalized order and vias). Epoch is ignored.
+func (r *Roster) Equal(o *Roster) bool {
+	if o == nil || len(r.Nodes) != len(o.Nodes) {
+		return false
+	}
+	n := len(r.Nodes)
+	if n == 0 {
+		return true
+	}
+	// Align on the smallest node id.
+	ri, oi := r.minIndex(), o.minIndex()
+	for k := 0; k < n; k++ {
+		if r.Nodes[(ri+k)%n] != o.Nodes[(oi+k)%n] || r.Via[(ri+k)%n] != o.Via[(oi+k)%n] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Roster) minIndex() int {
+	mi := 0
+	for i, n := range r.Nodes {
+		if n < r.Nodes[mi] {
+			mi = i
+		}
+	}
+	return mi
+}
+
+// String renders "0 -s2-> 3 -s0-> 5 -s2-> (0)".
+func (r *Roster) String() string {
+	if len(r.Nodes) == 0 {
+		return "<empty roster>"
+	}
+	s := fmt.Sprintf("epoch %d: ", r.Epoch)
+	for i, n := range r.Nodes {
+		if len(r.Via) == len(r.Nodes) {
+			s += fmt.Sprintf("%d -s%d-> ", n, r.Via[i])
+		} else {
+			s += fmt.Sprintf("%d ", n)
+		}
+	}
+	return s + fmt.Sprintf("(%d)", r.Nodes[0])
+}
+
+// LinkState is one node's live-switch bitmask: bit s set means the
+// node's link to switch s carries light.
+type LinkState uint8
+
+// Has reports whether switch s is live for this node.
+func (m LinkState) Has(s int) bool { return m&(1<<s) != 0 }
+
+// common returns the lowest switch index live for both masks, or -1.
+func common(a, b LinkState) int {
+	c := a & b
+	if c == 0 {
+		return -1
+	}
+	for s := 0; s < 8; s++ {
+		if c.Has(s) {
+			return s
+		}
+	}
+	return -1
+}
+
+// BuildRoster deterministically computes the largest logical ring the
+// link-state database allows: nodes are inserted in ascending id order
+// into the cycle at the first feasible position (both new edges must
+// share a live switch), repeating until no more nodes fit. Nodes that
+// cannot join remain off the roster — the paper's "largest possible
+// logical ring" under damage. Every node computes the same result from
+// the same database, which is what lets rostering converge without a
+// master.
+func BuildRoster(epoch uint32, lsdb map[int]LinkState) *Roster {
+	ids := make([]int, 0, len(lsdb))
+	for id, m := range lsdb {
+		if m != 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	if len(ids) == 0 {
+		return &Roster{Epoch: epoch}
+	}
+	ring := []int{ids[0]}
+	pending := append([]int{}, ids[1:]...)
+	for progress := true; progress && len(pending) > 0; {
+		progress = false
+		var left []int
+		for _, c := range pending {
+			if pos := feasiblePos(ring, c, lsdb); pos >= 0 {
+				ring = append(ring, 0)
+				copy(ring[pos+2:], ring[pos+1:])
+				ring[pos+1] = c
+				progress = true
+			} else {
+				left = append(left, c)
+			}
+		}
+		pending = left
+	}
+	r := &Roster{Epoch: epoch, Nodes: ring}
+	if len(ring) >= 2 {
+		r.Via = make([]int, len(ring))
+		for i := range ring {
+			a, b := ring[i], ring[(i+1)%len(ring)]
+			s := common(lsdb[a], lsdb[b])
+			if s < 0 {
+				// Cannot happen for rings built by feasiblePos, but keep
+				// the invariant explicit.
+				panic("rostering: ring edge without common switch")
+			}
+			r.Via[i] = s
+		}
+	}
+	return r
+}
+
+// feasiblePos returns an index i such that candidate c can be inserted
+// between ring[i] and ring[i+1] (both new edges share a live switch
+// with c), or -1.
+func feasiblePos(ring []int, c int, lsdb map[int]LinkState) int {
+	if len(ring) == 1 {
+		if common(lsdb[ring[0]], lsdb[c]) >= 0 {
+			return 0
+		}
+		return -1
+	}
+	for i := range ring {
+		a, b := ring[i], ring[(i+1)%len(ring)]
+		if common(lsdb[a], lsdb[c]) >= 0 && common(lsdb[c], lsdb[b]) >= 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Valid checks the roster against a link-state database: every hop must
+// cross a switch live at both endpoints.
+func (r *Roster) Valid(lsdb map[int]LinkState) bool {
+	if len(r.Nodes) < 2 {
+		return true
+	}
+	if len(r.Via) != len(r.Nodes) {
+		return false
+	}
+	for i, a := range r.Nodes {
+		b := r.Nodes[(i+1)%len(r.Nodes)]
+		s := r.Via[i]
+		if !lsdb[a].Has(s) || !lsdb[b].Has(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimateTour estimates one ring-tour time for n nodes with the given
+// per-link fiber length: n hops of (fixed-packet serialization + two
+// fiber crossings + switch cut-through + insertion-register delay).
+// This is the unit the paper states rostering completion in.
+func EstimateTour(n int, fiberM float64, net *phys.Net) sim.Time {
+	if n < 1 {
+		n = 1
+	}
+	hop := phys.SerTime(24+net.IFG) + 2*phys.PropTime(fiberM) +
+		phys.DefaultSwitchLatency + 40*sim.Nanosecond
+	return sim.Time(n) * hop
+}

@@ -1,0 +1,234 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every AmpNet experiment runs on sim's virtual clock: the physical layer,
+// the register-insertion MAC, rostering, the network cache, and failover
+// are all scheduled as events with nanosecond-resolution virtual time.
+// Determinism is guaranteed by a stable event ordering (time, then FIFO
+// sequence number) and by the seeded splitmix64 RNG in this package, so
+// every run of an experiment is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in nanoseconds since the start of the
+// run. It is deliberately a distinct type from time.Duration so that
+// wall-clock values cannot be mixed into the simulation by accident.
+type Time int64
+
+// Common durations expressed in simulation Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// String renders a Time with an adaptive unit, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// event is a scheduled callback. seq breaks ties FIFO so that two events
+// scheduled for the same instant fire in scheduling order, which keeps
+// runs deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool // cancelled timers are marked dead and skipped
+	idx  int  // heap index, maintained by eventHeap
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; all model code runs inside event callbacks on the
+// kernel's (single) logical thread, which is the standard DES discipline
+// and what makes the simulation deterministic.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *RNG
+	stopped bool
+
+	// Fired counts events executed; useful for run-cost reporting.
+	Fired uint64
+}
+
+// NewKernel returns a kernel with virtual time 0 and an RNG seeded with
+// seed (deterministic for a given seed).
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random source.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, e := range k.events {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a model bug that would break causality.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	}
+	e := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return &Timer{k: k, e: e}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the current event completes. Pending
+// events remain queued; Run can be called again to resume.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+// It returns the final virtual time.
+func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
+
+// RunUntil executes events with at <= deadline. The clock is left at
+// min(deadline, time of last event) — or advanced to deadline when the
+// queue empties first, so RunUntil composes with subsequent After calls.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	k.stopped = false
+	for len(k.events) > 0 && !k.stopped {
+		e := k.events[0]
+		if e.at > deadline {
+			break
+		}
+		heap.Pop(&k.events)
+		if e.dead {
+			continue
+		}
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		k.Fired++
+		e.fn()
+	}
+	if k.now < deadline && deadline != MaxTime {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// Step executes exactly one pending event (skipping cancelled ones) and
+// returns true, or returns false if the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if e.dead {
+			continue
+		}
+		k.now = e.at
+		k.Fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled.
+type Timer struct {
+	k *Kernel
+	e *event
+}
+
+// Cancel prevents the timer's callback from running. It is safe to call
+// more than once and after the event has fired.
+func (t *Timer) Cancel() {
+	if t == nil || t.e == nil {
+		return
+	}
+	t.e.dead = true
+}
+
+// Active reports whether the callback is still scheduled to run.
+func (t *Timer) Active() bool {
+	return t != nil && t.e != nil && !t.e.dead && t.e.idx >= 0
+}
+
+// Reset cancels the timer and reschedules its callback d from now.
+func (t *Timer) Reset(d Time) {
+	fn := t.e.fn
+	t.Cancel()
+	nt := t.k.After(d, fn)
+	t.e = nt.e
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	Name string
+	N    uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.N += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.N++ }
+
+// Sample accumulates scalar observations and reports summary statistics.
+// It keeps all values so exact percentiles can be reported; experiments
+// in this repository observe at most a few million samples.
+type Sample struct {
+	Name   string
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// NewSample returns an empty named sample.
+func NewSample(name string) *Sample { return &Sample{Name: name} }
+
+// Observe records one value.
+func (s *Sample) Observe(v float64) {
+	s.vals = append(s.vals, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// ObserveTime records a Time value in nanoseconds.
+func (s *Sample) ObserveTime(t Time) { s.Observe(float64(t)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Sum returns the total of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.vals))
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.vals[0]
+}
+
+// Max returns the largest observation, or 0 with none.
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.vals[len(s.vals)-1]
+}
+
+// Stddev returns the population standard deviation.
+func (s *Sample) Stddev() float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted observations.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.vals[0]
+	}
+	if p >= 100 {
+		return s.vals[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.vals[rank-1]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// String summarizes the sample on one line.
+func (s *Sample) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.3g min=%.3g p50=%.3g p99=%.3g max=%.3g",
+		s.Name, s.N(), s.Mean(), s.Min(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+// Rate tracks a quantity accumulated over virtual time, e.g. bytes
+// delivered, and reports a rate when asked.
+type Rate struct {
+	Name  string
+	Total float64
+	start Time
+}
+
+// NewRate returns a rate accumulator anchored at start.
+func NewRate(name string, start Time) *Rate { return &Rate{Name: name, start: start} }
+
+// Add accumulates amount.
+func (r *Rate) Add(amount float64) { r.Total += amount }
+
+// Per returns Total divided by the elapsed virtual time (in units per
+// second), measured from the anchor to now.
+func (r *Rate) Per(now Time) float64 {
+	el := now - r.start
+	if el <= 0 {
+		return 0
+	}
+	return r.Total / el.Seconds()
+}
+
+// Histogram is a fixed-bucket histogram for latency-style distributions
+// where exact percentiles are not required but memory must stay bounded.
+type Histogram struct {
+	Name    string
+	Bounds  []float64 // ascending upper bounds; final bucket is +inf
+	Counts  []uint64
+	total   uint64
+	sum     float64
+	nameSet bool
+}
+
+// NewHistogram returns a histogram with the given ascending bucket
+// upper bounds (an overflow bucket is added automatically).
+func NewHistogram(name string, bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{Name: name, Bounds: b, Counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.Bounds, v)
+	h.Counts[i]++
+	h.total++
+	h.sum += v
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the mean of observed values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}

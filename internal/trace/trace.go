@@ -1,0 +1,190 @@
+// Package trace provides a structured event timeline for a running
+// cluster: roster adoptions, peer liveness transitions, node lifecycle
+// and failover takeovers, each stamped with virtual time. It observes
+// the cluster through its public hooks (chaining any already-installed
+// callbacks), so attaching a tracer changes no behavior.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rostering"
+	"repro/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindRoster Kind = iota
+	KindOnline
+	KindPeerDown
+	KindPeerUp
+	KindTakeover
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRoster:
+		return "ROSTER"
+	case KindOnline:
+		return "ONLINE"
+	case KindPeerDown:
+		return "PEER-DOWN"
+	case KindPeerUp:
+		return "PEER-UP"
+	case KindTakeover:
+		return "TAKEOVER"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	At   sim.Time
+	Kind Kind
+	Node int    // observing node
+	Arg  int    // peer id / ring size / group id, by kind
+	Text string // human-readable detail
+}
+
+// Tracer accumulates events from one cluster.
+type Tracer struct {
+	c      *core.Cluster
+	events []Event
+	// Cap bounds memory; older events are discarded FIFO. 0 = unbounded.
+	Cap int
+}
+
+// Attach installs a tracer on every node of the cluster, chaining the
+// hooks already present.
+func Attach(c *core.Cluster) *Tracer {
+	t := &Tracer{c: c}
+	for i, nd := range c.Nodes {
+		i, nd := i, nd
+		prevRoster := nd.OnRoster
+		nd.OnRoster = func(r *rostering.Roster) {
+			t.add(Event{At: c.Now(), Kind: KindRoster, Node: i, Arg: r.Size(),
+				Text: r.String()})
+			if prevRoster != nil {
+				prevRoster(r)
+			}
+		}
+		prevOnline := nd.OnOnline
+		nd.OnOnline = func() {
+			t.add(Event{At: c.Now(), Kind: KindOnline, Node: i})
+			if prevOnline != nil {
+				prevOnline()
+			}
+		}
+		prevDown := nd.OnPeerDown
+		nd.OnPeerDown = func(id int) {
+			t.add(Event{At: c.Now(), Kind: KindPeerDown, Node: i, Arg: id,
+				Text: fmt.Sprintf("node %d declared dead by node %d", id, i)})
+			if prevDown != nil {
+				prevDown(id)
+			}
+		}
+		prevUp := nd.OnPeerUp
+		nd.OnPeerUp = func(id int) {
+			t.add(Event{At: c.Now(), Kind: KindPeerUp, Node: i, Arg: id,
+				Text: fmt.Sprintf("node %d seen alive by node %d", id, i)})
+			if prevUp != nil {
+				prevUp(id)
+			}
+		}
+	}
+	return t
+}
+
+func (t *Tracer) add(e Event) {
+	if t.Cap > 0 && len(t.events) >= t.Cap {
+		copy(t.events, t.events[1:])
+		t.events = t.events[:len(t.events)-1]
+	}
+	t.events = append(t.events, e)
+}
+
+// NoteTakeover records a failover takeover; callers wire it from their
+// group's OnTakeover hooks (the tracer cannot see group registration).
+func (t *Tracer) NoteTakeover(node int, group uint8) {
+	t.add(Event{At: t.c.Now(), Kind: KindTakeover, Node: node, Arg: int(group),
+		Text: fmt.Sprintf("node %d takes control of group %d", node, group)})
+}
+
+// Events returns the accumulated timeline.
+func (t *Tracer) Events() []Event { return t.events }
+
+// Filter returns events of the given kinds (all if none given).
+func (t *Tracer) Filter(kinds ...Kind) []Event {
+	if len(kinds) == 0 {
+		return t.events
+	}
+	var out []Event
+	for _, e := range t.events {
+		for _, k := range kinds {
+			if e.Kind == k {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Dedup collapses identical consecutive roster adoptions from different
+// nodes into a single line (they are the point of convergence), keeping
+// the first and counting the rest.
+func Dedup(events []Event) []Event {
+	var out []Event
+	var lastRoster string
+	count := 0
+	flush := func() {
+		if count > 1 && len(out) > 0 {
+			out[len(out)-1].Text += fmt.Sprintf("  (+%d nodes agree)", count-1)
+		}
+		count = 0
+	}
+	for _, e := range events {
+		if e.Kind == KindRoster {
+			if e.Text == lastRoster {
+				count++
+				continue
+			}
+			flush()
+			lastRoster = e.Text
+			count = 1
+			out = append(out, e)
+			continue
+		}
+		flush()
+		lastRoster = ""
+		out = append(out, e)
+	}
+	flush()
+	return out
+}
+
+// Fprint renders a timeline.
+func (t *Tracer) Fprint(w io.Writer, events []Event) {
+	for _, e := range events {
+		text := e.Text
+		if text == "" {
+			text = fmt.Sprintf("node %d", e.Node)
+		}
+		fmt.Fprintf(w, "  %-12v %-10s %s\n", e.At, e.Kind, text)
+	}
+}
+
+// String renders the full deduplicated timeline.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	t.Fprint(&b, Dedup(t.events))
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestTimelineCapturesLifecycle(t *testing.T) {
+	c := core.New(core.Options{Nodes: 3, Switches: 2})
+	tr := Attach(c)
+	if err := c.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	// Boot produces onlines and roster adoptions.
+	if len(tr.Filter(KindOnline)) != 3 {
+		t.Fatalf("online events = %d", len(tr.Filter(KindOnline)))
+	}
+	if len(tr.Filter(KindRoster)) == 0 {
+		t.Fatal("no roster events at boot")
+	}
+
+	c.CrashNode(2)
+	c.Run(30 * sim.Millisecond)
+	downs := tr.Filter(KindPeerDown)
+	if len(downs) == 0 {
+		t.Fatal("no peer-down events after crash")
+	}
+	sawDead2 := false
+	for _, e := range downs {
+		if e.Arg == 2 {
+			sawDead2 = true
+		}
+	}
+	if !sawDead2 {
+		t.Fatal("crash of node 2 not traced")
+	}
+	out := tr.String()
+	for _, want := range []string{"ONLINE", "ROSTER", "PEER-DOWN"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestHookChainingPreserved(t *testing.T) {
+	c := core.New(core.Options{Nodes: 2, Switches: 2})
+	userOnlineCalled := false
+	c.Nodes[0].OnOnline = func() { userOnlineCalled = true }
+	Attach(c)
+	if err := c.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	if !userOnlineCalled {
+		t.Fatal("tracer broke the user's OnOnline hook")
+	}
+}
+
+func TestDedupCollapsesAgreement(t *testing.T) {
+	events := []Event{
+		{Kind: KindRoster, Node: 0, Text: "ring A"},
+		{Kind: KindRoster, Node: 1, Text: "ring A"},
+		{Kind: KindRoster, Node: 2, Text: "ring A"},
+		{Kind: KindPeerDown, Node: 0, Text: "x"},
+		{Kind: KindRoster, Node: 0, Text: "ring B"},
+	}
+	out := Dedup(events)
+	if len(out) != 3 {
+		t.Fatalf("dedup kept %d events: %+v", len(out), out)
+	}
+	if !strings.Contains(out[0].Text, "+2 nodes agree") {
+		t.Fatalf("agreement count missing: %q", out[0].Text)
+	}
+}
+
+func TestCapBoundsMemory(t *testing.T) {
+	c := core.New(core.Options{Nodes: 2, Switches: 2})
+	tr := Attach(c)
+	tr.Cap = 5
+	for i := 0; i < 20; i++ {
+		tr.add(Event{Kind: KindOnline, Node: i})
+	}
+	if len(tr.Events()) != 5 {
+		t.Fatalf("cap not enforced: %d", len(tr.Events()))
+	}
+	if tr.Events()[4].Node != 19 {
+		t.Fatal("newest event not retained")
+	}
+}
+
+func TestNoteTakeover(t *testing.T) {
+	c := core.New(core.Options{Nodes: 2, Switches: 2})
+	tr := Attach(c)
+	tr.NoteTakeover(1, 7)
+	ev := tr.Filter(KindTakeover)
+	if len(ev) != 1 || ev[0].Arg != 7 {
+		t.Fatalf("takeover event: %+v", ev)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindRoster; k <= KindTakeover; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind name")
+	}
+}
