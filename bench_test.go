@@ -1,5 +1,6 @@
 // Benchmarks regenerating every table/figure of the AmpNet paper, one
-// per experiment in DESIGN.md §2 (E1–E12), plus micro-benchmarks of the
+// per experiment in DESIGN.md §2 (E1–E12; recorded results and sweep
+// aggregates live in EXPERIMENTS.md), plus micro-benchmarks of the
 // substrates. The printable tables come from cmd/ampbench; these
 // benchmarks time the same code paths and report domain metrics
 // (ring-tours, µs of virtual heal time, Mb/s) via b.ReportMetric.
@@ -230,6 +231,7 @@ func BenchmarkE12AmpIPCollectives(b *testing.B) {
 
 func BenchmarkSimKernelEventThroughput(b *testing.B) {
 	k := sim.NewKernel(1)
+	b.ReportAllocs()
 	n := 0
 	var tick func()
 	tick = func() {

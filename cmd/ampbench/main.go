@@ -1,52 +1,161 @@
 // Command ampbench regenerates every table, figure and quantitative
 // claim of the AmpNet paper (see DESIGN.md §2 for the experiment index
-// and EXPERIMENTS.md for recorded results).
+// and EXPERIMENTS.md for recorded results), and sweeps the whole
+// experiment matrix over seeds × topology variants in parallel.
 //
 // Usage:
 //
-//	ampbench             # run every experiment
-//	ampbench -exp e8     # run one experiment
-//	ampbench -list       # list experiments
+//	ampbench                               # run every experiment once
+//	ampbench -exp e8                       # run one experiment
+//	ampbench -exp e8 -seed 7 -nodes 16     # one experiment, custom params
+//	ampbench -list                         # list experiments
+//	ampbench -sweep -seeds 8 -par 4        # full matrix, text aggregates
+//	ampbench -sweep -seeds 8 -par 4 -json out.json -csv out.csv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	exp := flag.String("exp", "", "experiment id(s), comma-separated (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	seed := flag.Uint64("seed", 0, "kernel seed for single runs (0 = default)")
+	nodes := flag.Int("nodes", 0, "node-count override for single runs")
+	switches := flag.Int("switches", 0, "switch-count override for single runs")
+	fiber := flag.Float64("fiber", 0, "fiber-meters override for single runs")
+
+	sweep := flag.Bool("sweep", false, "sweep experiments × seeds × topology variants")
+	seeds := flag.Int("seeds", 8, "sweep: seeds per variant")
+	baseSeed := flag.Uint64("base-seed", 1, "sweep: first seed")
+	par := flag.Int("par", 4, "sweep: parallel workers")
+	noVariants := flag.Bool("no-variants", false, "sweep: default topology only")
+	jsonOut := flag.String("json", "", "sweep: write the full report as JSON to this file")
+	csvOut := flag.String("csv", "", "sweep: write aggregate stats as CSV to this file")
+	quiet := flag.Bool("q", false, "sweep: suppress per-run progress")
 	flag.Parse()
 
 	if *list {
 		for _, s := range experiments.All() {
-			fmt.Printf("  %-4s %s\n", s.ID, s.Short)
+			variants := ""
+			if len(s.Variants) > 0 {
+				var labels []string
+				for _, v := range s.Variants {
+					labels = append(labels, v.Merged(s.Defaults).Label())
+				}
+				variants = "  [" + strings.Join(labels, " ") + "]"
+			}
+			fmt.Printf("  %-4s %s%s\n", s.ID, s.Short, variants)
 		}
 		return
 	}
+
+	if *sweep {
+		runSweep(*exp, *seeds, *baseSeed, *par, *noVariants, *jsonOut, *csvOut, *quiet)
+		return
+	}
+
+	p := experiments.Params{Seed: *seed, Nodes: *nodes, Switches: *switches, FiberM: *fiber}
 	if *exp != "" {
-		s := experiments.ByID(*exp)
-		if s == nil {
-			fmt.Fprintf(os.Stderr, "ampbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+		for _, id := range strings.Split(*exp, ",") {
+			s := experiments.ByID(strings.TrimSpace(id))
+			if s == nil {
+				fmt.Fprintf(os.Stderr, "ampbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			run(*s, p)
 		}
-		run(*s)
 		return
 	}
 	fmt.Println("AmpNet reproduction — all experiments (deterministic; see EXPERIMENTS.md)")
 	for _, s := range experiments.All() {
-		run(s)
+		run(s, p)
 	}
 }
 
-func run(s experiments.Spec) {
+func run(s experiments.Spec, p experiments.Params) {
 	start := time.Now()
-	t := s.Run()
+	t := s.Run(p.Merged(s.Defaults))
 	t.Fprint(os.Stdout)
 	fmt.Printf("  [%s completed in %v wall time]\n", s.ID, time.Since(start).Round(time.Millisecond))
+}
+
+func runSweep(exp string, seeds int, baseSeed uint64, par int, noVariants bool, jsonOut, csvOut string, quiet bool) {
+	cfg := harness.Config{
+		Seeds:      seeds,
+		BaseSeed:   baseSeed,
+		Parallel:   par,
+		NoVariants: noVariants,
+	}
+	if exp != "" {
+		for _, id := range strings.Split(exp, ",") {
+			cfg.Experiments = append(cfg.Experiments, strings.TrimSpace(id))
+		}
+	}
+	plan, err := harness.Plan(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ampbench: %v\n", err)
+		os.Exit(1)
+	}
+	done := 0
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "sweep: %d runs (%d workers)\n", len(plan), par)
+		cfg.OnResult = func(r harness.Result) {
+			done++
+			status := "ok"
+			if r.Error != "" {
+				status = r.Error
+			}
+			fmt.Fprintf(os.Stderr, "  [%3d/%d] %-4s %-14s seed=%-3d %s\n",
+				done, len(plan), r.Exp, r.Variant, r.Seed, status)
+		}
+	}
+	start := time.Now()
+	rep, err := harness.Sweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ampbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := rep.WriteText(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "ampbench: %v\n", err)
+		os.Exit(1)
+	}
+	if jsonOut != "" {
+		writeFile(jsonOut, rep.WriteJSON)
+	}
+	if csvOut != "" {
+		writeFile(csvOut, rep.WriteCSV)
+	}
+	errs := 0
+	for _, r := range rep.Runs {
+		if r.Error != "" {
+			errs++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d runs in %v wall time, %d errors\n",
+		len(rep.Runs), time.Since(start).Round(time.Millisecond), errs)
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ampbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "ampbench: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -22,9 +22,10 @@ func main() {
 	nodes := flag.Int("nodes", 6, "number of nodes")
 	switches := flag.Int("switches", 4, "number of switches")
 	fiber := flag.Float64("fiber", 1000, "fiber meters per link")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
 	flag.Parse()
 
-	c := ampnet.New(ampnet.Options{Nodes: *nodes, Switches: *switches, FiberMeters: *fiber})
+	c := ampnet.New(ampnet.Options{Nodes: *nodes, Switches: *switches, FiberMeters: *fiber, Seed: *seed})
 
 	// Print node 0's adoptions (all nodes adopt equal rosters).
 	agent := c.Nodes[0].Agent

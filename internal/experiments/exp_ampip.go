@@ -12,12 +12,19 @@ import (
 // IP-style datagrams and MPI-style collectives running over the
 // MicroPacket network, with a latency/bandwidth table.
 func E12Collectives(nodes int) *Table {
+	return E12CollectivesP(Params{Nodes: nodes})
+}
+
+// E12CollectivesP is the parameterized form of E12Collectives.
+func E12CollectivesP(p Params) *Table {
+	p = p.Merged(Params{Nodes: 8, Switches: 2})
+	nodes := p.Nodes
 	t := &Table{
 		ID:     "E12",
 		Title:  "AmpIP + MPI-style middleware over MicroPackets (paper slides 3, 12)",
 		Header: []string{"operation", "size B", "latency", "bandwidth Mb/s"},
 	}
-	c := core.New(core.Options{Nodes: nodes, Switches: 2})
+	c := core.New(core.Options{Nodes: nodes, Switches: p.Switches, Seed: p.seed()})
 	if err := c.Boot(0); err != nil {
 		t.Note("boot failed: %v", err)
 		return t
@@ -60,6 +67,7 @@ func E12Collectives(nodes int) *Table {
 				sum += r
 			}
 			t.Add("UDP-like RTT (64 B)", "64", (sum / sim.Time(len(rtts))).String(), "-")
+			t.Metric("rtt_ns_mean", float64(sum)/float64(len(rtts)))
 		}
 	}
 
@@ -85,6 +93,7 @@ func E12Collectives(nodes int) *Table {
 		if doneAt > 0 {
 			mbps := float64(total) * 8 / (doneAt - startAt).Seconds() / 1e6
 			t.Add("stream (datagrams)", fmt.Sprint(total), (doneAt - startAt).String(), fmt.Sprintf("%.0f", mbps))
+			t.Metric("stream_mbps", mbps)
 		} else {
 			t.Add("stream (datagrams)", fmt.Sprint(total), "INCOMPLETE", "-")
 		}

@@ -14,20 +14,27 @@ import (
 // torn value; the retry fraction grows with the write rate — the cost
 // profile of the "if they agree read, else wait and go to Start" rule.
 func E5Seqlock() *Table {
+	return E5SeqlockP(Params{})
+}
+
+// E5SeqlockP is the parameterized form of E5Seqlock.
+func E5SeqlockP(p Params) *Table {
+	p = p.Merged(Params{Nodes: 3, Switches: 2})
 	t := &Table{
 		ID:     "E5",
 		Title:  "network-cache consistency via Lamport counters (paper slide 9)",
 		Header: []string{"write interval", "reads", "clean", "retries", "retry %", "torn values"},
 	}
+	tornTotal := 0
 	for _, wi := range []sim.Time{1 * sim.Millisecond, 200 * sim.Microsecond, 50 * sim.Microsecond, 10 * sim.Microsecond} {
-		c := core.New(core.Options{Nodes: 3, Switches: 2, Regions: map[uint8]int{1: 4096}})
+		c := core.New(core.Options{Nodes: p.Nodes, Switches: p.Switches, Seed: p.seed(), Regions: map[uint8]int{1: 4096}})
 		if err := c.Boot(0); err != nil {
 			t.Note("boot failed: %v", err)
 			return t
 		}
 		rec := netcache.Record{Region: 1, Off: 0, Size: 64}
 		writer := c.Nodes[0].CacheW
-		reader := c.Nodes[2].Cache
+		reader := c.Nodes[p.Nodes-1].Cache // farthest replica from the writer
 
 		var torn, clean, retries int
 		seq := byte(0)
@@ -70,9 +77,11 @@ func E5Seqlock() *Table {
 		c.K.After(0, read)
 		c.Run(25 * sim.Millisecond)
 		total := clean + retries
+		tornTotal += torn
 		t.Add(wi.String(), fmt.Sprint(total), fmt.Sprint(clean), fmt.Sprint(retries),
 			fmt.Sprintf("%.2f", 100*float64(retries)/float64(total)), fmt.Sprint(torn))
 	}
+	t.Metric("torn_total", float64(tornTotal))
 	t.Note("torn values must be 0 at every write rate — the protocol's invariant")
 	return t
 }
@@ -82,12 +91,19 @@ func E5Seqlock() *Table {
 // record under a network semaphore; the final count must be exact, and
 // the table reports lock acquisition latency.
 func E6Semaphores(nodes, opsPerNode int) *Table {
+	return E6SemaphoresP(Params{Nodes: nodes}, opsPerNode)
+}
+
+// E6SemaphoresP is the parameterized form of E6Semaphores.
+func E6SemaphoresP(p Params, opsPerNode int) *Table {
+	p = p.Merged(Params{Nodes: 5, Switches: 2})
+	nodes := p.Nodes
 	t := &Table{
 		ID:     "E6",
 		Title:  "network semaphores serialize cache write conflicts (paper slide 10)",
 		Header: []string{"nodes", "ops/node", "final counter", "expected", "exact", "lock µs p50", "lock µs p99"},
 	}
-	c := core.New(core.Options{Nodes: nodes, Switches: 2, Regions: map[uint8]int{1: 4096}})
+	c := core.New(core.Options{Nodes: nodes, Switches: p.Switches, Seed: p.seed(), Regions: map[uint8]int{1: 4096}})
 	if err := c.Boot(0); err != nil {
 		t.Note("boot failed: %v", err)
 		return t
@@ -131,6 +147,9 @@ func E6Semaphores(nodes, opsPerNode int) *Table {
 	t.Add(fmt.Sprint(nodes), fmt.Sprint(opsPerNode), fmt.Sprint(shared),
 		fmt.Sprint(nodes*opsPerNode), exact,
 		fmt.Sprintf("%.1f", lat.Percentile(50)), fmt.Sprintf("%.1f", lat.Percentile(99)))
+	t.Metric("lost_updates", float64(nodes*opsPerNode-shared))
+	t.Metric("lock_us_p50", lat.Percentile(50))
+	t.Metric("lock_us_p99", lat.Percentile(99))
 	t.Note("the shared value is deliberately unprotected host memory; exactness proves mutual exclusion")
 	return t
 }
@@ -139,13 +158,20 @@ func E6Semaphores(nodes, opsPerNode int) *Table {
 // cache record update to every replica (slide 10: "no caching is
 // allowed in local host cache" — every write goes to the wire).
 func E6aWriteThrough(nodes int) *Table {
+	return E6aWriteThroughP(Params{Nodes: nodes})
+}
+
+// E6aWriteThroughP is the parameterized form of E6aWriteThrough.
+func E6aWriteThroughP(p Params) *Table {
+	p = p.Merged(Params{Nodes: 6, Switches: 2})
+	nodes := p.Nodes
 	t := &Table{
 		ID:     "E6a",
 		Title:  "write-through replication latency (paper slide 10)",
 		Header: []string{"nodes", "record B", "replica lat µs (min)", "(max)"},
 	}
 	for _, size := range []int{16, 64, 256} {
-		c := core.New(core.Options{Nodes: nodes, Switches: 2, Regions: map[uint8]int{1: 8192}})
+		c := core.New(core.Options{Nodes: nodes, Switches: p.Switches, Seed: p.seed(), Regions: map[uint8]int{1: 8192}})
 		if err := c.Boot(0); err != nil {
 			t.Note("boot failed: %v", err)
 			return t
@@ -188,6 +214,7 @@ func E6aWriteThrough(nodes int) *Table {
 		}
 		t.Add(fmt.Sprint(nodes), fmt.Sprint(size),
 			fmt.Sprintf("%.1f", min.Micros()), fmt.Sprintf("%.1f", max.Micros()))
+		t.Metric(fmt.Sprintf("replica_lat_us_max_%dB", size), max.Micros())
 	}
 	return t
 }

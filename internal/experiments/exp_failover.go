@@ -18,20 +18,26 @@ import (
 // assimilation rules, receives a cache refresh and joins. The table
 // sweeps cache size; version-incompatible nodes must be rejected.
 func E9Assimilation() *Table {
+	return E9AssimilationP(Params{})
+}
+
+// E9AssimilationP is the parameterized form of E9Assimilation.
+func E9AssimilationP(p Params) *Table {
+	p = p.Merged(Params{Nodes: 4, Switches: 2})
 	t := &Table{
 		ID:     "E9",
 		Title:  "node assimilation: cache refresh time vs cache size (paper slide 17)",
 		Header: []string{"cache KB", "join → online", "refresh MB/s", "verdict"},
 	}
 	for _, kb := range []int{64, 256, 1024} {
-		c := core.New(core.Options{Nodes: 4, Switches: 2, Regions: map[uint8]int{1: kb * 1024}})
-		// Boot 3 of 4 nodes.
-		for i := 0; i < 3; i++ {
+		c := core.New(core.Options{Nodes: p.Nodes, Switches: p.Switches, Seed: p.seed(), Regions: map[uint8]int{1: kb * 1024}})
+		// Boot all but the last node; it joins later.
+		for i := 0; i < p.Nodes-1; i++ {
 			nd := c.Nodes[i]
 			c.K.After(0, func() { nd.Boot() })
 		}
 		c.Run(30 * sim.Millisecond)
-		joiner := c.Nodes[3]
+		joiner := c.Nodes[p.Nodes-1]
 		var bootAt, onlineAt sim.Time
 		joiner.OnOnline = func() { onlineAt = c.Now() }
 		c.K.After(0, func() {
@@ -47,12 +53,14 @@ func E9Assimilation() *Table {
 		}
 		el := onlineAt - bootAt
 		mbps := float64(joiner.RefreshedB) / el.Seconds() / 1e6
+		t.Metric(fmt.Sprintf("join_ns_%dkb", kb), float64(el))
+		t.Metric(fmt.Sprintf("refresh_mbps_%dkb", kb), mbps)
 		t.Add(fmt.Sprint(kb), el.String(), fmt.Sprintf("%.1f", mbps), "online")
 	}
 
 	// Version gate: an incompatible node must be rejected.
 	{
-		c := core.New(core.Options{Nodes: 3, Switches: 2, VersionOf: func(id int) ampdk.Version {
+		c := core.New(core.Options{Nodes: 3, Switches: 2, Seed: p.seed(), VersionOf: func(id int) ampdk.Version {
 			if id == 2 {
 				return 0x0200
 			}
@@ -74,13 +82,23 @@ func E9Assimilation() *Table {
 // qualified node, and no data loss. A primary checkpoints a counter,
 // dies mid-run, and the survivor must recover the last committed value.
 func E10Failover() *Table {
+	return E10FailoverP(Params{})
+}
+
+// E10FailoverP is the parameterized form of E10Failover. The group
+// membership stays at 4 nodes (rank table below); the seed varies
+// heartbeat phasing and therefore where the crash cuts a checkpoint.
+func E10FailoverP(p Params) *Table {
+	p = p.Merged(Params{Switches: 2})
 	t := &Table{
 		ID:     "E10",
 		Title:  "application failover: detection, definable period, no data loss (paper slides 18–19)",
 		Header: []string{"failover period", "detect latency", "fail → takeover", "checkpoints", "recovered", "data loss"},
 	}
+	lostTotal := int64(0)
+	detectNS := sim.NewSample("detect")
 	for _, period := range []sim.Time{100 * sim.Microsecond, 1 * sim.Millisecond, 5 * sim.Millisecond} {
-		c := core.New(core.Options{Nodes: 4, Switches: 2, Regions: map[uint8]int{1: 4096}})
+		c := core.New(core.Options{Nodes: 4, Switches: p.Switches, Seed: p.seed(), Regions: map[uint8]int{1: 4096}})
 		if err := c.Boot(0); err != nil {
 			t.Note("boot failed: %v", err)
 			return t
@@ -139,13 +157,22 @@ func E10Failover() *Table {
 		loss := "NONE"
 		// The survivor must recover the last committed checkpoint or the
 		// one immediately before it (if the crash cut the final
-		// checkpoint's replication mid-flight).
-		if recovered < committed-1 || recovered > committed {
-			loss = fmt.Sprintf("LOST %d", committed-recovered)
+		// checkpoint's replication mid-flight). Signed arithmetic: a
+		// recovered value beyond committed (corrupt state) must count
+		// as an anomaly, not wrap.
+		if lost := int64(committed) - int64(recovered); lost > 1 || lost < 0 {
+			loss = fmt.Sprintf("LOST %d", lost)
+			if lost < 0 {
+				lost = -lost
+			}
+			lostTotal += lost
 		}
+		detectNS.ObserveTime(detectAt - failAt)
 		t.Add(period.String(), (detectAt - failAt).String(), (tookAt - failAt).String(),
 			fmt.Sprint(committed), fmt.Sprint(recovered), loss)
 	}
+	t.Metric("lost_checkpoints", float64(lostTotal))
+	t.Metric("detect_ns_max", detectNS.Max())
 	t.Note("detection is sub-millisecond (3×250 µs heartbeats); takeover = detection + the app-defined period")
 	return t
 }
@@ -155,6 +182,12 @@ func E10Failover() *Table {
 // failure interrupts AmpNet for ring-tour-scale microseconds, while the
 // conventional static network is down for its protection delay.
 func E11SelfHealVsBaseline() *Table {
+	return E11SelfHealVsBaselineP(Params{})
+}
+
+// E11SelfHealVsBaselineP is the parameterized form of
+// E11SelfHealVsBaseline.
+func E11SelfHealVsBaselineP(p Params) *Table {
 	t := &Table{
 		ID:     "E11",
 		Title:  "self-healing vs conventional network under switch failure (paper slides 2, 13, 18)",
@@ -166,7 +199,7 @@ func E11SelfHealVsBaseline() *Table {
 
 	// AmpNet: full stack, pub/sub stream from node 0 to node 2.
 	{
-		c := core.New(core.Options{Nodes: 4, Switches: 2})
+		c := core.New(core.Options{Nodes: 4, Switches: 2, Seed: p.seed()})
 		if err := c.Boot(0); err != nil {
 			t.Note("boot failed: %v", err)
 			return t
@@ -192,11 +225,13 @@ func E11SelfHealVsBaseline() *Table {
 		c.K.After(failTime, func() { c.FailSwitch(0) })
 		c.Run(runFor + 10*sim.Millisecond)
 		t.Add("AmpNet (rostering)", gapMax.String(), fmt.Sprint(sent-got), "yes")
+		t.Metric("ampnet_outage_ns", float64(gapMax))
+		t.Metric("ampnet_frames_lost", float64(sent-got))
 	}
 
 	// Static switched baseline, same hardware, same traffic pattern.
 	{
-		k := sim.NewKernel(1)
+		k := sim.NewKernel(p.seed())
 		net := phys.NewNet(k)
 		cl := phys.BuildCluster(net, 4, 2, 50)
 		sn := baseline.NewStaticNet(k, cl)
@@ -228,6 +263,7 @@ func E11SelfHealVsBaseline() *Table {
 		}
 		recovered := "after protection delay"
 		t.Add("static switched (baseline)", outage.String(), fmt.Sprint(sent-got), recovered)
+		t.Metric("baseline_outage_ns", float64(outage))
 	}
 	t.Note("AmpNet's outage is the rostering window (µs–ms); the baseline is dark for its full protection delay (~1 s)")
 	t.Note("frames lost during the AmpNet transition are recovered by higher layers (DMA gaps / cache refresh)")

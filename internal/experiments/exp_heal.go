@@ -20,8 +20,11 @@ type healRig struct {
 	agents  []*rostering.Agent
 }
 
-func newHealRig(nodes, switches int, fiberM float64) *healRig {
-	r := &healRig{k: sim.NewKernel(1)}
+func newHealRig(seed uint64, nodes, switches int, fiberM float64) *healRig {
+	if seed == 0 {
+		seed = 1
+	}
+	r := &healRig{k: sim.NewKernel(seed)}
 	r.net = phys.NewNet(r.k)
 	r.cluster = phys.BuildCluster(r.net, nodes, switches, fiberM)
 	for i := 0; i < nodes; i++ {
@@ -70,15 +73,23 @@ func (r *healRig) ringSize() int {
 // survivability table: ring size after k switch failures for the
 // dual-redundant (2-switch) and quad-redundant (4-switch) segments.
 func E7Redundancy(nodes int) *Table {
+	return E7RedundancyP(Params{Nodes: nodes})
+}
+
+// E7RedundancyP is the parameterized form of E7Redundancy.
+func E7RedundancyP(p Params) *Table {
+	p = p.Merged(Params{Nodes: 6, FiberM: 50})
+	nodes := p.Nodes
 	t := &Table{
 		ID:     "E7",
 		Title:  "dual vs quad redundant segments under switch failures (paper slides 14–15)",
 		Header: []string{"segment", "switches failed", "ring size", "full ring"},
 	}
+	fullRings := 0
 	for _, switches := range []int{2, 4} {
 		name := map[int]string{2: "dual-redundant", 4: "quad-redundant"}[switches]
 		for k := 0; k < switches; k++ {
-			r := newHealRig(nodes, switches, 50)
+			r := newHealRig(p.seed(), nodes, switches, p.FiberM)
 			for s := 0; s < k; s++ {
 				s := s
 				r.k.After(0, func() { r.cluster.Switches[s].Fail() })
@@ -88,10 +99,13 @@ func E7Redundancy(nodes int) *Table {
 			full := "yes"
 			if size != nodes {
 				full = "NO"
+			} else {
+				fullRings++
 			}
 			t.Add(name, fmt.Sprint(k), fmt.Sprint(size), full)
 		}
 	}
+	t.Metric("full_rings", float64(fullRings))
 	t.Note("quad survives any 3 switch failures with a full ring; dual survives 1 — matching the slide-14 claim")
 	return t
 }
@@ -99,17 +113,27 @@ func E7Redundancy(nodes int) *Table {
 // E7aLinkFailures samples random link failure sets and reports the
 // largest logical ring the rostering algorithm salvages.
 func E7aLinkFailures(nodes, switches, maxFail, samples int) *Table {
+	return E7aLinkFailuresP(Params{Nodes: nodes, Switches: switches}, maxFail, samples)
+}
+
+// E7aLinkFailuresP is the parameterized form of E7aLinkFailures. The
+// seed drives the random failure sets, so sweeping seeds explores
+// different failure patterns on the same topology.
+func E7aLinkFailuresP(p Params, maxFail, samples int) *Table {
+	p = p.Merged(Params{Nodes: 8, Switches: 4, FiberM: 50})
+	nodes, switches := p.Nodes, p.Switches
 	t := &Table{
 		ID:     "E7a",
 		Title:  "largest logical ring under random link failures (rostering objective)",
 		Header: []string{"links failed", "samples", "avg ring", "min ring", "always consistent"},
 	}
-	rng := sim.NewRNG(42)
+	rng := sim.NewRNG(41 + p.seed()) // default seed 1 → 42, the historical stream
+	minRing := nodes
 	for k := 0; k <= maxFail; k += 2 {
 		sum, min := 0, nodes+1
 		consistent := true
 		for s := 0; s < samples; s++ {
-			r := newHealRig(nodes, switches, 50)
+			r := newHealRig(p.seed(), nodes, switches, p.FiberM)
 			perm := rng.Perm(nodes * switches)
 			for _, idx := range perm[:k] {
 				n, sw := idx/switches, idx%switches
@@ -131,9 +155,13 @@ func E7aLinkFailures(nodes, switches, maxFail, samples int) *Table {
 		if !consistent {
 			cons = "NO"
 		}
+		if min <= nodes && min < minRing {
+			minRing = min
+		}
 		t.Add(fmt.Sprint(k), fmt.Sprint(samples), fmt.Sprintf("%.1f", float64(sum)/float64(samples)),
 			fmt.Sprint(min), cons)
 	}
+	t.Metric("min_ring", float64(minRing))
 	return t
 }
 
@@ -141,14 +169,31 @@ func E7aLinkFailures(nodes, switches, maxFail, samples int) *Table {
 // completes in two ring-tour times — 1 to 2 milliseconds, depending on
 // the number of nodes and the length of the fiber."
 func E8Rostering() *Table {
+	return E8RosteringP(Params{})
+}
+
+// E8RosteringP is the parameterized form: a non-zero p.Nodes or
+// p.FiberM narrows the sweep to that single node count / fiber length,
+// which is how topology variants select one configuration each.
+func E8RosteringP(p Params) *Table {
 	t := &Table{
 		ID:     "E8",
 		Title:  "rostering completion vs nodes and fiber length (paper slide 16)",
 		Header: []string{"nodes", "fiber m", "ring tour", "heal time", "ring tours", "paper band 1–2 ms"},
 	}
-	for _, n := range []int{4, 8, 16, 32} {
-		for _, fiber := range []float64{10, 1000, 5000} {
-			r := newHealRig(n, 4, fiber)
+	nodeList := []int{4, 8, 16, 32}
+	if p.Nodes != 0 {
+		nodeList = []int{p.Nodes}
+	}
+	fiberList := []float64{10, 1000, 5000}
+	if p.FiberM != 0 {
+		fiberList = []float64{p.FiberM}
+	}
+	healNS := sim.NewSample("heal")
+	tourRatio := sim.NewSample("tours")
+	for _, n := range nodeList {
+		for _, fiber := range fiberList {
+			r := newHealRig(p.seed(), n, 4, fiber)
 			tour := rostering.EstimateTour(n, fiber, r.net)
 
 			var failAt sim.Time
@@ -168,6 +213,8 @@ func E8Rostering() *Table {
 			r.run(200 * sim.Millisecond)
 			heal := lastAdopt - failAt - r.net.Detect // from hardware detection
 			tours := float64(heal) / float64(tour)
+			healNS.ObserveTime(heal)
+			tourRatio.Observe(tours)
 			inBand := "—"
 			if heal >= sim.Millisecond && heal <= 2*sim.Millisecond {
 				inBand = "yes"
@@ -176,6 +223,9 @@ func E8Rostering() *Table {
 				fmt.Sprintf("%.2f", tours), inBand)
 		}
 	}
+	t.Metric("heal_ns_mean", healNS.Mean())
+	t.Metric("heal_ns_max", healNS.Max())
+	t.Metric("ring_tours_mean", tourRatio.Mean())
 	t.Note("completion ≈ 2 ring tours everywhere (flood wave + settle wave); the absolute 1–2 ms band")
 	t.Note("corresponds to larger rings / longer fiber, e.g. 16–32 nodes at km-scale fiber, as the paper says")
 	return t
@@ -190,8 +240,7 @@ type HealBench struct {
 
 // NewHealBench builds and boots the rig.
 func NewHealBench(seed uint64, nodes, switches int, fiberM float64) *HealBench {
-	r := newHealRig(nodes, switches, fiberM)
-	_ = seed // the rig is deterministic; seed kept for future jitter studies
+	r := newHealRig(seed, nodes, switches, fiberM)
 	return &HealBench{r: r, tour: rostering.EstimateTour(nodes, fiberM, r.net)}
 }
 
@@ -219,13 +268,20 @@ func (h *HealBench) HealOnce() (sim.Time, sim.Time) {
 // E8aDetectionSensitivity is the ablation: how the PHY's loss-of-light
 // detection latency shifts total heal time.
 func E8aDetectionSensitivity() *Table {
+	return E8aDetectionSensitivityP(Params{})
+}
+
+// E8aDetectionSensitivityP is the parameterized form of
+// E8aDetectionSensitivity.
+func E8aDetectionSensitivityP(p Params) *Table {
+	p = p.Merged(Params{Nodes: 8, Switches: 4, FiberM: 1000})
 	t := &Table{
 		ID:     "E8a",
 		Title:  "heal-time sensitivity to failure-detection latency (ablation)",
 		Header: []string{"detect latency", "total heal (fail→ring)", "rostering share"},
 	}
 	for _, det := range []sim.Time{1 * sim.Microsecond, 10 * sim.Microsecond, 100 * sim.Microsecond} {
-		r := newHealRig(8, 4, 1000)
+		r := newHealRig(p.seed(), p.Nodes, p.Switches, p.FiberM)
 		r.net.Detect = det
 		var failAt sim.Time
 		lastAdopt := sim.Time(-1)
@@ -240,6 +296,7 @@ func E8aDetectionSensitivity() *Table {
 		r.run(100 * sim.Millisecond)
 		total := lastAdopt - failAt
 		rshare := total - det
+		t.Metric(fmt.Sprintf("total_heal_ns_det%.0fus", det.Micros()), float64(total))
 		t.Add(det.String(), total.String(), rshare.String())
 	}
 	return t

@@ -12,8 +12,8 @@ import (
 
 // macRing builds n insertion stations on a single-switch ring with a
 // manually programmed roster (MAC-level rig, no kernels).
-func macRing(n int, fiberM float64) (*sim.Kernel, *phys.Net, []*insertion.Station) {
-	k := sim.NewKernel(1)
+func macRing(seed uint64, n int, fiberM float64) (*sim.Kernel, *phys.Net, []*insertion.Station) {
+	k := sim.NewKernel(seed)
 	net := phys.NewNet(k)
 	c := phys.BuildCluster(net, n, 1, fiberM)
 	sts := make([]*insertion.Station, n)
@@ -47,19 +47,26 @@ func pump(k *sim.Kernel, send func(*micropacket.Packet) bool, count int, mk func
 // four streams progress concurrently (spatial reuse); the token-ring
 // baseline serializes them behind one rotating transmit opportunity.
 func E3MultiStream(framesPerStream int) *Table {
+	return E3MultiStreamP(Params{}, framesPerStream)
+}
+
+// E3MultiStreamP is the parameterized form: p.Nodes streams (default 4)
+// on p.FiberM meters of fiber (default 50), seeded by p.Seed.
+func E3MultiStreamP(p Params, framesPerStream int) *Table {
+	p = p.Merged(Params{Nodes: 4, FiberM: 50})
 	t := &Table{
 		ID:     "E3",
 		Title:  "multiple concurrent data streams per segment (paper slide 7)",
 		Header: []string{"MAC", "streams", "frames/stream", "completion", "aggregate Mb/s", "drops"},
 	}
-	const n = 4
+	n := p.Nodes
 	payload := 8 // fixed Data packets
 	wire := micropacket.WireSize(micropacket.TypeData, payload)
 
 	// AmpNet insertion ring: stream i→(i+1)%n uses a one-hop arc, so
-	// all four streams occupy disjoint segments concurrently.
+	// all n streams occupy disjoint segments concurrently.
 	{
-		k, net, sts := macRing(n, 50)
+		k, net, sts := macRing(p.seed(), n, p.FiberM)
 		done := make([]int, n)
 		for i := range sts {
 			i := i
@@ -77,13 +84,15 @@ func E3MultiStream(framesPerStream int) *Table {
 		bits := float64(n*framesPerStream*wire) * 8
 		t.Add("AmpNet insertion ring", fmt.Sprint(n), fmt.Sprint(framesPerStream),
 			el.String(), fmt.Sprintf("%.0f", bits/el.Seconds()/1e6), fmt.Sprint(net.Drops.N))
+		t.Metric("ampnet_mbps", bits/el.Seconds()/1e6)
+		t.Metric("ampnet_drops", float64(net.Drops.N))
 	}
 
 	// Token ring: same offered pattern, one transmitter at a time.
 	{
-		k := sim.NewKernel(1)
+		k := sim.NewKernel(p.seed())
 		net := phys.NewNet(k)
-		c := phys.BuildCluster(net, n, 1, 50)
+		c := phys.BuildCluster(net, n, 1, p.FiberM)
 		tr := baseline.NewTokenRing(k, c)
 		for i := 0; i < n; i++ {
 			src := micropacket.NodeID(i)
@@ -109,6 +118,7 @@ func E3MultiStream(framesPerStream int) *Table {
 		bits := float64(n*framesPerStream*wire) * 8
 		t.Add("token ring (baseline)", fmt.Sprint(n), fmt.Sprint(framesPerStream),
 			el.String(), fmt.Sprintf("%.0f", bits/el.Seconds()/1e6), fmt.Sprint(net.Drops.N))
+		t.Metric("baseline_mbps", bits/el.Seconds()/1e6)
 	}
 	t.Note("insertion ring wins by overlapping streams on disjoint arcs; token ring is rotation-bound")
 	return t
@@ -118,6 +128,13 @@ func E3MultiStream(framesPerStream int) *Table {
 // broadcast at the same time the network is guaranteed to not drop
 // packets" — and shows the drop-tail baseline failing the same test.
 func E4AllToAll(n, perNode int) *Table {
+	return E4AllToAllP(Params{Nodes: n}, perNode)
+}
+
+// E4AllToAllP is the parameterized form of E4AllToAll.
+func E4AllToAllP(p Params, perNode int) *Table {
+	p = p.Merged(Params{Nodes: 16, FiberM: 50})
+	n := p.Nodes
 	t := &Table{
 		ID:     "E4",
 		Title:  "all-to-all broadcast losslessness (paper slide 8)",
@@ -126,7 +143,7 @@ func E4AllToAll(n, perNode int) *Table {
 	expected := n * perNode * (n - 1)
 
 	{
-		k, net, sts := macRing(n, 50)
+		k, net, sts := macRing(p.seed(), n, p.FiberM)
 		delivered := 0
 		for i := range sts {
 			sts[i].OnDeliver = func(*micropacket.Packet) { delivered++ }
@@ -144,12 +161,15 @@ func E4AllToAll(n, perNode int) *Table {
 		}
 		t.Add("AmpNet insertion ring", fmt.Sprint(n), fmt.Sprint(perNode),
 			fmt.Sprint(delivered), fmt.Sprint(expected), fmt.Sprint(net.Drops.N), verdict)
+		t.Metric("ampnet_delivered", float64(delivered))
+		t.Metric("ampnet_drops", float64(net.Drops.N))
+		t.Metric("completion_ns", float64(k.Now()))
 	}
 
 	{
-		k := sim.NewKernel(1)
+		k := sim.NewKernel(p.seed())
 		net := phys.NewNet(k)
-		c := phys.BuildCluster(net, n, 1, 50)
+		c := phys.BuildCluster(net, n, 1, p.FiberM)
 		sts := baseline.NewDropTailRing(k, c, 4)
 		delivered := 0
 		for i := range sts {
@@ -172,6 +192,7 @@ func E4AllToAll(n, perNode int) *Table {
 		}
 		t.Add("drop-tail ring (baseline)", fmt.Sprint(n), fmt.Sprint(perNode),
 			fmt.Sprint(delivered), fmt.Sprint(expected), fmt.Sprint(net.Drops.N), verdict)
+		t.Metric("baseline_drops", float64(net.Drops.N))
 	}
 	t.Note("AmpNet's losslessness comes from transit priority + insert-when-idle + host backpressure")
 	return t
@@ -180,6 +201,13 @@ func E4AllToAll(n, perNode int) *Table {
 // E4aLoadSweep is the ablation: offered load factor vs achieved goodput
 // and drops for both MACs.
 func E4aLoadSweep(n int) *Table {
+	return E4aLoadSweepP(Params{Nodes: n})
+}
+
+// E4aLoadSweepP is the parameterized form of E4aLoadSweep.
+func E4aLoadSweepP(p Params) *Table {
+	p = p.Merged(Params{Nodes: 8, FiberM: 50})
+	n := p.Nodes
 	t := &Table{
 		ID:     "E4a",
 		Title:  "offered-load sweep under broadcast traffic (flow-control ablation)",
@@ -194,9 +222,9 @@ func E4aLoadSweep(n int) *Table {
 	for _, load := range []float64{0.25, 0.5, 0.9, 1.5} {
 		perNodeInterval := sim.Time(float64(n) / (load * capacityFPS) * 1e9)
 		run := func(ampnetMAC bool) (delivered int, drops uint64) {
-			k := sim.NewKernel(1)
+			k := sim.NewKernel(p.seed())
 			net := phys.NewNet(k)
-			c := phys.BuildCluster(net, n, 1, 50)
+			c := phys.BuildCluster(net, n, 1, p.FiberM)
 			var send []func(*micropacket.Packet) bool
 			if ampnetMAC {
 				sts := make([]*insertion.Station, n)
@@ -239,6 +267,9 @@ func E4aLoadSweep(n int) *Table {
 			fmt.Sprintf("%.0f", float64(dA)/float64(n-1)/secs), fmt.Sprint(dropA))
 		t.Add(fmt.Sprintf("%.2f", load), "drop-tail", fmt.Sprintf("%.0f", offered),
 			fmt.Sprintf("%.0f", float64(dB)/float64(n-1)/secs), fmt.Sprint(dropB))
+		t.Metric(fmt.Sprintf("ampnet_drops_load%.2f", load), float64(dropA))
+		t.Metric(fmt.Sprintf("baseline_drops_load%.2f", load), float64(dropB))
+		t.Metric(fmt.Sprintf("ampnet_goodput_fps_load%.2f", load), float64(dA)/float64(n-1)/secs)
 	}
 	t.Note("AmpNet sheds overload at the host (refusals), never on the wire; drop-tail loses frames past saturation")
 	return t

@@ -1,32 +1,125 @@
 package experiments
 
-// Spec names one experiment and how to run it with default parameters.
+import (
+	"fmt"
+	"strings"
+)
+
+// Params parameterizes a single experiment run. The zero value means
+// "use the experiment's defaults"; the sweep harness fills Seed and
+// merges topology variants over each spec's Defaults.
+type Params struct {
+	Seed     uint64  // deterministic kernel seed; 0 → 1
+	Nodes    int     // node count; 0 → experiment default
+	Switches int     // switch count (2=dual, 4=quad redundant); 0 → default
+	FiberM   float64 // fiber meters per link; 0 → default
+}
+
+// seed returns the effective kernel seed.
+func (p Params) seed() uint64 {
+	if p.Seed == 0 {
+		return 1
+	}
+	return p.Seed
+}
+
+// Merged fills any zero field of p from d.
+func (p Params) Merged(d Params) Params {
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.Nodes == 0 {
+		p.Nodes = d.Nodes
+	}
+	if p.Switches == 0 {
+		p.Switches = d.Switches
+	}
+	if p.FiberM == 0 {
+		p.FiberM = d.FiberM
+	}
+	return p
+}
+
+// Label renders the topology part of p as a short stable token, e.g.
+// "n8.sw4.f1000", used by the sweep harness to name variants. The seed
+// is deliberately excluded: one variant spans many seeds.
+func (p Params) Label() string {
+	var parts []string
+	if p.Nodes != 0 {
+		parts = append(parts, fmt.Sprintf("n%d", p.Nodes))
+	}
+	if p.Switches != 0 {
+		parts = append(parts, fmt.Sprintf("sw%d", p.Switches))
+	}
+	if p.FiberM != 0 {
+		parts = append(parts, fmt.Sprintf("f%.0f", p.FiberM))
+	}
+	if len(parts) == 0 {
+		return "default"
+	}
+	return strings.Join(parts, ".")
+}
+
+// Spec names one experiment and how to run it. Run receives merged
+// Params (seed + topology); experiments that have no tunable topology
+// simply ignore the fields they do not use.
 type Spec struct {
-	ID    string
-	Run   func() *Table
-	Short string
+	ID       string
+	Short    string
+	Defaults Params   // base topology; zero fields fall back to in-code defaults
+	Variants []Params // optional topology variants for -sweep (merged over Defaults)
+	Run      func(Params) *Table
 }
 
 // All returns every experiment in DESIGN.md §2 order, with the default
 // parameters used by cmd/ampbench and recorded in EXPERIMENTS.md.
 func All() []Spec {
 	return []Spec{
-		{"e1", E1TypeTable, "MicroPacket type table (slide 4)"},
-		{"e2", E2WireFormats, "wire formats fixed/variable (slides 5–6)"},
-		{"e3", func() *Table { return E3MultiStream(400) }, "multi-stream segment insertion (slide 7)"},
-		{"e4", func() *Table { return E4AllToAll(16, 100) }, "all-to-all broadcast losslessness (slide 8)"},
-		{"e4a", func() *Table { return E4aLoadSweep(8) }, "offered-load sweep ablation"},
-		{"e5", E5Seqlock, "Lamport-counter cache consistency (slide 9)"},
-		{"e6", func() *Table { return E6Semaphores(5, 20) }, "network semaphores mutual exclusion (slide 10)"},
-		{"e6a", func() *Table { return E6aWriteThrough(6) }, "write-through replication latency (slide 10)"},
-		{"e7", func() *Table { return E7Redundancy(6) }, "dual/quad redundancy survivability (slides 14–15)"},
-		{"e7a", func() *Table { return E7aLinkFailures(8, 4, 8, 5) }, "random link-failure ring salvage"},
-		{"e8", E8Rostering, "rostering: two ring-tours, 1–2 ms (slide 16)"},
-		{"e8a", E8aDetectionSensitivity, "detection-latency ablation"},
-		{"e9", E9Assimilation, "assimilation & cache refresh (slide 17)"},
-		{"e10", E10Failover, "failover: detection, period, no data loss (slides 18–19)"},
-		{"e11", E11SelfHealVsBaseline, "self-healing vs static network (slides 2, 13, 18)"},
-		{"e12", func() *Table { return E12Collectives(8) }, "AmpIP + collectives stack (slides 3, 12)"},
+		{ID: "e1", Short: "MicroPacket type table (slide 4)",
+			Run: func(Params) *Table { return E1TypeTable() }},
+		{ID: "e2", Short: "wire formats fixed/variable (slides 5–6)",
+			Run: func(Params) *Table { return E2WireFormats() }},
+		{ID: "e3", Short: "multi-stream segment insertion (slide 7)",
+			Defaults: Params{Nodes: 4, FiberM: 50},
+			Variants: []Params{{Nodes: 4}, {Nodes: 8}, {Nodes: 8, FiberM: 1000}},
+			Run:      func(p Params) *Table { return E3MultiStreamP(p, 400) }},
+		{ID: "e4", Short: "all-to-all broadcast losslessness (slide 8)",
+			Defaults: Params{Nodes: 16, FiberM: 50},
+			Variants: []Params{{Nodes: 8}, {Nodes: 16}, {Nodes: 24}},
+			Run:      func(p Params) *Table { return E4AllToAllP(p, 100) }},
+		{ID: "e4a", Short: "offered-load sweep ablation",
+			Defaults: Params{Nodes: 8, FiberM: 50},
+			Run:      E4aLoadSweepP},
+		{ID: "e5", Short: "Lamport-counter cache consistency (slide 9)",
+			Run: E5SeqlockP},
+		{ID: "e6", Short: "network semaphores mutual exclusion (slide 10)",
+			Defaults: Params{Nodes: 5},
+			Run:      func(p Params) *Table { return E6SemaphoresP(p, 20) }},
+		{ID: "e6a", Short: "write-through replication latency (slide 10)",
+			Defaults: Params{Nodes: 6},
+			Run:      E6aWriteThroughP},
+		{ID: "e7", Short: "dual/quad redundancy survivability (slides 14–15)",
+			Defaults: Params{Nodes: 6},
+			Variants: []Params{{Nodes: 6}, {Nodes: 10}},
+			Run:      func(p Params) *Table { return E7RedundancyP(p) }},
+		{ID: "e7a", Short: "random link-failure ring salvage",
+			Defaults: Params{Nodes: 8, Switches: 4},
+			Run:      func(p Params) *Table { return E7aLinkFailuresP(p, 8, 5) }},
+		{ID: "e8", Short: "rostering: two ring-tours, 1–2 ms (slide 16)",
+			Variants: []Params{{Nodes: 8, FiberM: 1000}, {Nodes: 32, FiberM: 5000}},
+			Run:      E8RosteringP},
+		{ID: "e8a", Short: "detection-latency ablation",
+			Run: E8aDetectionSensitivityP},
+		{ID: "e9", Short: "assimilation & cache refresh (slide 17)",
+			Run: E9AssimilationP},
+		{ID: "e10", Short: "failover: detection, period, no data loss (slides 18–19)",
+			Run: E10FailoverP},
+		{ID: "e11", Short: "self-healing vs static network (slides 2, 13, 18)",
+			Run: E11SelfHealVsBaselineP},
+		{ID: "e12", Short: "AmpIP + collectives stack (slides 3, 12)",
+			Defaults: Params{Nodes: 8, Switches: 2},
+			Variants: []Params{{Nodes: 4}, {Nodes: 8}},
+			Run:      E12CollectivesP},
 	}
 }
 

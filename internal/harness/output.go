@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteJSON serializes the report. Map keys are emitted sorted (the
+// encoding/json guarantee), and the report carries no wall-clock
+// values, so equal configs yield byte-identical output.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits one row per (experiment, variant, metric) aggregate:
+// exp,variant,metric,n,mean,stddev,min,p50,p99,max.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"exp", "variant", "metric", "n", "mean", "stddev", "min", "p50", "p99", "max"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, a := range r.Aggregates {
+		names := make([]string, 0, len(a.Metrics))
+		for name := range a.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := a.Metrics[name]
+			if err := cw.Write([]string{
+				a.Exp, a.Variant, name, strconv.Itoa(m.N),
+				f(m.Mean), f(m.Stddev), f(m.Min), f(m.P50), f(m.P99), f(m.Max),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText renders the cross-seed aggregates as aligned tables, one
+// per experiment variant, in the style of the single-run tables.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, a := range r.Aggregates {
+		fmt.Fprintf(w, "\n%s [%s] — %s (%d seeds", a.Exp, a.Variant, a.Short, a.Seeds)
+		if a.Errors > 0 {
+			fmt.Fprintf(w, ", %d ERRORS", a.Errors)
+		}
+		fmt.Fprint(w, ")\n")
+		if len(a.Metrics) == 0 {
+			fmt.Fprintln(w, "  (no scalar metrics)")
+			continue
+		}
+		names := make([]string, 0, len(a.Metrics))
+		wName := len("metric")
+		for name := range a.Metrics {
+			names = append(names, name)
+			if len(name) > wName {
+				wName = len(name)
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "  %-*s  %10s  %10s  %10s  %10s  %10s\n", wName, "metric", "mean", "min", "p50", "p99", "max")
+		for _, name := range names {
+			m := a.Metrics[name]
+			fmt.Fprintf(w, "  %-*s  %10.4g  %10.4g  %10.4g  %10.4g  %10.4g\n",
+				wName, name, m.Mean, m.Min, m.P50, m.P99, m.Max)
+		}
+	}
+	return nil
+}

@@ -58,12 +58,16 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 // event is a scheduled callback. seq breaks ties FIFO so that two events
 // scheduled for the same instant fire in scheduling order, which keeps
 // runs deterministic.
+//
+// Events are recycled through the kernel's free list once they fire or
+// are cancelled; gen is bumped on every recycle so that a stale Timer
+// handle can never mistake a reused event for its own.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool // cancelled timers are marked dead and skipped
-	idx  int  // heap index, maintained by eventHeap
+	at  Time
+	seq uint64
+	fn  func()
+	idx int    // heap index, maintained by eventHeap; -1 once off the heap
+	gen uint64 // reuse generation, matched against Timer.gen
 }
 
 type eventHeap []*event
@@ -103,6 +107,7 @@ type Kernel struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled events, reused by schedule
 	rng     *RNG
 	stopped bool
 
@@ -122,27 +127,43 @@ func (k *Kernel) Now() Time { return k.now }
 // RNG returns the kernel's deterministic random source.
 func (k *Kernel) RNG() *RNG { return k.rng }
 
-// Pending returns the number of scheduled (non-cancelled) events.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, e := range k.events {
-		if !e.dead {
-			n++
-		}
+// Pending returns the number of scheduled events. Cancelled events are
+// removed from the heap eagerly, so this is an O(1) live count.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// schedule queues fn at absolute time t, reusing a recycled event when
+// one is available.
+func (k *Kernel) schedule(t Time, fn func()) *event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 	}
-	return n
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		e.at, e.seq, e.fn = t, k.seq, fn
+	} else {
+		e = &event{at: t, seq: k.seq, fn: fn}
+	}
+	k.seq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// recycle returns an event to the free list and invalidates any Timer
+// handles still pointing at it.
+func (k *Kernel) recycle(e *event) {
+	e.fn = nil
+	e.gen++
+	k.free = append(k.free, e)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it indicates a model bug that would break causality.
 func (k *Kernel) At(t Time, fn func()) *Timer {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
-	}
-	e := &event{at: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.events, e)
-	return &Timer{k: k, e: e}
+	e := k.schedule(t, fn)
+	return &Timer{k: k, e: e, gen: e.gen, fn: fn}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -172,15 +193,14 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 			break
 		}
 		heap.Pop(&k.events)
-		if e.dead {
-			continue
-		}
 		if e.at < k.now {
 			panic("sim: time went backwards")
 		}
 		k.now = e.at
 		k.Fired++
-		e.fn()
+		fn := e.fn
+		k.recycle(e)
+		fn()
 	}
 	if k.now < deadline && deadline != MaxTime {
 		k.now = deadline
@@ -188,47 +208,64 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 	return k.now
 }
 
-// Step executes exactly one pending event (skipping cancelled ones) and
-// returns true, or returns false if the queue is empty.
+// Step executes exactly one pending event and returns true, or returns
+// false if the queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
-		if e.dead {
-			continue
-		}
-		k.now = e.at
-		k.Fired++
-		e.fn()
-		return true
+	if len(k.events) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.at
+	k.Fired++
+	fn := e.fn
+	k.recycle(e)
+	fn()
+	return true
 }
 
 // Timer is a handle to a scheduled event that can be cancelled or
-// rescheduled.
+// rescheduled. The zero Timer and the nil *Timer are inert: Cancel,
+// Active and Reset are all safe no-ops on them.
 type Timer struct {
-	k *Kernel
-	e *event
+	k   *Kernel
+	e   *event
+	gen uint64 // generation of e when this handle was issued
+	fn  func() // retained so Reset can re-arm after the event fired
 }
 
-// Cancel prevents the timer's callback from running. It is safe to call
-// more than once and after the event has fired.
+// Cancel prevents the timer's callback from running. The event is
+// removed from the heap immediately (no dead entries accumulate under
+// cancel-heavy workloads). It is safe to call more than once and after
+// the event has fired.
 func (t *Timer) Cancel() {
-	if t == nil || t.e == nil {
+	if t == nil || t.e == nil || t.k == nil {
 		return
 	}
-	t.e.dead = true
+	e := t.e
+	t.e = nil
+	if e.gen != t.gen || e.idx < 0 {
+		return // already fired, cancelled, or recycled
+	}
+	heap.Remove(&t.k.events, e.idx)
+	t.k.recycle(e)
 }
 
 // Active reports whether the callback is still scheduled to run.
 func (t *Timer) Active() bool {
-	return t != nil && t.e != nil && !t.e.dead && t.e.idx >= 0
+	return t != nil && t.e != nil && t.e.gen == t.gen && t.e.idx >= 0
 }
 
-// Reset cancels the timer and reschedules its callback d from now.
+// Reset cancels the timer (if still pending) and reschedules its
+// callback d from now. Like Cancel it is nil- and zero-value-safe, and
+// it works after the event has fired (re-arming the same callback).
 func (t *Timer) Reset(d Time) {
-	fn := t.e.fn
+	if t == nil || t.k == nil || t.fn == nil {
+		return
+	}
 	t.Cancel()
-	nt := t.k.After(d, fn)
-	t.e = nt.e
+	if d < 0 {
+		d = 0
+	}
+	e := t.k.schedule(t.k.now+d, t.fn)
+	t.e, t.gen = e, e.gen
 }

@@ -22,10 +22,11 @@ func (c *Counter) Inc() { c.N++ }
 // It keeps all values so exact percentiles can be reported; experiments
 // in this repository observe at most a few million samples.
 type Sample struct {
-	Name   string
-	vals   []float64
-	sorted bool
-	sum    float64
+	Name     string
+	vals     []float64
+	sorted   bool
+	sum      float64
+	min, max float64 // maintained incrementally by Observe
 }
 
 // NewSample returns an empty named sample.
@@ -33,6 +34,12 @@ func NewSample(name string) *Sample { return &Sample{Name: name} }
 
 // Observe records one value.
 func (s *Sample) Observe(v float64) {
+	if len(s.vals) == 0 || v < s.min {
+		s.min = v
+	}
+	if len(s.vals) == 0 || v > s.max {
+		s.max = v
+	}
 	s.vals = append(s.vals, v)
 	s.sum += v
 	s.sorted = false
@@ -55,23 +62,13 @@ func (s *Sample) Mean() float64 {
 	return s.sum / float64(len(s.vals))
 }
 
-// Min returns the smallest observation, or 0 with none.
-func (s *Sample) Min() float64 {
-	if len(s.vals) == 0 {
-		return 0
-	}
-	s.ensureSorted()
-	return s.vals[0]
-}
+// Min returns the smallest observation, or 0 with none. O(1): the
+// minimum is tracked incrementally, no sort is forced.
+func (s *Sample) Min() float64 { return s.min }
 
-// Max returns the largest observation, or 0 with none.
-func (s *Sample) Max() float64 {
-	if len(s.vals) == 0 {
-		return 0
-	}
-	s.ensureSorted()
-	return s.vals[len(s.vals)-1]
-}
+// Max returns the largest observation, or 0 with none. O(1): the
+// maximum is tracked incrementally, no sort is forced.
+func (s *Sample) Max() float64 { return s.max }
 
 // Stddev returns the population standard deviation.
 func (s *Sample) Stddev() float64 {
@@ -149,12 +146,11 @@ func (r *Rate) Per(now Time) float64 {
 // Histogram is a fixed-bucket histogram for latency-style distributions
 // where exact percentiles are not required but memory must stay bounded.
 type Histogram struct {
-	Name    string
-	Bounds  []float64 // ascending upper bounds; final bucket is +inf
-	Counts  []uint64
-	total   uint64
-	sum     float64
-	nameSet bool
+	Name   string
+	Bounds []float64 // ascending upper bounds; final bucket is +inf
+	Counts []uint64
+	total  uint64
+	sum    float64
 }
 
 // NewHistogram returns a histogram with the given ascending bucket
