@@ -13,13 +13,30 @@
 // shim with MPI-style collectives, and application failover with
 // control groups — "no down time and no loss of data".
 //
+// The public API is scenario-first: describe the cluster, a
+// declarative fault Plan and a set of workload generators, and Run
+// returns a deterministic machine-readable Report.
+//
 // Quick start:
+//
+//	rep, err := ampnet.Scenario{
+//		Opts:  ampnet.Options{Nodes: 6, Switches: 4},
+//		Plan:  ampnet.Plan{ampnet.FailSwitch(10*ampnet.Millisecond, 0)},
+//		Loads: []ampnet.Load{&ampnet.PubSubLoad{Publisher: 0, Topic: 1}},
+//		For:   30 * ampnet.Millisecond,
+//	}.Run()
+//	if err != nil { ... }
+//	fmt.Print(rep.Summary()) // heal time, deliveries, gaps, drops
+//
+// For finer control, assemble a Cluster yourself and drive it through
+// per-node handles, condition-based waits and installed plans:
 //
 //	c := ampnet.New(ampnet.Options{Nodes: 6, Switches: 4})
 //	if err := c.Boot(0); err != nil { ... }
-//	c.Services[0].Sub.Subscribe(1, func(src ampnet.NodeID, data []byte) { ... })
-//	c.Services[2].Sub.Publish(1, []byte("hello ring"))
-//	c.Run(5 * ampnet.Millisecond)
+//	c.Node(5).Sub().Subscribe(1, func(src ampnet.NodeID, data []byte) { ... })
+//	c.Node(0).Sub().Publish(1, []byte("hello ring"))
+//	_ = c.Install(ampnet.Plan{ampnet.CrashNode(ampnet.Millisecond, 3)})
+//	if err := c.WaitHealed(20 * ampnet.Millisecond); err != nil { ... }
 //
 // Everything — the PHY's 8b/10b symbols, MicroPacket framing, ring
 // insertion, rostering floods, cache replication — runs on a virtual
@@ -48,6 +65,75 @@ type Options = core.Options
 
 // New assembles a cluster (nothing runs until Boot).
 func New(opts Options) *Cluster { return core.New(opts) }
+
+// Handle is a typed per-node view (c.Node(i)); see core.Handle.
+type Handle = core.Handle
+
+// Scenario binds cluster + fault plan + workloads into one
+// reproducible run; see core.Scenario.
+type Scenario = core.Scenario
+
+// Report is a Scenario's deterministic machine-readable outcome.
+type Report = core.Report
+
+// EventReport is one fired plan event in a Report.
+type EventReport = core.EventReport
+
+// Plan is a declarative, validated schedule of faults and repairs.
+type Plan = core.Plan
+
+// Event is one plan entry; EventKind classifies it.
+type (
+	Event     = core.Event
+	EventKind = core.EventKind
+)
+
+// The plan event kinds, for matching on Event.Kind in OnEvent hooks.
+const (
+	EvCrashNode     = core.EvCrashNode
+	EvRebootNode    = core.EvRebootNode
+	EvFailSwitch    = core.EvFailSwitch
+	EvRestoreSwitch = core.EvRestoreSwitch
+	EvFailLink      = core.EvFailLink
+	EvRestoreLink   = core.EvRestoreLink
+)
+
+// AppliedEvent is a fired plan event with its absolute fire time.
+type AppliedEvent = core.AppliedEvent
+
+// Plan event constructors. Offsets are relative to install time.
+func CrashNode(at Time, n int) Event      { return core.CrashNode(at, n) }
+func RebootNode(at Time, n int) Event     { return core.RebootNode(at, n) }
+func FailSwitch(at Time, s int) Event     { return core.FailSwitch(at, s) }
+func RestoreSwitch(at Time, s int) Event  { return core.RestoreSwitch(at, s) }
+func FailLink(at Time, n, s int) Event    { return core.FailLink(at, n, s) }
+func RestoreLink(at Time, n, s int) Event { return core.RestoreLink(at, n, s) }
+
+// ParsePlan parses the plan-script syntax used by ampsim -plan, e.g.
+// "10ms fail-switch 0; 20ms restore-switch 0".
+func ParsePlan(s string) (Plan, error) { return core.ParsePlan(s) }
+
+// Load is a composable workload generator; the implementations are
+// PubSubLoad, CacheChurn, CollectiveLoad and FileStream.
+type Load = core.Load
+
+// ActiveLoad is a started load (Cluster.StartLoad).
+type ActiveLoad = core.ActiveLoad
+
+// LoadReport is a load's delivery report; NodeCount one per-subscriber
+// line of it.
+type (
+	LoadReport = core.LoadReport
+	NodeCount  = core.NodeCount
+)
+
+// The workload generators.
+type (
+	PubSubLoad     = core.PubSubLoad
+	CacheChurn     = core.CacheChurn
+	CollectiveLoad = core.CollectiveLoad
+	FileStream     = core.FileStream
+)
 
 // Time is virtual simulation time in nanoseconds.
 type Time = sim.Time

@@ -9,7 +9,9 @@ import (
 
 // TestPublicAPIEndToEnd drives the whole public surface: boot, pub/sub,
 // cache, semaphores, files, threads, IP, collectives, failover and
-// self-healing, through the facade only.
+// self-healing, through the facade only — node access goes through
+// typed handles, faults through installed plans, and settling through
+// condition-based waits.
 func TestPublicAPIEndToEnd(t *testing.T) {
 	c := ampnetpkg.New(ampnetpkg.Options{
 		Nodes: 4, Switches: 2,
@@ -21,8 +23,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 	// Pub/sub.
 	var got []byte
-	c.Services[3].Sub.Subscribe(1, func(_ ampnetpkg.NodeID, data []byte) { got = data })
-	c.Services[0].Sub.Publish(1, []byte("facade"))
+	c.Node(3).Sub().Subscribe(1, func(_ ampnetpkg.NodeID, data []byte) { got = data })
+	c.Node(0).Sub().Publish(1, []byte("facade"))
 	c.Run(2 * ampnetpkg.Millisecond)
 	if string(got) != "facade" {
 		t.Fatalf("pubsub: %q", got)
@@ -30,75 +32,75 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 	// Cache record.
 	rec := ampnetpkg.Record{Region: 1, Off: 0, Size: 8}
-	if err := c.Nodes[1].CacheW.WriteRecord(rec, []byte("01234567")); err != nil {
+	if err := c.Node(1).CacheW().WriteRecord(rec, []byte("01234567")); err != nil {
 		t.Fatal(err)
 	}
 	c.Run(2 * ampnetpkg.Millisecond)
-	if d, ok := c.Nodes[2].Cache.TryRead(rec); !ok || !bytes.Equal(d, []byte("01234567")) {
+	if d, ok := c.Node(2).Cache().TryRead(rec); !ok || !bytes.Equal(d, []byte("01234567")) {
 		t.Fatalf("cache replica: %q ok=%v", d, ok)
 	}
 
 	// Double buffer.
 	db := ampnetpkg.NewDoubleBuffer(1, 512, 8)
-	if err := db.Write(c.Nodes[0].CacheW, []byte("checkpnt")); err != nil {
+	if err := db.Write(c.Node(0).CacheW(), []byte("checkpnt")); err != nil {
 		t.Fatal(err)
 	}
 	c.Run(2 * ampnetpkg.Millisecond)
-	if d, _, ok := db.Read(c.Nodes[3].Cache); !ok || string(d) != "checkpnt" {
+	if d, _, ok := db.Read(c.Node(3).Cache()); !ok || string(d) != "checkpnt" {
 		t.Fatalf("double buffer: %q ok=%v", d, ok)
 	}
 
 	// Semaphore lock.
 	locked := false
-	c.Nodes[2].Sem.Lock(5, func() { locked = true; c.Nodes[2].Sem.Unlock(5) })
-	c.Run(3 * ampnetpkg.Millisecond)
-	if !locked {
+	c.Node(2).Sem().Lock(5, func() { locked = true; c.Node(2).Sem().Unlock(5) })
+	if err := c.WaitUntil(func() bool { return locked }, 3*ampnetpkg.Millisecond); err != nil {
 		t.Fatal("lock never granted")
 	}
 
 	// File transfer.
 	var fileOK bool
-	c.Services[2].Files.OnFile = func(_ ampnetpkg.NodeID, name string, data []byte, ok bool) {
+	c.Node(2).Files().OnFile = func(_ ampnetpkg.NodeID, name string, data []byte, ok bool) {
 		fileOK = ok && name == "f" && len(data) == 1000
 	}
-	c.Services[1].Files.Send(2, "f", make([]byte, 1000), nil)
-	c.Run(5 * ampnetpkg.Millisecond)
-	if !fileOK {
+	c.Node(1).Files().Send(2, "f", make([]byte, 1000), nil)
+	if err := c.WaitUntil(func() bool { return fileOK }, 5*ampnetpkg.Millisecond); err != nil {
 		t.Fatal("file transfer failed")
 	}
 
 	// Remote thread.
-	c.Services[0].Threads.Register(1, func(a uint32) uint32 { return a + 1 })
+	c.Node(0).Threads().Register(1, func(a uint32) uint32 { return a + 1 })
 	var res uint32
-	c.Services[3].Threads.Call(0, 1, 41, func(v uint32, ok bool) {
+	c.Node(3).Threads().Call(0, 1, 41, func(v uint32, ok bool) {
 		if ok {
 			res = v
 		}
 	})
-	c.Run(3 * ampnetpkg.Millisecond)
-	if res != 42 {
+	if err := c.WaitUntil(func() bool { return res == 42 }, 3*ampnetpkg.Millisecond); err != nil {
 		t.Fatalf("thread call = %d", res)
 	}
 
 	// Collectives.
 	comms := make([]*ampnetpkg.Comm, 4)
-	for i, s := range c.Stacks {
-		comms[i] = ampnetpkg.NewComm(s, []int{0, 1, 2, 3}, 9000)
+	for i := range comms {
+		comms[i] = ampnetpkg.NewComm(c.Node(i).Stack(), []int{0, 1, 2, 3}, 9000)
 	}
 	total := uint64(0)
 	done := 0
 	for i, cm := range comms {
 		cm.AllReduceSum(uint64(i), func(v uint64) { total = v; done++ })
 	}
-	c.Run(5 * ampnetpkg.Millisecond)
-	if done != 4 || total != 6 {
+	if err := c.WaitUntil(func() bool { return done == 4 }, 5*ampnetpkg.Millisecond); err != nil || total != 6 {
 		t.Fatalf("allreduce done=%d total=%d", done, total)
 	}
 
-	// Self-heal.
+	// Self-heal via an installed plan and a condition-based wait.
 	before := c.RingSize()
-	c.FailSwitch(0)
-	c.Run(10 * ampnetpkg.Millisecond)
+	if err := c.Install(ampnetpkg.Plan{ampnetpkg.FailSwitch(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitHealed(10 * ampnetpkg.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	if c.RingSize() != before {
 		t.Fatalf("ring size after heal = %d, want %d", c.RingSize(), before)
 	}
@@ -113,18 +115,53 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		State: ampnetpkg.NewDoubleBuffer(1, 1024, 8),
 	}
 	groups := make([]*ampnetpkg.Group, 4)
-	for i, m := range c.Managers {
-		groups[i] = m.AddGroup(cfg)
+	for i := range groups {
+		groups[i] = c.Node(i).Manager().AddGroup(cfg)
 	}
 	if groups[1].Primary() != 0 {
 		t.Fatalf("primary = %d", groups[1].Primary())
 	}
 	took := false
 	groups[1].OnTakeover = func([]byte) { took = true }
-	c.CrashNode(0)
-	c.Run(20 * ampnetpkg.Millisecond)
-	if !took || groups[2].Primary() != 1 {
+	if err := c.Install(ampnetpkg.Plan{ampnetpkg.CrashNode(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitUntil(func() bool { return took }, 20*ampnetpkg.Millisecond); err != nil || groups[2].Primary() != 1 {
 		t.Fatalf("failover: took=%v primary=%d", took, groups[2].Primary())
+	}
+}
+
+// TestScenarioFacade runs a full scenario through the facade and
+// regresses the byte-identical-report guarantee at the public surface.
+func TestScenarioFacade(t *testing.T) {
+	s := ampnetpkg.Scenario{
+		Name: "facade",
+		Opts: ampnetpkg.Options{Nodes: 6, Switches: 4, Seed: 5},
+		Plan: ampnetpkg.Plan{
+			ampnetpkg.FailSwitch(5*ampnetpkg.Millisecond, 0),
+			ampnetpkg.RestoreSwitch(15*ampnetpkg.Millisecond, 0),
+		},
+		Loads: []ampnetpkg.Load{
+			&ampnetpkg.PubSubLoad{Publisher: 1, Topic: 7, Every: 40 * ampnetpkg.Microsecond},
+		},
+		For: 25 * ampnetpkg.Millisecond,
+	}
+	a, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatalf("same-seed scenario reports differ:\n%s\n---\n%s", a.JSON(), b.JSON())
+	}
+	if a.Drops != 0 || !a.Healed || len(a.Events) != 2 {
+		t.Fatalf("report not sane: %s", a.JSON())
+	}
+	if len(a.Loads) != 1 || a.Loads[0].Delivered == 0 {
+		t.Fatalf("load moved nothing: %s", a.JSON())
 	}
 }
 
@@ -143,7 +180,9 @@ func TestDeterministicRuns(t *testing.T) {
 		if err := c.Boot(0); err != nil {
 			t.Fatal(err)
 		}
-		c.FailSwitch(1)
+		if err := c.Install(ampnetpkg.Plan{ampnetpkg.FailSwitch(0, 1)}); err != nil {
+			t.Fatal(err)
+		}
 		c.Run(10 * ampnetpkg.Millisecond)
 		return c.K.Fired, c.Roster()
 	}

@@ -28,7 +28,7 @@ func main() {
 	c := ampnet.New(ampnet.Options{Nodes: *nodes, Switches: *switches, FiberMeters: *fiber, Seed: *seed})
 
 	// Print node 0's adoptions (all nodes adopt equal rosters).
-	agent := c.Nodes[0].Agent
+	agent := c.Node(0).DK().Agent
 	agent.OnAdopt = func(r *rostering.Roster) {
 		lat := c.Now() - agent.RoundStart()
 		tour := rostering.EstimateTour(*nodes, *fiber, c.Net)
@@ -43,24 +43,22 @@ func main() {
 	tour := rostering.EstimateTour(*nodes, *fiber, c.Net)
 	fmt.Printf("ring tour estimate: %v (N=%d, fiber=%.0fm)\n\n", tour, *nodes, *fiber)
 
-	scenario := []struct {
-		desc string
-		act  func()
-	}{
-		{"fail switch 0", func() { c.FailSwitch(0) }},
-		{"cut link node1 ↔ switch1", func() { c.FailLink(1, 1) }},
-		{"crash node 2", func() { c.CrashNode(2) }},
-		{"reboot node 2", func() { c.RebootNode(2) }},
-		{"restore switch 0", func() { c.RestoreSwitch(0) }},
+	// The failure sequence is a declarative plan: one event every
+	// 15 ms, leaving the ring time to settle between triggers.
+	plan := ampnet.Plan{
+		ampnet.FailSwitch(5*sim.Millisecond, 0),
+		ampnet.FailLink(20*sim.Millisecond, 1, 1),
+		ampnet.CrashNode(35*sim.Millisecond, 2),
+		ampnet.RebootNode(50*sim.Millisecond, 2),
+		ampnet.RestoreSwitch(65*sim.Millisecond, 0),
 	}
-	for _, s := range scenario {
-		s := s
-		c.K.After(5*sim.Millisecond, func() {
-			fmt.Printf("t=%-12v EVENT %s\n", c.Now(), s.desc)
-			s.act()
-		})
-		c.Run(5 * sim.Millisecond)
-		c.Run(10 * sim.Millisecond)
+	c.OnEvent = func(e ampnet.Event) { fmt.Printf("t=%-12v EVENT %s\n", c.Now(), e) }
+	if err := c.Install(plan); err != nil {
+		log.Fatal(err)
+	}
+	c.Run(75 * sim.Millisecond)
+	if err := c.WaitHealed(25 * sim.Millisecond); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("\nfinal ring (size %d): %s\n", c.RingSize(), c.Roster())
 }

@@ -1,19 +1,24 @@
-// Command ampsim runs a configurable AmpNet cluster scenario and
-// prints a timeline plus end-of-run statistics — a scriptable way to
-// explore topologies and failure patterns beyond the canned
-// experiments.
+// Command ampsim runs a scripted AmpNet cluster scenario and prints a
+// timeline plus end-of-run statistics — a scriptable way to explore
+// topologies and failure patterns beyond the canned experiments.
+//
+// Fault schedules are declarative plans: -plan takes semicolon-
+// separated "<offset> <op> <ids>" entries (offsets are relative to the
+// end of boot) and the legacy single-fault flags compile onto the same
+// plan. -report writes the scenario's deterministic JSON report.
 //
 // Usage examples:
 //
 //	ampsim -nodes 6 -switches 4 -fiber 1000
-//	ampsim -nodes 8 -switches 2 -fail-switch 0 -fail-at 10ms -run 50ms
-//	ampsim -nodes 6 -switches 4 -crash-node 3 -fail-at 5ms -traffic
+//	ampsim -nodes 8 -switches 2 -plan "10ms fail-switch 0; 25ms restore-switch 0" -run 50ms
+//	ampsim -nodes 6 -switches 4 -plan "5ms crash-node 3; 20ms reboot-node 3" -traffic -report run.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	ampnet "repro"
@@ -27,77 +32,99 @@ func main() {
 	fiber := flag.Float64("fiber", 50, "fiber meters per link")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	runFor := flag.Duration("run", 30*time.Millisecond, "virtual time to run after boot")
-	failSwitch := flag.Int("fail-switch", -1, "switch to fail")
-	failLinkN := flag.Int("fail-link-node", -1, "node side of a link to fail")
-	failLinkS := flag.Int("fail-link-switch", 0, "switch side of the failed link")
-	crashNode := flag.Int("crash-node", -1, "node to crash")
-	failAt := flag.Duration("fail-at", 10*time.Millisecond, "virtual time of the failure")
+	plan := flag.String("plan", "", `fault plan, e.g. "10ms fail-switch 0; 20ms restore-switch 0"`)
+	failSwitch := flag.Int("fail-switch", -1, "switch to fail (legacy sugar for -plan)")
+	failLinkN := flag.Int("fail-link-node", -1, "node side of a link to fail (legacy sugar)")
+	failLinkS := flag.Int("fail-link-switch", 0, "switch side of the failed link (legacy sugar)")
+	crashNode := flag.Int("crash-node", -1, "node to crash (legacy sugar)")
+	failAt := flag.Duration("fail-at", 10*time.Millisecond, "virtual time of the legacy-flag failure")
 	traffic := flag.Bool("traffic", false, "run a pub/sub load during the scenario")
 	showTrace := flag.Bool("trace", false, "print the event timeline at exit")
 	deep := flag.Bool("deepphy", false, "run every frame through the real 8b/10b datapath")
+	report := flag.String("report", "", "write the deterministic scenario report JSON to this file")
 	flag.Parse()
 
-	c := ampnet.New(ampnet.Options{
-		Nodes: *nodes, Switches: *switches, FiberMeters: *fiber, Seed: *seed,
-		DeepPHY: *deep,
-	})
-	var tr *trace.Tracer
-	if *showTrace {
-		tr = trace.Attach(c)
-	}
-	if err := c.Boot(0); err != nil {
+	vd := func(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) }
+	p, err := ampnet.ParsePlan(*plan)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("t=%-12v cluster online, ring: %s\n", c.Now(), c.Roster())
-
-	sent, recv := 0, 0
-	if *traffic {
-		last := *nodes - 1
-		c.Services[last].Sub.Subscribe(1, func(ampnet.NodeID, []byte) { recv++ })
-		var tick func()
-		tick = func() {
-			c.Services[0].Sub.Publish(1, []byte{1})
-			sent++
-			c.K.After(100*ampnet.Microsecond, tick)
-		}
-		c.K.After(0, tick)
+	switch {
+	case *failSwitch >= 0:
+		p = append(p, ampnet.FailSwitch(vd(*failAt), *failSwitch))
+	case *failLinkN >= 0:
+		p = append(p, ampnet.FailLink(vd(*failAt), *failLinkN, *failLinkS))
+	case *crashNode >= 0:
+		p = append(p, ampnet.CrashNode(vd(*failAt), *crashNode))
 	}
 
-	vd := func(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) }
-	c.K.After(vd(*failAt), func() {
-		switch {
-		case *failSwitch >= 0:
-			fmt.Printf("t=%-12v FAILING switch %d\n", c.Now(), *failSwitch)
-			c.FailSwitch(*failSwitch)
-		case *failLinkN >= 0:
-			fmt.Printf("t=%-12v CUTTING link node %d ↔ switch %d\n", c.Now(), *failLinkN, *failLinkS)
-			c.FailLink(*failLinkN, *failLinkS)
-		case *crashNode >= 0:
-			fmt.Printf("t=%-12v CRASHING node %d\n", c.Now(), *crashNode)
-			c.CrashNode(*crashNode)
-		}
-	})
+	var c *ampnet.Cluster
+	var tr *trace.Tracer
+	s := ampnet.Scenario{
+		Name: "ampsim",
+		Opts: ampnet.Options{
+			Nodes: *nodes, Switches: *switches, FiberMeters: *fiber, Seed: *seed,
+			DeepPHY: *deep,
+		},
+		Plan: p,
+		For:  vd(*runFor),
+		OnCluster: func(cl *ampnet.Cluster) {
+			c = cl
+			if *showTrace {
+				tr = trace.Attach(cl)
+			}
+		},
+		OnBoot: func(cl *ampnet.Cluster) {
+			fmt.Printf("t=%-12v cluster online, ring: %s\n", cl.Now(), cl.Roster())
+		},
+		OnEvent: func(e ampnet.Event) {
+			fmt.Printf("t=%-12v %s\n", c.Now(), e)
+		},
+	}
+	if *traffic {
+		s.Loads = append(s.Loads, &ampnet.PubSubLoad{
+			Publisher:   0,
+			Topic:       1,
+			Subscribers: []int{*nodes - 1},
+		})
+	}
+	rep, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	c.Run(vd(*runFor))
-
-	fmt.Printf("t=%-12v final ring: %s\n", c.Now(), c.Roster())
+	fmt.Printf("t=%-12v final ring: %s\n", c.Now(), rep.Roster)
 	fmt.Printf("\nstatistics:\n")
-	fmt.Printf("  ring size           %d\n", c.RingSize())
-	fmt.Printf("  congestion drops    %d\n", c.Drops())
-	fmt.Printf("  failure losses      %d (in-flight frames destroyed by cut fibers)\n", c.Lost())
-	fmt.Printf("  frames delivered    %d\n", c.Net.Delivered.N)
+	fmt.Printf("  ring size           %d\n", rep.RingSize)
+	fmt.Printf("  congestion drops    %d\n", rep.Drops)
+	fmt.Printf("  failure losses      %d (in-flight frames destroyed by cut fibers)\n", rep.Lost)
+	fmt.Printf("  frames delivered    %d\n", rep.Delivered)
 	fmt.Printf("  events executed     %d\n", c.K.Fired)
-	if *traffic {
-		fmt.Printf("  pub/sub sent=%d received=%d\n", sent, recv)
+	for _, e := range rep.Events {
+		heal := ""
+		if e.HealNS > 0 {
+			heal = fmt.Sprintf("  (ring healed in %v)", sim.Time(e.HealNS))
+		}
+		fmt.Printf("  plan: t=%-10v %s%s\n", sim.Time(e.AtNS), e.Event, heal)
 	}
-	for _, nd := range c.Nodes {
+	for _, l := range rep.Loads {
+		fmt.Printf("  load %s: sent=%d received=%d gaps=%d\n", l.Name, l.Sent, l.Delivered, l.Gaps)
+	}
+	for i := 0; i < *nodes; i++ {
+		nd := c.Node(i).DK()
 		fmt.Printf("  node %d: state=%-12s hb-sent=%-6d dma-gaps=%-4d epoch=%-4d certified=%v\n",
 			nd.Cfg.ID, nd.State, nd.HBSent, nd.DMA.Gaps, nd.Agent.Epoch(), nd.Certified())
 	}
-	if cfg, ok := c.Nodes[0].ReadRingConfig(); ok {
+	if cfg, ok := c.Node(0).DK().ReadRingConfig(); ok {
 		fmt.Printf("  config DB: epoch=%d ring=%d certifier=node %d\n", cfg.Epoch, cfg.RingSize, cfg.Certifier)
 	}
 	if tr != nil {
 		fmt.Printf("\ntimeline:\n%s", tr.String())
+	}
+	if *report != "" {
+		if err := os.WriteFile(*report, rep.JSON(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreport written to %s\n", *report)
 	}
 }

@@ -1,8 +1,8 @@
-// Allreduce: the MPI-over-AmpNet story of slide 12. Eight ranks run an
-// iterative computation — each iteration does local work, then an
-// all-reduce to agree on a global sum and a barrier to stay in step —
-// the inner loop of data-parallel HPC codes. Midway, a node's link is
-// cut and the ring heals without the job noticing more than a hiccup.
+// Allreduce: the MPI-over-AmpNet story of slide 12. A CollectiveLoad
+// runs the inner loop of data-parallel HPC codes — each iteration
+// all-reduces a global sum and barriers to stay in step — across eight
+// ranks. Midway, a planned FailLink event cuts a node's fiber and the
+// ring heals without the job noticing more than a hiccup.
 package main
 
 import (
@@ -22,63 +22,30 @@ func main() {
 	if err := c.Boot(0); err != nil {
 		log.Fatal(err)
 	}
-	ids := make([]int, ranks)
-	for i := range ids {
-		ids[i] = i
-	}
-	comms := make([]*ampnet.Comm, ranks)
-	for i, s := range c.Stacks {
-		comms[i] = ampnet.NewComm(s, ids, 7100)
-	}
 
-	// Each rank's "computation": value evolves as a function of the
-	// global sum, so divergence would be visible immediately.
-	local := make([]uint64, ranks)
-	for i := range local {
-		local[i] = uint64(i + 1)
-	}
 	iterStart := c.Now()
-	var iterate func(iter int)
-	iterate = func(iter int) {
-		if iter == iters {
-			return
-		}
-		pending := ranks
-		var globalSum uint64
-		for r := 0; r < ranks; r++ {
-			r := r
-			comms[r].AllReduceSum(local[r], func(total uint64) {
-				globalSum = total
-				local[r] = local[r] + total%97 // next local state
-				pending--
-				if pending > 0 {
-					return
-				}
-				// All ranks done: barrier, then next iteration.
-				bar := ranks
-				for q := 0; q < ranks; q++ {
-					comms[q].Barrier(func() {
-						bar--
-						if bar == 0 {
-							fmt.Printf("iter %2d  t=%v  global sum = %-8d (%v/iter)\n",
-								iter, c.Now(), globalSum, c.Now()-iterStart)
-							iterStart = c.Now()
-							iterate(iter + 1)
-						}
-					})
-				}
-			})
-		}
+	job := &ampnet.CollectiveLoad{
+		Name:  "allreduce",
+		Iters: iters,
+		OnIter: func(iter int, sum uint64) {
+			fmt.Printf("iter %2d  t=%v  global sum = %-8d (%v/iter)\n",
+				iter, c.Now(), sum, c.Now()-iterStart)
+			iterStart = c.Now()
+		},
 	}
-	c.K.After(0, func() { iterate(0) })
 
 	// Cut a link used by the ring midway through the job.
-	c.K.After(400*ampnet.Microsecond, func() {
-		fmt.Printf("---- t=%v  cutting node 3's link to switch 0 ----\n", c.Now())
-		c.FailLink(3, 0)
-	})
+	c.OnEvent = func(e ampnet.Event) { fmt.Printf("---- t=%v  %s ----\n", c.Now(), e) }
+	if err := c.Install(ampnet.Plan{ampnet.FailLink(400*ampnet.Microsecond, 3, 0)}); err != nil {
+		log.Fatal(err)
+	}
 
-	c.Run(100 * ampnet.Millisecond)
+	al := c.StartLoad(job)
+	if err := c.WaitUntil(al.Done, 100*ampnet.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("completed %d iterations\n", al.Report().Iters)
 	fmt.Printf("final ring: %s\n", c.Roster())
 	fmt.Printf("congestion drops: %d\n", c.Drops())
 }

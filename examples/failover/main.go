@@ -1,9 +1,9 @@
 // Failover: the paper's headline scenario (slides 18–19). A primary
 // application checkpoints its state into the replicated network cache;
-// when its host dies mid-run, control passes to the best qualified
-// surviving node within the application-defined fail-over period, the
-// rules of recovery replay the last committed checkpoint, and no
-// committed data is lost.
+// when its host dies mid-run (a planned CrashNode event), control
+// passes to the best qualified surviving node within the
+// application-defined fail-over period, the rules of recovery replay
+// the last committed checkpoint, and no committed data is lost.
 package main
 
 import (
@@ -34,18 +34,17 @@ func main() {
 		State:   ampnet.NewDoubleBuffer(1, 0, 8),
 	}
 	groups := make([]*ampnet.Group, 4)
-	for i, m := range c.Managers {
-		groups[i] = m.AddGroup(cfg)
+	for i := range groups {
+		groups[i] = c.Node(i).Manager().AddGroup(cfg)
 	}
 	fmt.Printf("t=%v  primary is node %d (best qualified)\n", c.Now(), groups[1].Primary())
 
 	// The "application": a transaction counter the primary checkpoints
 	// into the network cache every 200 µs.
 	committed := uint64(0)
-	var work func()
-	work = func() {
-		if !groups[0].IsPrimary() || !c.Nodes[0].Online() {
-			return
+	c.Every(200*ampnet.Microsecond, func() bool {
+		if !groups[0].IsPrimary() || !c.Node(0).Online() {
+			return false
 		}
 		committed++
 		var buf [8]byte
@@ -53,15 +52,16 @@ func main() {
 		if err := groups[0].CheckpointState(buf[:]); err != nil {
 			log.Fatal(err)
 		}
-		c.K.After(200*ampnet.Microsecond, work)
-	}
-	c.K.After(0, work)
+		return true
+	})
 
 	// Rules of recovery on every standby: resume from the recovered
 	// checkpoint.
+	tookOver := false
 	for i := 1; i < 4; i++ {
 		i := i
 		groups[i].OnTakeover = func(state []byte) {
+			tookOver = true
 			recovered := uint64(0)
 			if state != nil {
 				recovered = binary.LittleEndian.Uint64(state)
@@ -76,10 +76,19 @@ func main() {
 		}
 	}
 
-	c.Run(5 * ampnet.Millisecond)
-	fmt.Printf("t=%v  CRASHING primary (node 0) mid-run after %d commits\n", c.Now(), committed)
-	c.CrashNode(0)
-	c.Run(20 * ampnet.Millisecond)
+	// The fault plan: the primary's host dies mid-run.
+	c.OnEvent = func(e ampnet.Event) {
+		fmt.Printf("t=%v  %s (primary dies after %d commits)\n", c.Now(), e, committed)
+	}
+	if err := c.Install(ampnet.Plan{ampnet.CrashNode(5*ampnet.Millisecond, 0)}); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.WaitUntil(func() bool { return tookOver }, 25*ampnet.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.WaitHealed(10 * ampnet.Millisecond); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("t=%v  new primary everywhere: node %d\n", c.Now(), groups[2].Primary())
 	fmt.Printf("t=%v  ring healed without node 0: %s\n", c.Now(), c.Roster())

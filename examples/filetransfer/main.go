@@ -1,7 +1,8 @@
-// Filetransfer: slide 7's picture made concrete — one node pushes a
-// large file over a DMA channel while other nodes keep low-latency
-// message streams on the same segment. The fine-grain multiplexed DMA
-// channels keep the messages from queueing behind the file.
+// Filetransfer: slide 7's picture made concrete — a FileStream load
+// pushes a large file over a DMA channel while a PubSubLoad keeps a
+// low-latency message stream on the same segment. The fine-grain
+// multiplexed DMA channels keep the messages from queueing behind the
+// file; the loads' built-in accounting reports both sides.
 package main
 
 import (
@@ -18,59 +19,46 @@ func main() {
 	}
 
 	// A 1 MiB "simulation results" file from node 0 to node 1.
-	file := make([]byte, 1<<20)
-	for i := range file {
-		file[i] = byte(i * 2654435761)
-	}
-	var fileStart, fileDone ampnet.Time
-	c.Services[1].Files.OnFile = func(src ampnet.NodeID, name string, data []byte, ok bool) {
-		fileDone = c.Now()
-		status := "CRC ok"
-		if !ok {
-			status = "CORRUPT"
-		}
-		fmt.Printf("t=%v  node 1 received %q: %d bytes from node %d (%s) in %v\n",
-			c.Now(), name, len(data), src, status, fileDone-fileStart)
-		mbps := float64(len(data)) * 8 / (fileDone - fileStart).Seconds() / 1e6
-		fmt.Printf("         effective file throughput: %.0f Mb/s\n", mbps)
-	}
-
-	// Concurrent message stream: node 2 → node 3, one message per 50 µs;
-	// track worst-case latency while the file hogs the ring.
-	var worst ampnet.Time
-	sent := map[uint8]ampnet.Time{}
-	seq := uint8(0)
-	c.Services[3].Sub.Subscribe(9, func(_ ampnet.NodeID, data []byte) {
-		if at, ok := sent[data[0]]; ok {
-			if d := c.Now() - at; d > worst {
-				worst = d
+	file := &ampnet.FileStream{
+		Name:     "results",
+		From:     0,
+		To:       1,
+		FileName: "results-1MiB.bin",
+		Size:     1 << 20,
+		OnFile: func(_ int, ok bool, took ampnet.Time) {
+			status := "CRC ok"
+			if !ok {
+				status = "CORRUPT"
 			}
-		}
-	})
-	msgs := 0
-	var tick func()
-	tick = func() {
-		if msgs >= 400 {
-			return
-		}
-		seq++
-		msgs++
-		sent[seq] = c.Now()
-		c.Services[2].Sub.Publish(9, []byte{seq})
-		c.K.After(50*ampnet.Microsecond, tick)
+			mbps := float64(1<<20) * 8 / took.Seconds() / 1e6
+			fmt.Printf("t=%v  node 1 received the file (%s) in %v\n", c.Now(), status, took)
+			fmt.Printf("         effective file throughput: %.0f Mb/s\n", mbps)
+		},
 	}
 
-	fileStart = c.Now()
-	if err := c.Services[0].Files.Send(1, "results-1MiB.bin", file, nil); err != nil {
+	// Concurrent message stream: node 2 → node 3, one message per
+	// 50 µs; the load tracks worst-case latency while the file hogs
+	// the ring.
+	msgs := &ampnet.PubSubLoad{
+		Name:        "messages",
+		Publisher:   2,
+		Topic:       9,
+		Subscribers: []int{3},
+		Every:       50 * ampnet.Microsecond,
+		Count:       400,
+	}
+
+	fa, ma := c.StartLoad(file), c.StartLoad(msgs)
+	if err := c.WaitUntil(func() bool { return fa.Done() && ma.Done() }, 50*ampnet.Millisecond); err != nil {
 		log.Fatal(err)
 	}
-	c.K.After(0, tick)
+	c.Run(2 * ampnet.Millisecond) // drain the message tail
 
-	c.Run(50 * ampnet.Millisecond)
-	if fileDone == 0 {
+	fr, mr := fa.Report(), ma.Report()
+	if fr.Files == 0 {
 		log.Fatal("file never completed")
 	}
 	fmt.Printf("t=%v  %d messages interleaved with the file; worst message latency %v\n",
-		c.Now(), msgs, worst)
+		c.Now(), mr.Delivered, ampnet.Time(mr.MaxLatencyNS))
 	fmt.Printf("congestion drops: %d\n", c.Drops())
 }

@@ -1,9 +1,10 @@
 // Marketdata: AmpSubscribe under a realistic fan-out workload — the
 // kind of real-time distribution AmpNet's network-centric services
-// (slide 12) target. One feed node publishes price ticks; every other
-// node subscribes; a consumer aggregates per-symbol statistics. The
-// run then kills a switch mid-stream and shows the feed surviving the
-// heal with its gap bounded by the rostering window.
+// (slide 12) target. A PubSubLoad plays the feed: one node publishes
+// price ticks, every other node subscribes, and the load's built-in
+// sequence accounting measures gaps and the worst inter-tick outage.
+// A Plan kills a switch mid-stream; the feed survives the heal with
+// its gap bounded by the rostering window.
 package main
 
 import (
@@ -18,7 +19,7 @@ const (
 	topicTicks = 1
 	nSymbols   = 8
 	tickEvery  = 20 * ampnet.Microsecond
-	runFor     = 30 * ampnet.Millisecond
+	nTicks     = 1500 // 30 ms of feed at one tick per 20 µs
 )
 
 func main() {
@@ -27,81 +28,66 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Subscribers: every node tracks last price and per-symbol counts.
+	// Consumers: every subscriber tracks last price and per-symbol
+	// counts; sequence gaps and outage windows come from the load.
 	type book struct {
 		count [nSymbols]int
 		last  [nSymbols]uint32
-		gaps  int
-		seq   uint32
 	}
 	books := make([]book, 6)
-	var maxGap ampnet.Time
-	var lastRx ampnet.Time
-	for i := 1; i < 6; i++ {
-		i := i
-		c.Services[i].Sub.Subscribe(topicTicks, func(_ ampnet.NodeID, data []byte) {
-			b := &books[i]
-			sym := data[0] % nSymbols
-			price := binary.LittleEndian.Uint32(data[1:5])
-			seq := binary.LittleEndian.Uint32(data[5:9])
-			if b.seq != 0 && seq != b.seq+1 {
-				b.gaps++
-			}
-			b.seq = seq
-			b.count[sym]++
-			b.last[sym] = price
-			if i == 1 {
-				if lastRx != 0 && c.Now()-lastRx > maxGap {
-					maxGap = c.Now() - lastRx
-				}
-				lastRx = c.Now()
-			}
-		})
-	}
 
-	// The feed: node 0 publishes ticks with a sequence number.
-	published := uint32(0)
+	// The feed: symbol and a random-walk price in the payload; the
+	// load stamps sequence numbers and send times on its own.
 	price := uint32(10000)
 	rng := uint32(12345)
-	var feed func()
-	feed = func() {
-		if c.Now() >= runFor {
-			return
-		}
-		rng = rng*1664525 + 1013904223
-		sym := byte(rng % nSymbols)
-		if rng&1 == 0 {
-			price++
-		} else {
-			price--
-		}
-		published++
-		msg := make([]byte, 9)
-		msg[0] = sym
-		binary.LittleEndian.PutUint32(msg[1:5], price)
-		binary.LittleEndian.PutUint32(msg[5:9], published)
-		c.Services[0].Sub.Publish(topicTicks, msg)
-		c.K.After(tickEvery, feed)
+	feed := &ampnet.PubSubLoad{
+		Name:      "ticks",
+		Publisher: 0,
+		Topic:     topicTicks,
+		Every:     tickEvery,
+		Count:     nTicks,
+		Payload:   5,
+		Fill: func(_ uint64, buf []byte) {
+			rng = rng*1664525 + 1013904223
+			if rng&1 == 0 {
+				price++
+			} else {
+				price--
+			}
+			buf[0] = byte(rng % nSymbols)
+			binary.LittleEndian.PutUint32(buf[1:5], price)
+		},
+		OnDeliver: func(node int, _ uint64, data []byte) {
+			b := &books[node]
+			sym := data[0] % nSymbols
+			b.count[sym]++
+			b.last[sym] = binary.LittleEndian.Uint32(data[1:5])
+		},
 	}
-	c.K.After(0, feed)
 
 	// Mid-run: a switch dies. The ring heals; the feed continues.
-	c.K.After(15*ampnet.Millisecond, func() {
-		fmt.Printf("t=%v  switch 0 FAILS mid-feed\n", c.Now())
-		c.FailSwitch(0)
-	})
+	c.OnEvent = func(e ampnet.Event) { fmt.Printf("t=%v  %s mid-feed\n", c.Now(), e) }
+	if err := c.Install(ampnet.Plan{ampnet.FailSwitch(15*ampnet.Millisecond, 0)}); err != nil {
+		log.Fatal(err)
+	}
 
-	c.Run(runFor + 10*ampnet.Millisecond)
+	al := c.StartLoad(feed)
+	if err := c.WaitUntil(al.Done, 60*ampnet.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	c.Run(5 * ampnet.Millisecond) // drain the tail of the stream
+	rep := al.Report()
 
-	fmt.Printf("published %d ticks at one per %v\n", published, tickEvery)
-	for i := 1; i < 6; i++ {
+	fmt.Printf("published %d ticks at one per %v\n", rep.Sent, tickEvery)
+	for _, pn := range rep.PerNode {
 		total := 0
 		for s := 0; s < nSymbols; s++ {
-			total += books[i].count[s]
+			total += books[pn.Node].count[s]
 		}
-		fmt.Printf("  node %d received %d ticks, %d sequence gaps\n", i, total, books[i].gaps)
+		fmt.Printf("  node %d received %d ticks, %d sequence gaps\n", pn.Node, total, pn.Gaps)
 	}
-	fmt.Printf("worst inter-tick gap at node 1: %v (heal window; steady state is %v)\n", maxGap, tickEvery)
+	fmt.Printf("worst inter-tick gap: %v (heal window; steady state is %v)\n",
+		ampnet.Time(rep.MaxGapNS), tickEvery)
 	fmt.Printf("congestion drops: %d\n", c.Drops())
 	fmt.Printf("final ring: %s\n", c.Roster())
 }

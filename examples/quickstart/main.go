@@ -1,6 +1,8 @@
-// Quickstart: boot the paper's slide-14 quad-redundant cluster
-// (6 nodes × 4 switches), exchange messages, use the replicated
-// network cache, and watch the ring self-heal through a switch failure.
+// Quickstart: the scenario-first API in one screen. Boot the paper's
+// slide-14 quad-redundant cluster (6 nodes × 4 switches), stream
+// pub/sub traffic, kill a switch mid-run, and read the proof off the
+// report: the ring self-heals in ring-tour time and congestion drops
+// stay at zero (the slide-8 guarantee).
 package main
 
 import (
@@ -11,52 +13,19 @@ import (
 )
 
 func main() {
-	// Assemble and boot the network. Everything runs on a virtual
-	// clock; the run is fully deterministic.
-	c := ampnet.New(ampnet.Options{
-		Nodes:    6,
-		Switches: 4,
-		Regions:  map[uint8]int{1: 64 * 1024}, // one app cache region
-	})
-	if err := c.Boot(0); err != nil {
+	rep, err := ampnet.Scenario{
+		Name: "quickstart",
+		Opts: ampnet.Options{Nodes: 6, Switches: 4},
+		Plan: ampnet.Plan{
+			ampnet.FailSwitch(10*ampnet.Millisecond, 0),
+		},
+		Loads: []ampnet.Load{
+			&ampnet.PubSubLoad{Publisher: 0, Topic: 1, Every: 50 * ampnet.Microsecond},
+		},
+		For: 30 * ampnet.Millisecond,
+	}.Run()
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cluster online at t=%v\n", c.Now())
-	fmt.Printf("logical ring: %s\n", c.Roster())
-
-	// 1. Pub/sub messaging (AmpSubscribe).
-	c.Services[5].Sub.Subscribe(1, func(src ampnet.NodeID, data []byte) {
-		fmt.Printf("t=%v  node 5 received %q from node %d\n", c.Now(), data, src)
-	})
-	c.Services[0].Sub.Publish(1, []byte("hello ring"))
-	c.Run(2 * ampnet.Millisecond)
-
-	// 2. The network cache: write a record at node 2; read the replica
-	// at node 4 (slide 9's Lamport-counter protocol underneath).
-	rec := ampnet.Record{Region: 1, Off: 0, Size: 16}
-	if err := c.Nodes[2].CacheW.WriteRecord(rec, []byte("state@everywhere")); err != nil {
-		log.Fatal(err)
-	}
-	c.Run(2 * ampnet.Millisecond)
-	if data, ok := c.Nodes[4].Cache.TryRead(rec); ok {
-		fmt.Printf("t=%v  node 4 reads replica: %q\n", c.Now(), data)
-	}
-
-	// 3. Network semaphore: a cluster-wide lock.
-	c.Nodes[3].Sem.Lock(7, func() {
-		fmt.Printf("t=%v  node 3 holds network lock 7\n", c.Now())
-		c.Nodes[3].Sem.Unlock(7)
-	})
-	c.Run(2 * ampnet.Millisecond)
-
-	// 4. Self-healing: kill a switch; rostering rebuilds the ring in
-	// about two ring-tour times, and traffic keeps flowing.
-	fmt.Printf("\nt=%v  failing switch 0...\n", c.Now())
-	c.FailSwitch(0)
-	c.Run(5 * ampnet.Millisecond)
-	fmt.Printf("t=%v  healed ring: %s\n", c.Now(), c.Roster())
-	c.Services[0].Sub.Publish(1, []byte("still here"))
-	c.Run(2 * ampnet.Millisecond)
-
-	fmt.Printf("\ncongestion drops: %d (the slide-8 guarantee)\n", c.Drops())
+	fmt.Print(rep.Summary())
 }

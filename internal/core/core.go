@@ -83,6 +83,17 @@ type Cluster struct {
 	Services []*ampdc.Services
 	Stacks   []*ampip.Stack
 	Managers []*failover.Manager
+
+	// OnEvent, if set, observes every plan event as it fires (see
+	// Install). applied accumulates the fired events for reports;
+	// pending holds installed events that have not fired yet (at
+	// absolute times), so later Installs validate against them.
+	OnEvent func(Event)
+	applied []AppliedEvent
+	pending []AppliedEvent
+	// booted flips once Boot has been called; plan validation assumes
+	// all nodes up until then.
+	booted bool
 }
 
 // New assembles a cluster. Nothing runs until Boot (or manual Node
@@ -129,6 +140,7 @@ func New(opts Options) *Cluster {
 // passes). It returns an error naming any node that failed to come
 // online within the window.
 func (c *Cluster) Boot(window sim.Time) error {
+	c.booted = true
 	for _, nd := range c.Nodes {
 		nd := nd
 		c.K.After(0, func() { nd.Boot() })
@@ -136,12 +148,10 @@ func (c *Cluster) Boot(window sim.Time) error {
 	if window == 0 {
 		window = 50 * sim.Millisecond
 	}
-	deadline := c.K.Now() + window
-	for c.K.Now() < deadline {
-		c.K.RunUntil(c.K.Now() + sim.Millisecond)
-		if c.allSettled() {
-			return nil
-		}
+	// The poll step is clamped to the deadline (stepUntil): a
+	// sub-millisecond (or non-integral-ms) window must not run past it.
+	if c.stepUntil(c.allSettled, c.K.Now()+window, sim.Millisecond) {
+		return nil
 	}
 	for _, nd := range c.Nodes {
 		if nd.State != ampdk.StateOnline && nd.State != ampdk.StateRejected {

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ampdc"
+	"repro/internal/ampdk"
+	"repro/internal/ampip"
+	"repro/internal/failover"
+	"repro/internal/netcache"
+	"repro/internal/netsem"
+)
+
+// Handle is a typed view of one node of a cluster. It is the intended
+// way for scenarios, examples and tools to reach a node's services —
+// instead of indexing the four parallel slices (Nodes, Services,
+// Stacks, Managers) by hand, call c.Node(i) once and use the accessors.
+// A Handle is a small value; copy it freely.
+type Handle struct {
+	c  *Cluster
+	id int
+}
+
+// Node returns a handle for node i. It panics on an out-of-range id —
+// a handle to a nonexistent node is always a programming error.
+func (c *Cluster) Node(i int) Handle {
+	if i < 0 || i >= len(c.Nodes) {
+		panic(fmt.Sprintf("core: Node(%d) out of range [0,%d)", i, len(c.Nodes)))
+	}
+	return Handle{c: c, id: i}
+}
+
+// ID returns the node id the handle addresses.
+func (h Handle) ID() int { return h.id }
+
+// Sub is the node's AmpSubscribe (pub/sub) service.
+func (h Handle) Sub() *ampdc.Subscribe { return h.c.Services[h.id].Sub }
+
+// Files is the node's AmpFiles (file transfer) service.
+func (h Handle) Files() *ampdc.Files { return h.c.Services[h.id].Files }
+
+// Threads is the node's AmpThreads (remote call) service.
+func (h Handle) Threads() *ampdc.Threads { return h.c.Services[h.id].Threads }
+
+// Stack is the node's AmpIP (IP-over-AmpNet) stack.
+func (h Handle) Stack() *ampip.Stack { return h.c.Stacks[h.id] }
+
+// Manager is the node's failover manager (control groups).
+func (h Handle) Manager() *failover.Manager { return h.c.Managers[h.id] }
+
+// Sem is the node's network-semaphore service.
+func (h Handle) Sem() *netsem.Service { return h.c.Nodes[h.id].Sem }
+
+// Cache is the node's local replica of the network cache (read side).
+func (h Handle) Cache() *netcache.Cache { return h.c.Nodes[h.id].Cache }
+
+// CacheW is the node's replicating cache writer.
+func (h Handle) CacheW() *netcache.Writer { return h.c.Nodes[h.id].CacheW }
+
+// DK is the node's distributed kernel — the escape hatch to everything
+// the typed accessors do not cover (hooks, counters, diagnostics).
+func (h Handle) DK() *ampdk.Node { return h.c.Nodes[h.id] }
+
+// Crash kills the node, NIC and all (prefer a Plan event for scripted
+// faults; Crash is for interactive use).
+func (h Handle) Crash() { h.c.CrashNode(h.id) }
+
+// Reboot brings a crashed node back through assimilation.
+func (h Handle) Reboot() { h.c.RebootNode(h.id) }
+
+// Online reports whether the node has completed assimilation.
+func (h Handle) Online() bool { return h.c.Nodes[h.id].Online() }
+
+// State returns the node's assimilation state.
+func (h Handle) State() ampdk.State { return h.c.Nodes[h.id].State }

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/rostering"
+	"repro/internal/sim"
+)
+
+// Scenario binds a cluster configuration, a declarative fault Plan and
+// a set of workload generators into one reproducible run. Run boots
+// the cluster, installs the plan (offsets are relative to the end of
+// boot), starts every load, advances virtual time, then quiesces,
+// settles and audits — and returns a machine-readable Report that is
+// byte-identical across same-seed runs. It is the top of the public
+// API: everything the paper claims ("no down time and no loss of
+// data" under switch failures, crashes and assimilation) is a Scenario
+// whose Report proves or refutes it.
+type Scenario struct {
+	// Name labels the report.
+	Name string
+	// Opts configures the cluster (see Options).
+	Opts Options
+	// BootWindow bounds boot; 0 selects the Boot default.
+	BootWindow sim.Time
+	// Plan is the fault/repair schedule, validated before anything is
+	// installed. Offsets are relative to the end of boot.
+	Plan Plan
+	// Loads are started together right after boot.
+	Loads []Load
+	// For is how long the scenario runs after boot (default 30 ms).
+	For sim.Time
+	// Settle is extra drain time after the loads quiesce, so in-flight
+	// traffic lands in the report (default 5 ms).
+	Settle sim.Time
+	// OnCluster, if set, sees the assembled cluster before boot —
+	// install subscriptions, groups or tracers here.
+	OnCluster func(*Cluster)
+	// OnBoot, if set, runs right after a successful boot, before the
+	// plan is installed.
+	OnBoot func(*Cluster)
+	// OnEvent, if set, observes every plan event as it fires.
+	OnEvent func(Event)
+}
+
+// EventReport is one fired plan event in a Report. HealNS is the time
+// from the event to the last roster adoption before the next event (or
+// the end of the run) — the self-healing window the event caused; 0
+// when the event triggered no re-rostering.
+type EventReport struct {
+	AtNS   int64  `json:"at_ns"`
+	Event  string `json:"event"`
+	HealNS int64  `json:"heal_ns,omitempty"`
+}
+
+// Report is the deterministic, machine-readable outcome of a Scenario.
+// Two runs with the same Options.Seed and the same Plan/Loads yield
+// byte-identical JSON.
+type Report struct {
+	Name     string `json:"name,omitempty"`
+	Seed     uint64 `json:"seed"`
+	Nodes    int    `json:"nodes"`
+	Switches int    `json:"switches"`
+	// BootNS is when the cluster settled online; EndNS when the run
+	// (including settle) finished.
+	BootNS int64 `json:"boot_ns"`
+	EndNS  int64 `json:"end_ns"`
+	// RingSize and Roster describe the final logical ring.
+	RingSize int    `json:"ring_size"`
+	Roster   string `json:"roster"`
+	// Healed reports whether the cluster ended settled (see
+	// Cluster.Healed).
+	Healed bool `json:"healed"`
+	// Drops are congestion drops (must stay 0 — the slide-8
+	// guarantee); Lost are frames destroyed by failures; Delivered is
+	// total fabric deliveries.
+	Drops     uint64 `json:"congestion_drops"`
+	Lost      uint64 `json:"failure_losses"`
+	Delivered uint64 `json:"frames_delivered"`
+	// Events are the fired plan events with their heal windows.
+	Events []EventReport `json:"events,omitempty"`
+	// Loads are the per-load delivery reports.
+	Loads []LoadReport `json:"loads,omitempty"`
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil { // a Report is always marshalable
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Summary renders a human-readable digest of the report.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	name := r.Name
+	if name == "" {
+		name = "scenario"
+	}
+	fmt.Fprintf(&b, "%s: %d nodes × %d switches, seed %d\n", name, r.Nodes, r.Switches, r.Seed)
+	fmt.Fprintf(&b, "  online after %v\n", sim.Time(r.BootNS))
+	for _, e := range r.Events {
+		fmt.Fprintf(&b, "  t=%-12v %s", sim.Time(e.AtNS), e.Event)
+		if e.HealNS > 0 {
+			fmt.Fprintf(&b, "  (ring healed in %v)", sim.Time(e.HealNS))
+		}
+		b.WriteByte('\n')
+	}
+	for _, l := range r.Loads {
+		fmt.Fprintf(&b, "  load %s: sent %d, delivered %d, gaps %d", l.Name, l.Sent, l.Delivered, l.Gaps)
+		if l.Iters > 0 {
+			fmt.Fprintf(&b, ", iters %d", l.Iters)
+		}
+		if l.Files > 0 {
+			fmt.Fprintf(&b, ", files %d (%d B)", l.Files, l.Bytes)
+		}
+		if l.MaxLatencyNS > 0 {
+			fmt.Fprintf(&b, ", max latency %v", sim.Time(l.MaxLatencyNS))
+		}
+		b.WriteByte('\n')
+	}
+	healed := "healed"
+	if !r.Healed {
+		healed = "NOT HEALED"
+	}
+	fmt.Fprintf(&b, "  final ring %s (size %d, %s)\n", r.Roster, r.RingSize, healed)
+	fmt.Fprintf(&b, "  congestion drops %d, failure losses %d, frames delivered %d\n",
+		r.Drops, r.Lost, r.Delivered)
+	return b.String()
+}
+
+// Run executes the scenario and returns its report.
+func (s Scenario) Run() (*Report, error) {
+	c := New(s.Opts)
+	if s.OnCluster != nil {
+		s.OnCluster(c)
+	}
+	// Record every roster adoption (chaining any hooks OnCluster
+	// installed) to attribute heal windows to plan events.
+	var adopts []sim.Time
+	for _, nd := range c.Nodes {
+		nd := nd
+		prev := nd.OnRoster
+		nd.OnRoster = func(r *rostering.Roster) {
+			adopts = append(adopts, c.K.Now())
+			if prev != nil {
+				prev(r)
+			}
+		}
+	}
+	if s.OnEvent != nil {
+		prev := c.OnEvent
+		c.OnEvent = func(e Event) {
+			s.OnEvent(e)
+			if prev != nil {
+				prev(e)
+			}
+		}
+	}
+	if err := c.Boot(s.BootWindow); err != nil {
+		return nil, err
+	}
+	if s.OnBoot != nil {
+		s.OnBoot(c)
+	}
+	bootNS := c.Now()
+	runFor := s.For
+	if runFor <= 0 {
+		runFor = 30 * sim.Millisecond
+	}
+	settle := s.Settle
+	if settle <= 0 {
+		settle = 5 * sim.Millisecond
+	}
+	// Every plan event must fit in the run: an event past For+Settle
+	// would silently never fire and vanish from the report.
+	for i, e := range s.Plan {
+		if e.At > runFor+settle {
+			return nil, fmt.Errorf("core: scenario plan event %d (%v at %v) is beyond For+Settle (%v) and would never fire",
+				i, e, e.At, runFor+settle)
+		}
+	}
+	if err := c.Install(s.Plan); err != nil {
+		return nil, err
+	}
+	for _, l := range s.Loads {
+		if err := l.check(c); err != nil {
+			return nil, err
+		}
+	}
+	actives := make([]*ActiveLoad, len(s.Loads))
+	for i, l := range s.Loads {
+		actives[i] = c.startLoad(l)
+	}
+	c.Run(runFor)
+	for _, a := range actives {
+		a.Quiesce()
+	}
+	c.Run(settle)
+
+	rep := &Report{
+		Name:      s.Name,
+		Seed:      c.Opts.Seed,
+		Nodes:     c.Opts.Nodes,
+		Switches:  c.Opts.Switches,
+		BootNS:    int64(bootNS),
+		EndNS:     int64(c.Now()),
+		RingSize:  c.RingSize(),
+		Roster:    c.Roster(),
+		Healed:    c.Healed(),
+		Drops:     c.Drops(),
+		Lost:      c.Lost(),
+		Delivered: c.Net.Delivered.N,
+	}
+	applied := c.Applied()
+	for i, ae := range applied {
+		er := EventReport{AtNS: int64(ae.At), Event: ae.Event.String()}
+		window := c.Now()
+		if i+1 < len(applied) {
+			window = applied[i+1].At
+		}
+		for _, at := range adopts {
+			if at > ae.At && at <= window && int64(at-ae.At) > er.HealNS {
+				er.HealNS = int64(at - ae.At)
+			}
+		}
+		rep.Events = append(rep.Events, er)
+	}
+	for _, a := range actives {
+		rep.Loads = append(rep.Loads, *a.Report())
+	}
+	return rep, nil
+}

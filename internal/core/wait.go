@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ampdk"
+	"repro/internal/rostering"
+	"repro/internal/sim"
+)
+
+// waitStep bounds how far the Wait* helpers advance the clock between
+// predicate probes. Predicates are host-side observations, so probing
+// every 100 µs of virtual time keeps waits responsive without
+// disturbing event order (the kernel executes the same events either
+// way).
+const waitStep = 100 * sim.Microsecond
+
+// stepUntil advances virtual time in deadline-clamped steps until pred
+// holds, probing before the first step and after each one. It is the
+// shared engine of Boot's settle poll and the Wait* helpers.
+func (c *Cluster) stepUntil(pred func() bool, deadline, step sim.Time) bool {
+	// Realize the current instant before the first probe: zero-offset
+	// plan events and After(0) work are pending at Now, and the
+	// predicate must not observe the world as it was before they fire.
+	c.K.RunUntil(c.K.Now())
+	if pred() {
+		return true
+	}
+	for c.K.Now() < deadline {
+		next := c.K.Now() + step
+		if next > deadline {
+			next = deadline
+		}
+		c.K.RunUntil(next)
+		if pred() {
+			return true
+		}
+	}
+	return false
+}
+
+// WaitUntil advances virtual time until pred returns true, probing at
+// waitStep granularity, or fails after the window elapses. It replaces
+// the blind Run(d)-and-hope and hand-rolled poll loops: the simulation
+// stops exactly when the condition holds, so follow-on measurements
+// are taken at the condition's onset, not a window boundary.
+func (c *Cluster) WaitUntil(pred func() bool, within sim.Time) error {
+	if c.stepUntil(pred, c.K.Now()+within, waitStep) {
+		return nil
+	}
+	return fmt.Errorf("core: condition still false after %v (t=%v)", within, c.K.Now())
+}
+
+// WaitRingSize waits until the logical ring reaches exactly n nodes.
+func (c *Cluster) WaitRingSize(n int, within sim.Time) error {
+	if err := c.WaitUntil(func() bool { return c.RingSize() == n }, within); err != nil {
+		return fmt.Errorf("core: ring size %d not reached within %v (size=%d)", n, within, c.RingSize())
+	}
+	return nil
+}
+
+// WaitHealed waits until the cluster has settled after a fault or
+// repair: every reachable node is fully online (none mid-assimilation),
+// all of them agree on the same roster, and that roster contains
+// exactly the reachable nodes.
+func (c *Cluster) WaitHealed(within sim.Time) error {
+	if err := c.WaitUntil(c.Healed, within); err != nil {
+		return fmt.Errorf("core: cluster not healed within %v (ring=%s)", within, c.Roster())
+	}
+	return nil
+}
+
+// Healed reports whether the cluster is currently settled: all
+// reachable nodes online, agreeing on one roster of exactly the
+// reachable nodes, with every ring arc crossing live hardware. A node
+// is reachable when it is not crashed and has at least one live path
+// to the fabric.
+func (c *Cluster) Healed() bool {
+	reachable := 0
+	var agreed *rostering.Roster
+	roster := ""
+	for i, nd := range c.Nodes {
+		if nd.State == ampdk.StateOffline || nd.State == ampdk.StateRejected {
+			continue
+		}
+		live := false
+		for s := range c.Phys.Switches {
+			if c.Phys.NodeLinks[i][s].Up() && !c.Phys.Switches[s].Failed() {
+				live = true
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		reachable++
+		if nd.State != ampdk.StateOnline {
+			return false // still assimilating
+		}
+		r := nd.Agent.Roster()
+		if r == nil {
+			return false
+		}
+		if agreed == nil {
+			agreed, roster = r, r.String()
+		} else if roster != r.String() {
+			return false
+		}
+	}
+	if reachable == 0 || agreed == nil || agreed.Size() != reachable {
+		return false
+	}
+	// A stale roster can still "agree" right after a fault; the ring is
+	// healed only when every arc it routes traverses live hardware.
+	if agreed.Size() >= 2 {
+		for i, n := range agreed.Nodes {
+			via := agreed.Via[i]
+			next := agreed.Nodes[(i+1)%len(agreed.Nodes)]
+			if c.Phys.Switches[via].Failed() ||
+				!c.Phys.NodeLinks[n][via].Up() || !c.Phys.NodeLinks[next][via].Up() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Every runs fn now and then every d of virtual time until fn returns
+// false. It is the canonical way to drive periodic application work
+// (checkpoints, pollers) without hand-rolling self-rescheduling
+// closures.
+func (c *Cluster) Every(d sim.Time, fn func() bool) {
+	if d <= 0 {
+		panic("core: Every with non-positive interval")
+	}
+	var tick func()
+	tick = func() {
+		if !fn() {
+			return
+		}
+		c.K.After(d, tick)
+	}
+	c.K.After(0, tick)
+}

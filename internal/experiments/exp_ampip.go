@@ -34,8 +34,8 @@ func E12CollectivesP(p Params) *Table {
 		ids = append(ids, i)
 	}
 	var comms []*ampip.Comm
-	for _, s := range c.Stacks {
-		comms = append(comms, ampip.NewComm(s, ids, 7000))
+	for i := 0; i < nodes; i++ {
+		comms = append(comms, ampip.NewComm(c.Node(i).Stack(), ids, 7000))
 	}
 
 	// Datagram RTT (ping-pong over sockets).
@@ -43,12 +43,12 @@ func E12CollectivesP(p Params) *Table {
 		const pings = 20
 		var start sim.Time
 		var rtts []sim.Time
-		c.Stacks[1].Bind(100, func(src ampip.Addr, sp uint16, data []byte) {
-			c.Stacks[1].SendTo(src, sp, 100, data)
+		c.Node(1).Stack().Bind(100, func(src ampip.Addr, sp uint16, data []byte) {
+			c.Node(1).Stack().SendTo(src, sp, 100, data)
 		})
 		n := 0
 		var fire func()
-		c.Stacks[0].Bind(101, func(_ ampip.Addr, _ uint16, _ []byte) {
+		c.Node(0).Stack().Bind(101, func(_ ampip.Addr, _ uint16, _ []byte) {
 			rtts = append(rtts, c.Now()-start)
 			n++
 			if n < pings {
@@ -57,7 +57,7 @@ func E12CollectivesP(p Params) *Table {
 		})
 		fire = func() {
 			start = c.Now()
-			c.Stacks[0].SendTo(ampip.NodeToIP(1), 100, 101, make([]byte, 64))
+			c.Node(0).Stack().SendTo(ampip.NodeToIP(1), 100, 101, make([]byte, 64))
 		}
 		c.K.After(0, fire)
 		c.Run(20 * sim.Millisecond)
@@ -77,7 +77,7 @@ func E12CollectivesP(p Params) *Table {
 		const dgram = 8192
 		var doneAt sim.Time
 		got := 0
-		c.Stacks[3].Bind(200, func(_ ampip.Addr, _ uint16, data []byte) {
+		c.Node(3).Stack().Bind(200, func(_ ampip.Addr, _ uint16, data []byte) {
 			got += len(data)
 			if got >= total {
 				doneAt = c.Now()
@@ -86,7 +86,7 @@ func E12CollectivesP(p Params) *Table {
 		startAt := c.Now()
 		c.K.After(0, func() {
 			for off := 0; off < total; off += dgram {
-				c.Stacks[2].SendTo(ampip.NodeToIP(3), 200, 200, make([]byte, dgram))
+				c.Node(2).Stack().SendTo(ampip.NodeToIP(3), 200, 200, make([]byte, dgram))
 			}
 		})
 		c.Run(100 * sim.Millisecond)

@@ -33,8 +33,8 @@ func E5SeqlockP(p Params) *Table {
 			return t
 		}
 		rec := netcache.Record{Region: 1, Off: 0, Size: 64}
-		writer := c.Nodes[0].CacheW
-		reader := c.Nodes[p.Nodes-1].Cache // farthest replica from the writer
+		writer := c.Node(0).CacheW()
+		reader := c.Node(p.Nodes - 1).Cache() // farthest replica from the writer
 
 		var torn, clean, retries int
 		seq := byte(0)
@@ -47,20 +47,16 @@ func E5SeqlockP(p Params) *Table {
 			return true
 		}
 		stop := c.Now() + 20*sim.Millisecond
-		var write func()
-		write = func() {
+		c.Every(wi, func() bool {
 			seq++
 			buf := make([]byte, 64)
 			for i := range buf {
 				buf[i] = seq
 			}
 			writer.WriteRecord(rec, buf)
-			if c.Now() < stop {
-				c.K.After(wi, write)
-			}
-		}
-		var read func()
-		read = func() {
+			return c.Now() < stop
+		})
+		c.Every(5*sim.Microsecond, func() bool {
 			if d, ok := reader.TryRead(rec); ok {
 				clean++
 				if !uniform(d) {
@@ -69,12 +65,8 @@ func E5SeqlockP(p Params) *Table {
 			} else {
 				retries++
 			}
-			if c.Now() < stop {
-				c.K.After(5*sim.Microsecond, read)
-			}
-		}
-		c.K.After(0, write)
-		c.K.After(0, read)
+			return c.Now() < stop
+		})
 		c.Run(25 * sim.Millisecond)
 		total := clean + retries
 		tornTotal += torn
@@ -112,34 +104,32 @@ func E6SemaphoresP(p Params, opsPerNode int) *Table {
 	lat := sim.NewSample("lock")
 
 	shared := 0 // host-side shared value, protected only by the lock
-	var launch func(i, left int)
-	launch = func(i, left int) {
+	var launch func(h core.Handle, left int)
+	launch = func(h core.Handle, left int) {
 		if left == 0 {
 			return
 		}
-		nd := c.Nodes[i]
 		start := c.Now()
-		nd.Sem.Lock(42, func() {
+		h.Sem().Lock(42, func() {
 			lat.Observe(float64(c.Now()-start) / 1000)
 			v := shared
 			c.K.After(2*sim.Microsecond, func() {
 				shared = v + 1
 				var buf [8]byte
 				buf[0] = byte(shared)
-				nd.CacheW.WriteRecord(rec, buf[:])
-				nd.Sem.Unlock(42)
-				launch(i, left-1)
+				h.CacheW().WriteRecord(rec, buf[:])
+				h.Sem().Unlock(42)
+				launch(h, left-1)
 			})
 		})
 	}
 	for i := 0; i < nodes; i++ {
-		i := i
-		c.K.After(0, func() { launch(i, opsPerNode) })
+		h := c.Node(i)
+		c.K.After(0, func() { launch(h, opsPerNode) })
 	}
-	// Contended locking takes a while; run generously.
-	for r := 0; r < 100 && shared < nodes*opsPerNode; r++ {
-		c.Run(50 * sim.Millisecond)
-	}
+	// Contended locking takes a while; wait for the exact count (or
+	// give up after a generous window).
+	_ = c.WaitUntil(func() bool { return shared == nodes*opsPerNode }, 5*sim.Second)
 	exact := "YES"
 	if shared != nodes*opsPerNode {
 		exact = "NO (lost updates)"
@@ -181,24 +171,22 @@ func E6aWriteThroughP(p Params) *Table {
 		for i := range want {
 			want[i] = 0xAA
 		}
-		var start sim.Time
+		// One concurrent 1 µs poller per replica, so each arrival is
+		// stamped independently at poll resolution.
+		start := c.Now()
+		c.Node(0).CacheW().WriteRecord(rec, want)
 		arrive := make([]sim.Time, 0, nodes-1)
-		var poll func(i int)
-		poll = func(i int) {
-			if d, ok := c.Nodes[i].Cache.TryRead(rec); ok && len(d) > 0 && d[0] == 0xAA {
-				arrive = append(arrive, c.Now()-start)
-				return
-			}
-			c.K.After(sim.Microsecond, func() { poll(i) })
+		for i := 1; i < nodes; i++ {
+			h := c.Node(i)
+			c.Every(sim.Microsecond, func() bool {
+				if d, ok := h.Cache().TryRead(rec); ok && len(d) > 0 && d[0] == 0xAA {
+					arrive = append(arrive, c.Now()-start)
+					return false
+				}
+				return true
+			})
 		}
-		c.K.After(0, func() {
-			start = c.Now()
-			c.Nodes[0].CacheW.WriteRecord(rec, want)
-			for i := 1; i < nodes; i++ {
-				poll(i)
-			}
-		})
-		c.Run(10 * sim.Millisecond)
+		_ = c.WaitUntil(func() bool { return len(arrive) == nodes-1 }, 10*sim.Millisecond)
 		if len(arrive) != nodes-1 {
 			t.Add(fmt.Sprint(nodes), fmt.Sprint(size), "INCOMPLETE", fmt.Sprint(len(arrive)))
 			continue

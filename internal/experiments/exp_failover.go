@@ -37,22 +37,17 @@ func E9AssimilationP(p Params) *Table {
 			c.K.After(0, func() { nd.Boot() })
 		}
 		c.Run(30 * sim.Millisecond)
-		joiner := c.Nodes[p.Nodes-1]
-		var bootAt, onlineAt sim.Time
-		joiner.OnOnline = func() { onlineAt = c.Now() }
-		c.K.After(0, func() {
-			bootAt = c.Now()
-			joiner.Boot()
-		})
-		for r := 0; r < 100 && onlineAt == 0; r++ {
-			c.Run(20 * sim.Millisecond)
-		}
-		if onlineAt == 0 {
+		joiner := c.Node(p.Nodes - 1)
+		var onlineAt sim.Time
+		joiner.DK().OnOnline = func() { onlineAt = c.Now() } // exact stamp
+		bootAt := c.Now()
+		joiner.DK().Boot()
+		if err := c.WaitUntil(func() bool { return onlineAt != 0 }, 2*sim.Second); err != nil {
 			t.Add(fmt.Sprint(kb), "NEVER", "-", "FAIL")
 			continue
 		}
 		el := onlineAt - bootAt
-		mbps := float64(joiner.RefreshedB) / el.Seconds() / 1e6
+		mbps := float64(joiner.DK().RefreshedB) / el.Seconds() / 1e6
 		t.Metric(fmt.Sprintf("join_ns_%dkb", kb), float64(el))
 		t.Metric(fmt.Sprintf("refresh_mbps_%dkb", kb), mbps)
 		t.Add(fmt.Sprint(kb), el.String(), fmt.Sprintf("%.1f", mbps), "online")
@@ -68,7 +63,7 @@ func E9AssimilationP(p Params) *Table {
 		}})
 		_ = c.Boot(0)
 		verdict := "FAIL"
-		if c.Nodes[2].State.String() == "rejected" {
+		if c.Node(2).State().String() == "rejected" {
 			verdict = "rejected (correct)"
 		}
 		t.Add("-", "version 2.0 vs network 1.0", "-", verdict)
@@ -80,7 +75,8 @@ func E9AssimilationP(p Params) *Table {
 // E10Failover reproduces slide 19: millisecond failure detection, an
 // application-definable fail-over period, control passing to the best
 // qualified node, and no data loss. A primary checkpoints a counter,
-// dies mid-run, and the survivor must recover the last committed value.
+// dies mid-run (a planned CrashNode event), and the survivor must
+// recover the last committed value.
 func E10Failover() *Table {
 	return E10FailoverP(Params{})
 }
@@ -110,31 +106,29 @@ func E10FailoverP(p Params) *Table {
 			State:  netcache.NewDoubleBuffer(1, 0, 8),
 		}
 		var groups []*failover.Group
-		for _, m := range c.Managers {
-			groups = append(groups, m.AddGroup(cfg))
+		for i := 0; i < 4; i++ {
+			groups = append(groups, c.Node(i).Manager().AddGroup(cfg))
 		}
 		// Primary (node 0) checkpoints an increasing counter.
 		committed := uint64(0)
-		var tick func()
-		tick = func() {
-			if c.Nodes[0].State.String() != "online" {
-				return
+		c.Every(200*sim.Microsecond, func() bool {
+			if !c.Node(0).Online() {
+				return false
 			}
 			committed++
 			var buf [8]byte
 			binary.LittleEndian.PutUint64(buf[:], committed)
 			groups[0].CheckpointState(buf[:])
-			c.K.After(200*sim.Microsecond, tick)
-		}
-		c.K.After(0, tick)
+			return true
+		})
 		c.Run(5 * sim.Millisecond)
 
 		var failAt, detectAt, tookAt sim.Time
 		var recovered uint64
 		// Chain onto the hook the failover manager installed — the
 		// manager must still see peer-down events.
-		mgrHook := c.Nodes[1].OnPeerDown
-		c.Nodes[1].OnPeerDown = func(id int) {
+		mgrHook := c.Node(1).DK().OnPeerDown
+		c.Node(1).DK().OnPeerDown = func(id int) {
 			if id == 0 && detectAt == 0 {
 				detectAt = c.Now()
 			}
@@ -148,11 +142,13 @@ func E10FailoverP(p Params) *Table {
 				recovered = binary.LittleEndian.Uint64(state)
 			}
 		}
-		c.K.After(0, func() {
-			failAt = c.Now()
-			c.Nodes[0].Crash() // dies possibly mid-checkpoint
-		})
-		c.Run(50 * sim.Millisecond)
+		// The fault plan: the primary dies now, possibly mid-checkpoint.
+		failAt = c.Now()
+		if err := c.Install(core.Plan{core.CrashNode(0, 0)}); err != nil {
+			t.Note("install failed: %v", err)
+			return t
+		}
+		_ = c.WaitUntil(func() bool { return tookAt != 0 }, 50*sim.Millisecond)
 
 		loss := "NONE"
 		// The survivor must recover the last committed checkpoint or the
@@ -197,36 +193,33 @@ func E11SelfHealVsBaselineP(p Params) *Table {
 	const failTime = 10 * sim.Millisecond
 	const runFor = 40 * sim.Millisecond
 
-	// AmpNet: full stack, pub/sub stream from node 0 to node 2.
+	// AmpNet: full stack, a PubSubLoad stream from node 0 to node 2 and
+	// a planned switch failure; the load's outage/gap accounting is the
+	// measurement.
 	{
 		c := core.New(core.Options{Nodes: 4, Switches: 2, Seed: p.seed()})
 		if err := c.Boot(0); err != nil {
 			t.Note("boot failed: %v", err)
 			return t
 		}
-		var lastRx, gapMax sim.Time
-		sent, got := 0, 0
-		c.Services[2].Sub.Subscribe(1, func(_ micropacket.NodeID, _ []byte) {
-			if lastRx != 0 && c.Now()-lastRx > gapMax {
-				gapMax = c.Now() - lastRx
-			}
-			lastRx = c.Now()
-			got++
-		})
-		var tick func()
-		tick = func() {
-			if c.Now() < runFor {
-				c.Services[0].Sub.Publish(1, []byte{1})
-				sent++
-				c.K.After(sendEvery, tick)
-			}
+		if err := c.Install(core.Plan{core.FailSwitch(failTime, 0)}); err != nil {
+			t.Note("install failed: %v", err)
+			return t
 		}
-		c.K.After(0, tick)
-		c.K.After(failTime, func() { c.FailSwitch(0) })
-		c.Run(runFor + 10*sim.Millisecond)
-		t.Add("AmpNet (rostering)", gapMax.String(), fmt.Sprint(sent-got), "yes")
-		t.Metric("ampnet_outage_ns", float64(gapMax))
-		t.Metric("ampnet_frames_lost", float64(sent-got))
+		a := c.StartLoad(&core.PubSubLoad{
+			Publisher:   0,
+			Topic:       1,
+			Subscribers: []int{2},
+			Every:       sendEvery,
+			Count:       int(runFor / sendEvery),
+		})
+		_ = c.WaitUntil(a.Done, runFor+10*sim.Millisecond)
+		c.Run(10 * sim.Millisecond)
+		rep := a.Report()
+		t.Add("AmpNet (rostering)", sim.Time(rep.MaxGapNS).String(),
+			fmt.Sprint(rep.Sent-rep.Delivered), "yes")
+		t.Metric("ampnet_outage_ns", float64(rep.MaxGapNS))
+		t.Metric("ampnet_frames_lost", float64(rep.Sent-rep.Delivered))
 	}
 
 	// Static switched baseline, same hardware, same traffic pattern.
