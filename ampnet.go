@@ -28,6 +28,21 @@
 //	if err != nil { ... }
 //	fmt.Print(rep.Summary()) // heal time, deliveries, gaps, drops
 //
+// Choosing a fabric: the default Options.Nodes/Options.Switches build
+// the paper's uniform segment (every node wired to every switch).
+// Options.Fabric selects richer shapes — DualRing for counter-rotating
+// rings, Mesh for a trunked switch mesh where no switch sees every
+// node, Sharded for multi-ring clusters joined by trunks — which
+// unlock the FailTrunk/RestoreTrunk plan events and partition/re-merge
+// scenarios:
+//
+//	topo := ampnet.Sharded(2, 4, 2, 50)
+//	rep, err := ampnet.Scenario{
+//		Opts: ampnet.Options{Fabric: &topo},
+//		Plan: ampnet.Plan{ampnet.FailTrunk(5*ampnet.Millisecond, 0)},
+//		...
+//	}.Run()
+//
 // For finer control, assemble a Cluster yourself and drive it through
 // per-node handles, condition-based waits and installed plans:
 //
@@ -54,6 +69,7 @@ import (
 	"repro/internal/failover"
 	"repro/internal/micropacket"
 	"repro/internal/netcache"
+	"repro/internal/phys"
 	"repro/internal/sim"
 )
 
@@ -68,6 +84,36 @@ func New(opts Options) *Cluster { return core.New(opts) }
 
 // Handle is a typed per-node view (c.Node(i)); see core.Handle.
 type Handle = core.Handle
+
+// Topology declaratively describes a fabric shape — which node attaches
+// to which switch, and which switches are joined by inter-switch
+// trunks. Set Options.Fabric to build one; nil builds the paper's
+// uniform segment from Options.Nodes and Options.Switches.
+type Topology = phys.Topology
+
+// TrunkSpec declares one inter-switch trunk of a Topology.
+type TrunkSpec = phys.TrunkSpec
+
+// The named fabric shapes. Uniform is the paper's slide-14 segment
+// (every node to every switch); DualRing is a pair of counter-rotating
+// rings joined by a trunk; Mesh dual-homes nodes across a trunked
+// switch mesh; Sharded gives each shard its own switches, joined to its
+// neighbors by trunks, so the cluster-wide ring heals across rings.
+func Uniform(nodes, switches int, fiberM float64) Topology {
+	return phys.Uniform(nodes, switches, fiberM)
+}
+func DualRing(nodes int, fiberM float64) Topology       { return phys.DualRing(nodes, fiberM) }
+func Mesh(nodes, switches int, fiberM float64) Topology { return phys.Mesh(nodes, switches, fiberM) }
+func Sharded(shards, nodesPerShard, switchesPerShard int, fiberM float64) Topology {
+	return phys.Sharded(shards, nodesPerShard, switchesPerShard, fiberM)
+}
+
+// FabricByName builds a named fabric shape ("uniform", "dualring",
+// "mesh", "sharded") from a node and switch budget — the ampsim
+// -fabric flag.
+func FabricByName(name string, nodes, switches int, fiberM float64) (Topology, error) {
+	return phys.FabricByName(name, nodes, switches, fiberM)
+}
 
 // Scenario binds cluster + fault plan + workloads into one
 // reproducible run; see core.Scenario.
@@ -96,6 +142,8 @@ const (
 	EvRestoreSwitch = core.EvRestoreSwitch
 	EvFailLink      = core.EvFailLink
 	EvRestoreLink   = core.EvRestoreLink
+	EvFailTrunk     = core.EvFailTrunk
+	EvRestoreTrunk  = core.EvRestoreTrunk
 )
 
 // AppliedEvent is a fired plan event with its absolute fire time.
@@ -108,10 +156,16 @@ func FailSwitch(at Time, s int) Event     { return core.FailSwitch(at, s) }
 func RestoreSwitch(at Time, s int) Event  { return core.RestoreSwitch(at, s) }
 func FailLink(at Time, n, s int) Event    { return core.FailLink(at, n, s) }
 func RestoreLink(at Time, n, s int) Event { return core.RestoreLink(at, n, s) }
+func FailTrunk(at Time, t int) Event      { return core.FailTrunk(at, t) }
+func RestoreTrunk(at Time, t int) Event   { return core.RestoreTrunk(at, t) }
 
 // ParsePlan parses the plan-script syntax used by ampsim -plan, e.g.
 // "10ms fail-switch 0; 20ms restore-switch 0".
 func ParsePlan(s string) (Plan, error) { return core.ParsePlan(s) }
+
+// FormatPlan renders a plan back into the plan-script syntax;
+// ParsePlan(FormatPlan(p)) reproduces p exactly.
+func FormatPlan(p Plan) string { return core.FormatPlan(p) }
 
 // Load is a composable workload generator; the implementations are
 // PubSubLoad, CacheChurn, CollectiveLoad and FileStream.

@@ -12,6 +12,8 @@
 //	ampsim -nodes 6 -switches 4 -fiber 1000
 //	ampsim -nodes 8 -switches 2 -plan "10ms fail-switch 0; 25ms restore-switch 0" -run 50ms
 //	ampsim -nodes 6 -switches 4 -plan "5ms crash-node 3; 20ms reboot-node 3" -traffic -report run.json
+//	ampsim -fabric dualring -nodes 6 -plan "10ms fail-switch 0" -traffic
+//	ampsim -fabric sharded -nodes 8 -switches 4 -plan "5ms fail-trunk 0; 20ms restore-trunk 0"
 package main
 
 import (
@@ -29,6 +31,8 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 6, "number of nodes")
 	switches := flag.Int("switches", 4, "number of switches (2=dual, 4=quad redundant)")
+	fabric := flag.String("fabric", "uniform",
+		"fabric shape: uniform (every node to every switch), dualring (counter-rotating rings + trunk), mesh (dual-homed nodes over a trunked switch mesh), sharded (per-shard switches joined by trunks)")
 	fiber := flag.Float64("fiber", 50, "fiber meters per link")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	runFor := flag.Duration("run", 30*time.Millisecond, "virtual time to run after boot")
@@ -58,12 +62,17 @@ func main() {
 		p = append(p, ampnet.CrashNode(vd(*failAt), *crashNode))
 	}
 
+	topo, err := ampnet.FabricByName(*fabric, *nodes, *switches, *fiber)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var c *ampnet.Cluster
 	var tr *trace.Tracer
 	s := ampnet.Scenario{
 		Name: "ampsim",
 		Opts: ampnet.Options{
-			Nodes: *nodes, Switches: *switches, FiberMeters: *fiber, Seed: *seed,
+			Fabric: &topo, FiberMeters: *fiber, Seed: *seed,
 			DeepPHY: *deep,
 		},
 		Plan: p,
@@ -85,7 +94,7 @@ func main() {
 		s.Loads = append(s.Loads, &ampnet.PubSubLoad{
 			Publisher:   0,
 			Topic:       1,
-			Subscribers: []int{*nodes - 1},
+			Subscribers: []int{topo.Nodes - 1},
 		})
 	}
 	rep, err := s.Run()
@@ -110,7 +119,7 @@ func main() {
 	for _, l := range rep.Loads {
 		fmt.Printf("  load %s: sent=%d received=%d gaps=%d\n", l.Name, l.Sent, l.Delivered, l.Gaps)
 	}
-	for i := 0; i < *nodes; i++ {
+	for i := range c.Nodes {
 		nd := c.Node(i).DK()
 		fmt.Printf("  node %d: state=%-12s hb-sent=%-6d dma-gaps=%-4d epoch=%-4d certified=%v\n",
 			nd.Cfg.ID, nd.State, nd.HBSent, nd.DMA.Gaps, nd.Agent.Epoch(), nd.Certified())

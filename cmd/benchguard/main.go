@@ -1,0 +1,104 @@
+// Command benchguard gates benchmark regressions: it parses standard
+// `go test -bench` output and compares every benchmark that has an
+// entry in a committed baseline file, failing (exit 1) when any ns/op
+// regresses beyond the tolerance. The baseline pins the E1–E7 hot
+// paths (BENCH_baseline.json at the repo root); regenerate it after an
+// intentional performance change with -update.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkE[1-7][A-Z]' . | go run ./cmd/benchguard -baseline BENCH_baseline.json
+//	go test -run '^$' -bench '^BenchmarkE[1-7][A-Z]' . | go run ./cmd/benchguard -baseline BENCH_baseline.json -update
+//
+// Host benchmarks are noisy, so the guard compares only ns/op with a
+// generous default tolerance (25%) and reports improvements without
+// failing. Benchmarks missing from the current run fail the guard —
+// a silently deleted hot-path benchmark is itself a regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/benchparse"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+	tolerance := flag.Float64("tolerance", 0.25,
+		"allowed fractional ns/op regression (0.25 = +25%); overrides the baseline's stored tolerance when set explicitly")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	flag.Parse()
+	toleranceSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "tolerance" {
+			toleranceSet = true
+		}
+	})
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		log.Fatal("at most one input file (default stdin)")
+	}
+
+	results, err := benchparse.Parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark results in input")
+	}
+
+	if *update {
+		base := benchparse.Baseline{
+			Note:       "ns/op baseline for the E1–E7 hot paths; regenerate with: go test -run '^$' -bench '^BenchmarkE[1-7][A-Z]' . | go run ./cmd/benchguard -update",
+			Tolerance:  *tolerance,
+			Benchmarks: results,
+		}
+		if err := base.Write(*baselinePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %d baselines to %s\n", len(results), *baselinePath)
+		return
+	}
+
+	base, err := benchparse.ReadBaseline(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tol := *tolerance
+	if base.Tolerance > 0 && !toleranceSet {
+		tol = base.Tolerance
+	}
+	verdicts := benchparse.Compare(base.Benchmarks, results, tol)
+	names := make([]string, 0, len(verdicts))
+	for name := range verdicts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		v := verdicts[name]
+		fmt.Println(v.String())
+		if v.Regressed {
+			failed++
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d guarded benchmarks regressed beyond %.0f%%", failed, len(verdicts), tol*100)
+	}
+	fmt.Printf("benchguard: %d guarded benchmarks within %.0f%% of baseline\n", len(verdicts), tol*100)
+}

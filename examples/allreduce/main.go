@@ -6,8 +6,10 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	ampnet "repro"
 )
@@ -18,6 +20,8 @@ const (
 )
 
 func main() {
+	jsonOut := flag.String("json", "", "write the deterministic JSON report to this file")
+	flag.Parse()
 	c := ampnet.New(ampnet.Options{Nodes: ranks, Switches: 4})
 	if err := c.Boot(0); err != nil {
 		log.Fatal(err)
@@ -48,4 +52,9 @@ func main() {
 	fmt.Printf("completed %d iterations\n", al.Report().Iters)
 	fmt.Printf("final ring: %s\n", c.Roster())
 	fmt.Printf("congestion drops: %d\n", c.Drops())
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, c.Snapshot("allreduce", al).JSON(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

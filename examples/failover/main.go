@@ -8,13 +8,17 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	ampnet "repro"
 )
 
 func main() {
+	jsonOut := flag.String("json", "", "write the deterministic JSON report to this file")
+	flag.Parse()
 	c := ampnet.New(ampnet.Options{
 		Nodes:    4,
 		Switches: 2,
@@ -92,4 +96,9 @@ func main() {
 
 	fmt.Printf("t=%v  new primary everywhere: node %d\n", c.Now(), groups[2].Primary())
 	fmt.Printf("t=%v  ring healed without node 0: %s\n", c.Now(), c.Roster())
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, c.Snapshot("failover").JSON(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -6,13 +6,17 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	ampnet "repro"
 )
 
 func main() {
+	jsonOut := flag.String("json", "", "write the deterministic JSON report to this file")
+	flag.Parse()
 	c := ampnet.New(ampnet.Options{Nodes: 4, Switches: 2})
 	if err := c.Boot(0); err != nil {
 		log.Fatal(err)
@@ -61,4 +65,9 @@ func main() {
 	fmt.Printf("t=%v  %d messages interleaved with the file; worst message latency %v\n",
 		c.Now(), mr.Delivered, ampnet.Time(mr.MaxLatencyNS))
 	fmt.Printf("congestion drops: %d\n", c.Drops())
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, c.Snapshot("filetransfer", fa, ma).JSON(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

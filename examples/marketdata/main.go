@@ -9,8 +9,10 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	ampnet "repro"
 )
@@ -23,6 +25,8 @@ const (
 )
 
 func main() {
+	jsonOut := flag.String("json", "", "write the deterministic JSON report to this file")
+	flag.Parse()
 	c := ampnet.New(ampnet.Options{Nodes: 6, Switches: 4})
 	if err := c.Boot(0); err != nil {
 		log.Fatal(err)
@@ -90,4 +94,9 @@ func main() {
 		ampnet.Time(rep.MaxGapNS), tickEvery)
 	fmt.Printf("congestion drops: %d\n", c.Drops())
 	fmt.Printf("final ring: %s\n", c.Roster())
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, c.Snapshot("marketdata", al).JSON(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

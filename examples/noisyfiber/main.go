@@ -8,13 +8,17 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	ampnet "repro"
 )
 
 func main() {
+	jsonOut := flag.String("json", "", "write the deterministic JSON report to this file")
+	flag.Parse()
 	c := ampnet.New(ampnet.Options{
 		Nodes:    4,
 		Switches: 2,
@@ -59,5 +63,10 @@ func main() {
 	fmt.Printf("replicas exact: %d, stale: %d\n", rep.ExactReplicas, rep.StaleReplicas)
 	if rep.StaleReplicas == 0 {
 		fmt.Println("all replicas exact despite the noisy fiber — CRC discard + smart recovery")
+	}
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, c.Snapshot("noisyfiber", al).JSON(), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -6,13 +6,17 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	ampnet "repro"
 )
 
 func main() {
+	jsonOut := flag.String("json", "", "write the deterministic JSON report to this file")
+	flag.Parse()
 	rep, err := ampnet.Scenario{
 		Name: "quickstart",
 		Opts: ampnet.Options{Nodes: 6, Switches: 4},
@@ -28,4 +32,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(rep.Summary())
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, rep.JSON(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

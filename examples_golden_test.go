@@ -1,0 +1,106 @@
+package ampnet
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-report tests for the examples/ programs: each example runs
+// with its fixed built-in seed and writes its deterministic JSON report
+// (-json); the report must match the committed golden byte for byte.
+// Regenerate the goldens after an intentional behavior change with
+//
+//	go test -run TestExampleGoldens -update
+var updateGoldens = flag.Bool("update", false, "rewrite the example golden reports")
+
+// exampleNames lists every example program; the test fails if a new
+// example is added without a golden.
+func exampleNames(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no examples found")
+	}
+	return names
+}
+
+func TestExampleGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every example via `go run`")
+	}
+	for _, name := range exampleNames(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out := filepath.Join(t.TempDir(), "report.json")
+			cmd := exec.Command("go", "run", "./examples/"+name, "-json", out)
+			if stdout, err := cmd.CombinedOutput(); err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, stdout)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("examples", name, "testdata", "report.golden.json")
+			if *updateGoldens {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run TestExampleGoldens -update` to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("report for example %q diverged from %s:\n--- got ---\n%s\n--- want ---\n%s\n%s",
+					name, golden, got, want,
+					"if the change is intentional, regenerate with `go test -run TestExampleGoldens -update`")
+			}
+		})
+	}
+}
+
+// TestExampleGoldenDeterminism runs one example twice and requires
+// byte-identical reports — the reproducibility contract the goldens
+// rest on.
+func TestExampleGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs an example via `go run` twice")
+	}
+	dir := t.TempDir()
+	var reports [2][]byte
+	for i := range reports {
+		out := filepath.Join(dir, fmt.Sprintf("r%d.json", i))
+		cmd := exec.Command("go", "run", "./examples/quickstart", "-json", out)
+		if stdout, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go run ./examples/quickstart: %v\n%s", err, stdout)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = b
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		t.Fatalf("same-seed example runs produced different reports:\n%s\n---\n%s", reports[0], reports[1])
+	}
+}

@@ -1,0 +1,140 @@
+// Package benchparse parses standard `go test -bench` output and
+// compares it against a committed ns/op baseline — the library behind
+// cmd/benchguard. It lives in its own package so the parser and the
+// comparison policy are unit-testable without timing anything.
+package benchparse
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Baseline is the committed guard file (BENCH_baseline.json).
+type Baseline struct {
+	Note string `json:"note,omitempty"`
+	// Tolerance, when non-zero, overrides the guard's default allowed
+	// fractional regression.
+	Tolerance  float64           `json:"tolerance,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Parse extracts benchmark results from `go test -bench` output. Names
+// are normalized by stripping the trailing -GOMAXPROCS suffix, so
+// baselines compare across machines with different core counts. With
+// -count > 1 a benchmark appears once per run; the minimum ns/op is
+// kept — the least-noisy estimate of the true cost, which keeps the
+// regression guard from tripping on scheduler jitter.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// "BenchmarkName-8  1234  567.8 ns/op  ..."
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchparse: bad ns/op for %s: %q", name, fields[i])
+				}
+				if prev, ok := out[name]; !ok || v < prev.NsPerOp {
+					out[name] = Result{NsPerOp: v}
+				}
+				break
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("benchparse: %s: %v", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchparse: %s has no benchmarks", path)
+	}
+	return &base, nil
+}
+
+// Write stores the baseline as stable, indented JSON.
+func (b *Baseline) Write(path string) error {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// Verdict is the comparison outcome for one guarded benchmark.
+type Verdict struct {
+	Name      string
+	Base      float64
+	Current   float64 // 0 when missing from the run
+	Missing   bool
+	Regressed bool
+}
+
+// Ratio returns current/base.
+func (v Verdict) Ratio() float64 {
+	if v.Base == 0 {
+		return 0
+	}
+	return v.Current / v.Base
+}
+
+// String renders a one-line report.
+func (v Verdict) String() string {
+	switch {
+	case v.Missing:
+		return fmt.Sprintf("FAIL  %-40s missing from this run (baseline %.1f ns/op)", v.Name, v.Base)
+	case v.Regressed:
+		return fmt.Sprintf("FAIL  %-40s %.1f -> %.1f ns/op (%+.1f%%)", v.Name, v.Base, v.Current, (v.Ratio()-1)*100)
+	default:
+		return fmt.Sprintf("ok    %-40s %.1f -> %.1f ns/op (%+.1f%%)", v.Name, v.Base, v.Current, (v.Ratio()-1)*100)
+	}
+}
+
+// Compare checks every baseline entry against the run. Benchmarks in
+// the run but not in the baseline are unguarded and ignored; baseline
+// entries missing from the run fail.
+func Compare(base, run map[string]Result, tolerance float64) map[string]Verdict {
+	out := make(map[string]Verdict, len(base))
+	for name, b := range base {
+		v := Verdict{Name: name, Base: b.NsPerOp}
+		cur, ok := run[name]
+		if !ok {
+			v.Missing, v.Regressed = true, true
+		} else {
+			v.Current = cur.NsPerOp
+			v.Regressed = cur.NsPerOp > b.NsPerOp*(1+tolerance)
+		}
+		out[name] = v
+	}
+	return out
+}

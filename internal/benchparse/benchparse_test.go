@@ -1,0 +1,92 @@
+package benchparse
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkE1MicroPacketCodec-8      	12345678	        95.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE1MicroPacketCodec-8      	12345678	       120.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkE3MultiStream-8           	     120	   9876543 ns/op	        14.50 tours
+BenchmarkE7Redundancy              	     100	  11111111 ns/op
+some unrelated line
+--- BENCH: BenchmarkIgnored
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkE1MicroPacketCodec": 95.2, // min of the two -count runs
+		"BenchmarkE3MultiStream":      9876543,
+		"BenchmarkE7Redundancy":       11111111, // no -N suffix is fine
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name].NsPerOp != ns {
+			t.Errorf("%s = %v ns/op, want %v", name, got[name].NsPerOp, ns)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]Result{
+		"A": {NsPerOp: 100},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100},
+		"D": {NsPerOp: 100},
+	}
+	run := map[string]Result{
+		"A":  {NsPerOp: 124}, // within 25%
+		"B":  {NsPerOp: 126}, // regressed
+		"C":  {NsPerOp: 50},  // improvement: never fails
+		"E1": {NsPerOp: 999}, // unguarded: ignored
+	}
+	v := Compare(base, run, 0.25)
+	if len(v) != 4 {
+		t.Fatalf("got %d verdicts, want 4", len(v))
+	}
+	if v["A"].Regressed {
+		t.Error("A within tolerance flagged as regression")
+	}
+	if !v["B"].Regressed {
+		t.Error("B regression not flagged")
+	}
+	if v["C"].Regressed {
+		t.Error("C improvement flagged")
+	}
+	if !v["D"].Regressed || !v["D"].Missing {
+		t.Error("D missing from run must fail the guard")
+	}
+	if !strings.Contains(v["B"].String(), "FAIL") || !strings.Contains(v["A"].String(), "ok") {
+		t.Errorf("verdict rendering wrong: %q / %q", v["B"].String(), v["A"].String())
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	b := &Baseline{Note: "test", Tolerance: 0.3, Benchmarks: map[string]Result{"X": {NsPerOp: 42}}}
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tolerance != 0.3 || got.Benchmarks["X"].NsPerOp != 42 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}

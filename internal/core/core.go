@@ -23,9 +23,16 @@ import (
 // version 1.0.
 type Options struct {
 	// Nodes and Switches shape the redundant fabric (slide 14:
-	// 6 nodes × 4 switches is quad-redundant).
+	// 6 nodes × 4 switches is quad-redundant). Ignored when Fabric is
+	// set (the topology carries its own sizes).
 	Nodes    int
 	Switches int
+	// Fabric, if set, selects a declarative fabric topology — dual
+	// counter-rotating rings, trunked switch meshes, sharded multi-ring
+	// clusters (see phys.Uniform, phys.DualRing, phys.Mesh,
+	// phys.Sharded). nil builds the paper's uniform segment from Nodes
+	// and Switches.
+	Fabric *phys.Topology
 	// FiberMeters is the per-link fiber length.
 	FiberMeters float64
 	// Seed makes the whole run deterministic.
@@ -55,6 +62,15 @@ type Options struct {
 }
 
 func (o *Options) fill() {
+	if o.Fabric != nil {
+		// The topology is authoritative; mirror its sizes so reports
+		// and plan validation see the real fabric shape.
+		o.Nodes = o.Fabric.Nodes
+		o.Switches = o.Fabric.Switches
+		if o.FiberMeters == 0 {
+			o.FiberMeters = o.Fabric.FiberM
+		}
+	}
 	if o.Nodes == 0 {
 		o.Nodes = 6
 	}
@@ -70,6 +86,19 @@ func (o *Options) fill() {
 	if o.Version == 0 {
 		o.Version = 0x0100
 	}
+}
+
+// topology resolves the fabric to build: the declared Fabric, or the
+// paper's uniform segment shaped by Nodes and Switches.
+func (o *Options) topology() phys.Topology {
+	if o.Fabric != nil {
+		t := *o.Fabric
+		if t.FiberM == 0 {
+			t.FiberM = o.FiberMeters
+		}
+		return t
+	}
+	return phys.Uniform(o.Nodes, o.Switches, o.FiberMeters)
 }
 
 // Cluster is a fully assembled AmpNet network.
@@ -115,7 +144,11 @@ func New(opts Options) *Cluster {
 			}
 		}
 	}
-	c.Phys = phys.BuildCluster(c.Net, opts.Nodes, opts.Switches, opts.FiberMeters)
+	ph, err := phys.BuildFabric(c.Net, opts.topology())
+	if err != nil { // a malformed Topology is a programming error
+		panic(err)
+	}
+	c.Phys = ph
 	for i := 0; i < opts.Nodes; i++ {
 		ver := opts.Version
 		if opts.VersionOf != nil {
@@ -211,6 +244,18 @@ func (c *Cluster) RestoreSwitch(s int) { c.Phys.Switches[s].Restore() }
 // FailLink cuts the fiber between node n and switch s.
 func (c *Cluster) FailLink(n, s int)    { c.Phys.NodeLinks[n][s].Fail() }
 func (c *Cluster) RestoreLink(n, s int) { c.Phys.NodeLinks[n][s].Restore() }
+
+// FailTrunk cuts inter-switch trunk t; RestoreTrunk re-splices it.
+func (c *Cluster) FailTrunk(t int)    { c.Phys.FailTrunk(t) }
+func (c *Cluster) RestoreTrunk(t int) { c.Phys.RestoreTrunk(t) }
+
+// FabricName names the built fabric shape ("uniform", "dualring", ...).
+func (c *Cluster) FabricName() string {
+	if c.Phys.Topo.Name == "" {
+		return "uniform"
+	}
+	return c.Phys.Topo.Name
+}
 
 // CrashNode kills a node (NIC and all); RebootNode brings it back
 // through assimilation.

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ampdk"
+	"repro/internal/rostering"
+)
+
+// This file defines what "healed" means on an arbitrary fabric, and the
+// roster invariants the property battery asserts after every heal
+// window. A fabric with trunks can partition (a trunk cut splits a
+// sharded cluster into independent rings) and re-merge, so both the
+// Healed predicate and the invariants are stated per live partition,
+// not per cluster: a cleanly partitioned fabric whose sides each run a
+// settled ring is healed.
+
+// liveComponents partitions the reachable nodes by live-fabric
+// connectivity: two nodes share a component when a path of live
+// node-switch links, live switches and live trunks joins them. A node
+// is reachable when it is not crashed/rejected and has at least one
+// live link to a live switch. Components are returned with their node
+// ids ascending, ordered by lowest id.
+func (c *Cluster) liveComponents() [][]int {
+	nodes, switches := len(c.Nodes), len(c.Phys.Switches)
+	// Union-find over switch vertices [0,switches) and node vertices
+	// [switches, switches+nodes).
+	parent := make([]int, switches+nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	swLive := make([]bool, switches)
+	for s, sw := range c.Phys.Switches {
+		swLive[s] = !sw.Failed()
+	}
+	for _, t := range c.Phys.Trunks {
+		if t.Link.Up() && swLive[t.A] && swLive[t.B] {
+			union(t.A, t.B)
+		}
+	}
+	reachable := make([]bool, nodes)
+	for i, nd := range c.Nodes {
+		if nd.State == ampdk.StateOffline || nd.State == ampdk.StateRejected {
+			continue
+		}
+		for s := 0; s < switches; s++ {
+			l := c.Phys.NodeLinks[i][s]
+			if l != nil && l.Up() && swLive[s] {
+				reachable[i] = true
+				union(switches+i, s)
+			}
+		}
+	}
+	byRoot := map[int][]int{}
+	for i := range c.Nodes {
+		if reachable[i] {
+			root := find(switches + i)
+			byRoot[root] = append(byRoot[root], i)
+		}
+	}
+	comps := make([][]int, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	sort.Slice(comps, func(a, b int) bool { return comps[a][0] < comps[b][0] })
+	return comps
+}
+
+// Healed reports whether the cluster is currently settled: at least one
+// node is reachable, and in every live partition all reachable nodes
+// are online, agree on one roster containing exactly the partition's
+// nodes, and every ring arc crosses live hardware.
+func (c *Cluster) Healed() bool {
+	comps := c.liveComponents()
+	if len(comps) == 0 {
+		return false
+	}
+	for _, comp := range comps {
+		if c.componentViolation(comp) != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// InvariantViolations checks the roster invariants the fabric battery
+// asserts after every heal window and returns a description of each
+// violation (empty means the cluster is healed):
+//
+//   - every reachable node is online with an adopted roster
+//   - a partition's nodes agree on one roster
+//   - the roster has no duplicate node ids, and only partition members
+//   - the adopted roster equals the ideal roster — what
+//     BuildRosterFabric computes from the partition's true link state
+//     and trunk view. On a fabric whose live switches are
+//     trunk-connected (every uniform segment with a live switch
+//     qualifies) the ideal ring contains every live node, so this
+//     subsumes "ring size == live nodes"; on damaged sparse fabrics it
+//     pins the adopted ring to the largest ring the algorithm can
+//     build, which may legitimately orphan bridge-isolated nodes
+//   - every arc crosses live hardware (links, switches and trunks)
+func (c *Cluster) InvariantViolations() []string {
+	var out []string
+	comps := c.liveComponents()
+	if len(comps) == 0 {
+		return []string{"no reachable nodes in any partition"}
+	}
+	for _, comp := range comps {
+		if v := c.componentViolation(comp); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// liveMask returns node i's true live-switch mask: live links to live
+// switches.
+func (c *Cluster) liveMask(i int) rostering.LinkState {
+	var m rostering.LinkState
+	for s := range c.Phys.Switches {
+		l := c.Phys.NodeLinks[i][s]
+		if l != nil && l.Up() && !c.Phys.Switches[s].Failed() {
+			m |= 1 << s
+		}
+	}
+	return m
+}
+
+// idealRoster computes the roster the partition's nodes must converge
+// to: BuildRosterFabric over the true link state of the partition's
+// members and the current trunk view (epoch is irrelevant — roster
+// comparison ignores it).
+func (c *Cluster) idealRoster(comp []int) *rostering.Roster {
+	lsdb := make(map[int]rostering.LinkState, len(comp))
+	for _, i := range comp {
+		lsdb[i] = c.liveMask(i)
+	}
+	return rostering.BuildRosterFabric(0, lsdb, c.Phys.View())
+}
+
+// componentViolation checks one live partition and returns a violation
+// description, or "" when the partition is settled.
+func (c *Cluster) componentViolation(comp []int) string {
+	var agreed *rostering.Roster
+	agreedStr := ""
+	for _, i := range comp {
+		nd := c.Nodes[i]
+		if nd.State != ampdk.StateOnline {
+			return fmt.Sprintf("partition %v: node %d still %v", comp, i, nd.State)
+		}
+		r := nd.Agent.Roster()
+		if r == nil {
+			return fmt.Sprintf("partition %v: node %d has no roster", comp, i)
+		}
+		if agreed == nil {
+			agreed, agreedStr = r, r.String()
+		} else if s := r.String(); s != agreedStr {
+			return fmt.Sprintf("partition %v: node %d roster %q disagrees with %q", comp, i, s, agreedStr)
+		}
+	}
+	if ideal := c.idealRoster(comp); !agreed.Equal(ideal) {
+		return fmt.Sprintf("partition %v: adopted roster %q != ideal roster %q", comp, agreedStr, ideal)
+	}
+	seen := map[int]bool{}
+	inComp := map[int]bool{}
+	for _, i := range comp {
+		inComp[i] = true
+	}
+	for _, n := range agreed.Nodes {
+		if seen[n] {
+			return fmt.Sprintf("partition %v: duplicate node %d on roster %s", comp, n, agreedStr)
+		}
+		seen[n] = true
+		if !inComp[n] {
+			return fmt.Sprintf("partition %v: foreign node %d on roster %s", comp, n, agreedStr)
+		}
+	}
+	// A stale roster can still "agree" right after a fault; the ring is
+	// healed only when every arc it routes traverses live hardware.
+	if agreed.Size() >= 2 {
+		for i, n := range agreed.Nodes {
+			next := agreed.Nodes[(i+1)%len(agreed.Nodes)]
+			path := []int{agreed.Via[i]}
+			if i < len(agreed.Paths) && len(agreed.Paths[i]) > 0 {
+				path = agreed.Paths[i]
+			}
+			first, last := path[0], path[len(path)-1]
+			if c.Phys.Switches[first].Failed() ||
+				c.Phys.NodeLinks[n][first] == nil || !c.Phys.NodeLinks[n][first].Up() {
+				return fmt.Sprintf("partition %v: arc %d-s%d dark at source (roster %s)", comp, n, first, agreedStr)
+			}
+			if c.Phys.Switches[last].Failed() ||
+				c.Phys.NodeLinks[next][last] == nil || !c.Phys.NodeLinks[next][last].Up() {
+				return fmt.Sprintf("partition %v: arc s%d-%d dark at destination (roster %s)", comp, last, next, agreedStr)
+			}
+			for j := 0; j+1 < len(path); j++ {
+				if c.Phys.Switches[path[j+1]].Failed() || c.Phys.TrunkBetween(path[j], path[j+1]) == nil {
+					return fmt.Sprintf("partition %v: arc %d->%d trunk s%d-s%d dark (roster %s)",
+						comp, n, next, path[j], path[j+1], agreedStr)
+				}
+			}
+		}
+	}
+	return ""
+}

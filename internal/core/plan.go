@@ -22,6 +22,8 @@ const (
 	EvRestoreSwitch
 	EvFailLink
 	EvRestoreLink
+	EvFailTrunk
+	EvRestoreTrunk
 )
 
 // String names the kind in the plan-script spelling.
@@ -39,6 +41,10 @@ func (k EventKind) String() string {
 		return "fail-link"
 	case EvRestoreLink:
 		return "restore-link"
+	case EvFailTrunk:
+		return "fail-trunk"
+	case EvRestoreTrunk:
+		return "restore-trunk"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -47,7 +53,8 @@ func (k EventKind) String() string {
 // Event is one scheduled fault or repair. At is an offset from the
 // moment the plan is installed (Cluster.Install) — not an absolute
 // time — so the same Plan value replays identically on any cluster.
-// Node and Switch are -1 when the kind does not use them.
+// Node and Switch are -1 when the kind does not use them; trunk events
+// carry the trunk index in Switch.
 type Event struct {
 	At     sim.Time
 	Kind   EventKind
@@ -61,7 +68,7 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EvCrashNode, EvRebootNode:
 		return fmt.Sprintf("%v %d", e.Kind, e.Node)
-	case EvFailSwitch, EvRestoreSwitch:
+	case EvFailSwitch, EvRestoreSwitch, EvFailTrunk, EvRestoreTrunk:
 		return fmt.Sprintf("%v %d", e.Kind, e.Switch)
 	default:
 		return fmt.Sprintf("%v %d %d", e.Kind, e.Node, e.Switch)
@@ -99,6 +106,17 @@ func FailLink(at sim.Time, n, s int) Event {
 // be re-spliced at offset at.
 func RestoreLink(at sim.Time, n, s int) Event {
 	return Event{At: at, Kind: EvRestoreLink, Node: n, Switch: s}
+}
+
+// FailTrunk schedules inter-switch trunk t to be cut at offset at.
+// Trunks exist only on fabrics that declare them (Options.Fabric).
+func FailTrunk(at sim.Time, t int) Event {
+	return Event{At: at, Kind: EvFailTrunk, Node: -1, Switch: t}
+}
+
+// RestoreTrunk schedules cut trunk t to be re-spliced at offset at.
+func RestoreTrunk(at sim.Time, t int) Event {
+	return Event{At: at, Kind: EvRestoreTrunk, Node: -1, Switch: t}
 }
 
 // Plan is an ordered schedule of faults and repairs. Build one from
@@ -141,18 +159,28 @@ func (p Plan) Validate(c *Cluster) error {
 	}
 	sort.SliceStable(items, func(a, b int) bool { return items[a].at < items[b].at })
 
+	trunks := len(c.Phys.Trunks)
 	nodeUp := make([]bool, nodes)
 	swUp := make([]bool, switches)
 	linkUp := make([][]bool, nodes)
+	linkExists := make([][]bool, nodes)
+	trunkUp := make([]bool, trunks)
 	for i := range nodeUp {
 		nodeUp[i] = !c.booted || c.Nodes[i].State != ampdk.StateOffline
 		linkUp[i] = make([]bool, switches)
+		linkExists[i] = make([]bool, switches)
 		for s := range linkUp[i] {
-			linkUp[i][s] = c.Phys.NodeLinks[i][s].Up()
+			if l := c.Phys.NodeLinks[i][s]; l != nil {
+				linkExists[i][s] = true
+				linkUp[i][s] = l.Up()
+			}
 		}
 	}
 	for i := range swUp {
 		swUp[i] = !c.Phys.Switches[i].Failed()
+	}
+	for i := range trunkUp {
+		trunkUp[i] = c.Phys.TrunkUp(i)
 	}
 
 	for _, it := range items {
@@ -168,11 +196,18 @@ func (p Plan) Validate(c *Cluster) error {
 		}
 		needNode := e.Kind == EvCrashNode || e.Kind == EvRebootNode || e.Kind == EvFailLink || e.Kind == EvRestoreLink
 		needSwitch := e.Kind == EvFailSwitch || e.Kind == EvRestoreSwitch || e.Kind == EvFailLink || e.Kind == EvRestoreLink
+		needTrunk := e.Kind == EvFailTrunk || e.Kind == EvRestoreTrunk
 		if needNode && (e.Node < 0 || e.Node >= nodes) {
 			return fail("node id out of range [0,%d)", nodes)
 		}
 		if needSwitch && (e.Switch < 0 || e.Switch >= switches) {
 			return fail("switch id out of range [0,%d)", switches)
+		}
+		if needTrunk && (e.Switch < 0 || e.Switch >= trunks) {
+			return fail("trunk id out of range [0,%d) (this fabric has %d trunks)", trunks, trunks)
+		}
+		if (e.Kind == EvFailLink || e.Kind == EvRestoreLink) && !linkExists[e.Node][e.Switch] {
+			return fail("the fabric has no link between node %d and switch %d", e.Node, e.Switch)
 		}
 		switch e.Kind {
 		case EvCrashNode:
@@ -205,6 +240,16 @@ func (p Plan) Validate(c *Cluster) error {
 				return fail("link %d-%d is not cut", e.Node, e.Switch)
 			}
 			linkUp[e.Node][e.Switch] = true
+		case EvFailTrunk:
+			if !trunkUp[e.Switch] {
+				return fail("trunk %d is already cut", e.Switch)
+			}
+			trunkUp[e.Switch] = false
+		case EvRestoreTrunk:
+			if trunkUp[e.Switch] {
+				return fail("trunk %d is not cut", e.Switch)
+			}
+			trunkUp[e.Switch] = true
 		default:
 			return fail("unknown event kind")
 		}
@@ -257,6 +302,10 @@ func (c *Cluster) apply(e Event) {
 		c.FailLink(e.Node, e.Switch)
 	case EvRestoreLink:
 		c.RestoreLink(e.Node, e.Switch)
+	case EvFailTrunk:
+		c.FailTrunk(e.Switch)
+	case EvRestoreTrunk:
+		c.RestoreTrunk(e.Switch)
 	}
 	c.applied = append(c.applied, AppliedEvent{At: c.K.Now(), Event: e})
 	if c.OnEvent != nil {
@@ -275,8 +324,9 @@ func (c *Cluster) Applied() []AppliedEvent { return c.applied }
 //	10ms fail-switch 0; 20ms restore-switch 0
 //	5ms crash-node 3; 25ms reboot-node 3
 //	1ms fail-link 3 0
+//	2ms fail-trunk 0; 12ms restore-trunk 0
 //
-// This is the -plan syntax of cmd/ampsim.
+// This is the -plan syntax of cmd/ampsim. FormatPlan is its inverse.
 func ParsePlan(s string) (Plan, error) {
 	var p Plan
 	entries := strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == '\n' })
@@ -328,6 +378,10 @@ func ParsePlan(s string) (Plan, error) {
 			err = two(FailLink)
 		case "restore-link":
 			err = two(RestoreLink)
+		case "fail-trunk":
+			err = one(FailTrunk)
+		case "restore-trunk":
+			err = one(RestoreTrunk)
 		default:
 			err = fmt.Errorf("core: plan entry %q: unknown op %q", strings.TrimSpace(entry), fields[1])
 		}
@@ -336,4 +390,19 @@ func ParsePlan(s string) (Plan, error) {
 		}
 	}
 	return p, nil
+}
+
+// FormatPlan renders a plan in the plan-script syntax ParsePlan
+// accepts, one entry per event: "10ms fail-switch 0; 20ms
+// restore-switch 0". ParsePlan(FormatPlan(p)) reproduces p exactly for
+// any valid plan (offsets round-trip through Go duration formatting).
+func FormatPlan(p Plan) string {
+	var b strings.Builder
+	for i, e := range p {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%v %s", time.Duration(e.At), e)
+	}
+	return b.String()
 }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// randomPlan generates a structurally valid plan (ids in range for an
+// 8-node, 4-switch, 2-trunk fabric; non-negative offsets). It does not
+// aim for fault/repair coherence — FormatPlan and ParsePlan are a pure
+// syntax pair, exercised independently of Validate.
+func randomPlan(rng *rand.Rand, n int) Plan {
+	p := make(Plan, 0, n)
+	for i := 0; i < n; i++ {
+		// Offsets span sub-ns to seconds, including 0 and values that
+		// format with every duration unit.
+		at := sim.Time(rng.Int63n(int64(2 * sim.Second)))
+		switch rng.Intn(5) {
+		case 0:
+			at = 0
+		case 1:
+			at = sim.Time(rng.Int63n(1000)) // ns scale
+		case 2:
+			at = sim.Time(rng.Int63n(1000)) * sim.Microsecond
+		case 3:
+			at = sim.Time(rng.Int63n(100)) * sim.Millisecond
+		}
+		node, sw, trunk := rng.Intn(8), rng.Intn(4), rng.Intn(2)
+		switch rng.Intn(8) {
+		case 0:
+			p = append(p, CrashNode(at, node))
+		case 1:
+			p = append(p, RebootNode(at, node))
+		case 2:
+			p = append(p, FailSwitch(at, sw))
+		case 3:
+			p = append(p, RestoreSwitch(at, sw))
+		case 4:
+			p = append(p, FailLink(at, node, sw))
+		case 5:
+			p = append(p, RestoreLink(at, node, sw))
+		case 6:
+			p = append(p, FailTrunk(at, trunk))
+		case 7:
+			p = append(p, RestoreTrunk(at, trunk))
+		}
+	}
+	return p
+}
+
+// TestFormatPlanRoundTrip is the property test: for randomized valid
+// plans, ParsePlan(FormatPlan(p)) == p, event for event, offset for
+// offset.
+func TestFormatPlanRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomPlan(rng, 1+rng.Intn(12))
+		s := FormatPlan(p)
+		got, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("seed %d: ParsePlan(%q) failed: %v", seed, s, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("seed %d: round trip mismatch:\n  plan   %v\n  script %q\n  reparse %v", seed, p, s, got)
+		}
+	}
+}
+
+// TestFormatPlanEmpty: an empty plan formats to "" and parses back to
+// an empty plan (ParsePlan returns nil for no entries).
+func TestFormatPlanEmpty(t *testing.T) {
+	if s := FormatPlan(nil); s != "" {
+		t.Fatalf("FormatPlan(nil) = %q, want empty", s)
+	}
+	if p, err := ParsePlan(""); err != nil || len(p) != 0 {
+		t.Fatalf("ParsePlan(\"\") = %v, %v; want empty, nil", p, err)
+	}
+}
+
+// TestFormatPlanSpelling pins the script spelling so goldens and CI
+// plans stay readable.
+func TestFormatPlanSpelling(t *testing.T) {
+	p := Plan{
+		FailSwitch(10*sim.Millisecond, 0),
+		CrashNode(5*sim.Millisecond, 3),
+		FailLink(sim.Millisecond, 3, 0),
+		FailTrunk(2*sim.Millisecond, 1),
+		RestoreTrunk(12*sim.Millisecond, 1),
+	}
+	want := "10ms fail-switch 0; 5ms crash-node 3; 1ms fail-link 3 0; 2ms fail-trunk 1; 12ms restore-trunk 1"
+	if got := FormatPlan(p); got != want {
+		t.Fatalf("FormatPlan = %q, want %q", got, want)
+	}
+}
+
+// FuzzParsePlan fuzzes the plan-script parser. The seed corpus covers
+// every error path (bad offset, missing fields, unknown op, bad id,
+// wrong arity) plus valid scripts. The invariant under fuzzing: the
+// parser never panics, and any script it accepts must round-trip
+// through FormatPlan to the identical plan.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		";;;\n\n;",
+		"10ms fail-switch 0; 20ms restore-switch 0",
+		"5ms crash-node 3; 25ms reboot-node 3",
+		"1ms fail-link 3 0; 2ms restore-link 3 0",
+		"2ms fail-trunk 0; 12ms restore-trunk 1",
+		"10ms",                      // too few fields
+		"banana fail-switch 0",      // bad offset
+		"10ms explode-node 1",       // unknown op
+		"10ms fail-switch zero",     // bad id
+		"10ms crash-node 1 2",       // one-id op given two ids
+		"10ms fail-link 3",          // two-id op given one id
+		"-5ms crash-node 1",         // negative offset (parses; Validate rejects)
+		"10ms fail-switch 99999999", // out of range (parses; Validate rejects)
+		"1h2m3s4ms5us6ns fail-trunk 0",
+		"10ms  fail-switch \t 0 \n 20ms restore-switch 0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "plan entry") {
+				t.Fatalf("ParsePlan(%q) error without context: %v", s, err)
+			}
+			return
+		}
+		formatted := FormatPlan(p)
+		again, err := ParsePlan(formatted)
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of %q failed: %v", s, formatted, err)
+		}
+		if len(p) == 0 {
+			if len(again) != 0 {
+				t.Fatalf("empty plan reparsed as %v", again)
+			}
+			return
+		}
+		if !reflect.DeepEqual(again, p) {
+			t.Fatalf("round trip mismatch for %q:\n  first  %v\n  second %v", s, p, again)
+		}
+	})
+}

@@ -63,6 +63,10 @@ type Report struct {
 	Seed     uint64 `json:"seed"`
 	Nodes    int    `json:"nodes"`
 	Switches int    `json:"switches"`
+	// Fabric names the topology shape; Trunks counts its inter-switch
+	// trunks (0 on the uniform paper segment).
+	Fabric string `json:"fabric,omitempty"`
+	Trunks int    `json:"trunks,omitempty"`
 	// BootNS is when the cluster settled online; EndNS when the run
 	// (including settle) finished.
 	BootNS int64 `json:"boot_ns"`
@@ -101,7 +105,11 @@ func (r *Report) Summary() string {
 	if name == "" {
 		name = "scenario"
 	}
-	fmt.Fprintf(&b, "%s: %d nodes × %d switches, seed %d\n", name, r.Nodes, r.Switches, r.Seed)
+	fabric := ""
+	if r.Fabric != "" && r.Fabric != "uniform" {
+		fabric = fmt.Sprintf(" (%s fabric, %d trunks)", r.Fabric, r.Trunks)
+	}
+	fmt.Fprintf(&b, "%s: %d nodes × %d switches%s, seed %d\n", name, r.Nodes, r.Switches, fabric, r.Seed)
 	fmt.Fprintf(&b, "  online after %v\n", sim.Time(r.BootNS))
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "  t=%-12v %s", sim.Time(e.AtNS), e.Event)
@@ -135,6 +143,13 @@ func (r *Report) Summary() string {
 
 // Run executes the scenario and returns its report.
 func (s Scenario) Run() (*Report, error) {
+	// A scenario is user input end to end, so a malformed fabric is an
+	// error here, not the panic New reserves for programmatic misuse.
+	if s.Opts.Fabric != nil {
+		if err := s.Opts.Fabric.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	c := New(s.Opts)
 	if s.OnCluster != nil {
 		s.OnCluster(c)
@@ -207,6 +222,8 @@ func (s Scenario) Run() (*Report, error) {
 		Seed:      c.Opts.Seed,
 		Nodes:     c.Opts.Nodes,
 		Switches:  c.Opts.Switches,
+		Fabric:    c.FabricName(),
+		Trunks:    c.Phys.NumTrunks(),
 		BootNS:    int64(bootNS),
 		EndNS:     int64(c.Now()),
 		RingSize:  c.RingSize(),
@@ -234,4 +251,35 @@ func (s Scenario) Run() (*Report, error) {
 		rep.Loads = append(rep.Loads, *a.Report())
 	}
 	return rep, nil
+}
+
+// Snapshot captures the cluster's current state as a Report — the
+// deterministic JSON form for programs that drive a cluster directly
+// (per-node handles, installed plans, StartLoad) instead of through
+// Scenario.Run. Fired plan events are included without heal-window
+// attribution; pass each finished load's ActiveLoad to append its
+// delivery report.
+func (c *Cluster) Snapshot(name string, loads ...*ActiveLoad) *Report {
+	rep := &Report{
+		Name:      name,
+		Seed:      c.Opts.Seed,
+		Nodes:     c.Opts.Nodes,
+		Switches:  c.Opts.Switches,
+		Fabric:    c.FabricName(),
+		Trunks:    c.Phys.NumTrunks(),
+		EndNS:     int64(c.Now()),
+		RingSize:  c.RingSize(),
+		Roster:    c.Roster(),
+		Healed:    c.Healed(),
+		Drops:     c.Drops(),
+		Lost:      c.Lost(),
+		Delivered: c.Net.Delivered.N,
+	}
+	for _, ae := range c.Applied() {
+		rep.Events = append(rep.Events, EventReport{AtNS: int64(ae.At), Event: ae.Event.String()})
+	}
+	for _, a := range loads {
+		rep.Loads = append(rep.Loads, *a.Report())
+	}
+	return rep
 }

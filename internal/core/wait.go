@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/ampdk"
-	"repro/internal/rostering"
 	"repro/internal/sim"
 )
 
@@ -60,69 +58,15 @@ func (c *Cluster) WaitRingSize(n int, within sim.Time) error {
 }
 
 // WaitHealed waits until the cluster has settled after a fault or
-// repair: every reachable node is fully online (none mid-assimilation),
-// all of them agree on the same roster, and that roster contains
-// exactly the reachable nodes.
+// repair: in every live partition of the fabric, every reachable node
+// is fully online (none mid-assimilation), all of them agree on the
+// same roster, and that roster contains exactly the partition's nodes.
+// See Healed (internal/core/invariants.go) for the exact predicate.
 func (c *Cluster) WaitHealed(within sim.Time) error {
 	if err := c.WaitUntil(c.Healed, within); err != nil {
 		return fmt.Errorf("core: cluster not healed within %v (ring=%s)", within, c.Roster())
 	}
 	return nil
-}
-
-// Healed reports whether the cluster is currently settled: all
-// reachable nodes online, agreeing on one roster of exactly the
-// reachable nodes, with every ring arc crossing live hardware. A node
-// is reachable when it is not crashed and has at least one live path
-// to the fabric.
-func (c *Cluster) Healed() bool {
-	reachable := 0
-	var agreed *rostering.Roster
-	roster := ""
-	for i, nd := range c.Nodes {
-		if nd.State == ampdk.StateOffline || nd.State == ampdk.StateRejected {
-			continue
-		}
-		live := false
-		for s := range c.Phys.Switches {
-			if c.Phys.NodeLinks[i][s].Up() && !c.Phys.Switches[s].Failed() {
-				live = true
-				break
-			}
-		}
-		if !live {
-			continue
-		}
-		reachable++
-		if nd.State != ampdk.StateOnline {
-			return false // still assimilating
-		}
-		r := nd.Agent.Roster()
-		if r == nil {
-			return false
-		}
-		if agreed == nil {
-			agreed, roster = r, r.String()
-		} else if roster != r.String() {
-			return false
-		}
-	}
-	if reachable == 0 || agreed == nil || agreed.Size() != reachable {
-		return false
-	}
-	// A stale roster can still "agree" right after a fault; the ring is
-	// healed only when every arc it routes traverses live hardware.
-	if agreed.Size() >= 2 {
-		for i, n := range agreed.Nodes {
-			via := agreed.Via[i]
-			next := agreed.Nodes[(i+1)%len(agreed.Nodes)]
-			if c.Phys.Switches[via].Failed() ||
-				!c.Phys.NodeLinks[n][via].Up() || !c.Phys.NodeLinks[next][via].Up() {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // Every runs fn now and then every d of virtual time until fn returns

@@ -120,6 +120,10 @@ func All() []Spec {
 			Defaults: Params{Nodes: 8, Switches: 2},
 			Variants: []Params{{Nodes: 4}, {Nodes: 8}},
 			Run:      E12CollectivesP},
+		{ID: "e13", Short: "fabric shapes × fault schedules: heal time, delivered throughput",
+			Defaults: Params{Nodes: 6, Switches: 4},
+			Variants: []Params{{Nodes: 6, Switches: 4}, {Nodes: 8, Switches: 4}},
+			Run:      E13FabricHealP},
 	}
 }
 

@@ -118,6 +118,9 @@ func NewStation(k *sim.Kernel, id micropacket.NodeID, ports []*phys.Port) *Stati
 		egressSwitch:    -1,
 	}
 	for _, p := range ports {
+		if p == nil {
+			continue // the topology does not attach this node there
+		}
 		p.SetHandler(s.handleFrame)
 		p.SetStatusHandler(func(port *phys.Port, up bool) {
 			if s.OnStatus != nil {

@@ -1,0 +1,189 @@
+package phys
+
+import "fmt"
+
+// MaxSwitches bounds the switch count of any fabric: the rostering
+// link-state masks carry one bit per switch in a single byte of the
+// announcement payload (see rostering.LinkState).
+const MaxSwitches = 8
+
+// Topology declaratively describes a fabric: which switches exist, which
+// node attaches to which switch, and which switches are joined by
+// inter-switch trunks. The zero Attached function means "every node to
+// every switch" — the paper's uniform redundant segment (slide 14). The
+// named constructors (Uniform, DualRing, Mesh, Sharded) build the
+// shapes the experiments sweep; hand-rolled topologies are just literal
+// values of this struct.
+type Topology struct {
+	// Name labels the fabric in reports ("uniform", "dualring", ...).
+	Name string
+	// Nodes and Switches size the fabric.
+	Nodes    int
+	Switches int
+	// FiberM is the default per-link fiber length in meters.
+	FiberM float64
+	// Attached reports whether node n has a port to switch s. nil
+	// attaches every node to every switch.
+	Attached func(n, s int) bool
+	// Trunks are switch-to-switch fibers. A ring hop may cross any
+	// number of live trunks, so traffic survives the loss of a shared
+	// switch as long as some trunk path connects the endpoints.
+	Trunks []TrunkSpec
+	// CounterRotating marks dual-ring fabrics whose backup ring runs in
+	// the opposite rotation: when the lowest live switch has an odd
+	// index, the roster is built in reversed node order.
+	CounterRotating bool
+}
+
+// TrunkSpec declares one inter-switch trunk. FiberM of 0 inherits the
+// topology's default fiber length.
+type TrunkSpec struct {
+	A, B   int
+	FiberM float64
+}
+
+// Validate checks the topology for structural sanity: positive sizes,
+// the switch-mask limit, trunk endpoints in range, and every node
+// attached to at least one switch.
+func (t *Topology) Validate() error {
+	if t.Nodes <= 0 || t.Switches <= 0 {
+		return fmt.Errorf("phys: topology %q needs at least one node and one switch", t.Name)
+	}
+	if t.Switches > MaxSwitches {
+		return fmt.Errorf("phys: topology %q has %d switches; the rostering link-state mask allows at most %d",
+			t.Name, t.Switches, MaxSwitches)
+	}
+	for i, tr := range t.Trunks {
+		if tr.A < 0 || tr.A >= t.Switches || tr.B < 0 || tr.B >= t.Switches {
+			return fmt.Errorf("phys: topology %q trunk %d endpoints (%d,%d) out of range [0,%d)",
+				t.Name, i, tr.A, tr.B, t.Switches)
+		}
+		if tr.A == tr.B {
+			return fmt.Errorf("phys: topology %q trunk %d is a self-loop on switch %d", t.Name, i, tr.A)
+		}
+	}
+	for n := 0; n < t.Nodes; n++ {
+		attached := false
+		for s := 0; s < t.Switches && !attached; s++ {
+			attached = t.IsAttached(n, s)
+		}
+		if !attached {
+			return fmt.Errorf("phys: topology %q leaves node %d with no switch attachment", t.Name, n)
+		}
+	}
+	return nil
+}
+
+// IsAttached reports whether node n has a port to switch s.
+func (t *Topology) IsAttached(n, s int) bool {
+	if t.Attached == nil {
+		return true
+	}
+	return t.Attached(n, s)
+}
+
+// Uniform is the paper's redundant segment (slide 14): every node has
+// one port to every switch, no trunks. With 2 switches the segment is
+// dual-redundant; with 4, quad-redundant.
+func Uniform(nodes, switches int, fiberM float64) Topology {
+	return Topology{Name: "uniform", Nodes: nodes, Switches: switches, FiberM: fiberM}
+}
+
+// DualRing is a pair of counter-rotating rings: two switches, every
+// node on both, joined by one trunk. In normal operation the logical
+// ring rotates over switch 0; when switch 0 (or a node's link to it)
+// dies, the ring re-forms over switch 1 in the opposite rotation, and
+// hops whose endpoints no longer share a live switch heal across the
+// trunk.
+func DualRing(nodes int, fiberM float64) Topology {
+	return Topology{
+		Name: "dualring", Nodes: nodes, Switches: 2, FiberM: fiberM,
+		Trunks:          []TrunkSpec{{A: 0, B: 1}},
+		CounterRotating: true,
+	}
+}
+
+// Mesh is an N-switch fabric with dual-homed nodes: node n attaches to
+// switches n%S and (n+1)%S, and every switch pair is joined by a trunk.
+// No single switch sees every node, so ring hops routinely cross
+// trunks, and losing any one switch or trunk leaves a healing path.
+func Mesh(nodes, switches int, fiberM float64) Topology {
+	s := switches
+	var trunks []TrunkSpec
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			trunks = append(trunks, TrunkSpec{A: i, B: j})
+		}
+	}
+	return Topology{
+		Name: "mesh", Nodes: nodes, Switches: switches, FiberM: fiberM,
+		Attached: func(n, sw int) bool { return sw == n%s || sw == (n+1)%s },
+		Trunks:   trunks,
+	}
+}
+
+// Sharded is a multi-ring cluster: shards of nodesPerShard nodes, each
+// shard with its own switchesPerShard switches, adjacent shards joined
+// by trunks (one per switch pair, pairing switch j of one shard with
+// switch j of the next). Nodes attach only to their shard's switches;
+// the cluster-wide logical ring exists only because rostering heals
+// hops across the inter-shard trunks.
+func Sharded(shards, nodesPerShard, switchesPerShard int, fiberM float64) Topology {
+	sps := switchesPerShard
+	var trunks []TrunkSpec
+	for k := 0; k < shards; k++ {
+		next := (k + 1) % shards
+		if shards == 2 && k == 1 {
+			break // both adjacencies are the same shard pair
+		}
+		if shards == 1 {
+			break
+		}
+		for j := 0; j < sps; j++ {
+			trunks = append(trunks, TrunkSpec{A: k*sps + j, B: next*sps + j})
+		}
+	}
+	return Topology{
+		Name:  "sharded",
+		Nodes: shards * nodesPerShard, Switches: shards * sps, FiberM: fiberM,
+		Attached: func(n, sw int) bool { return sw/sps == n/nodesPerShard },
+		Trunks:   trunks,
+	}
+}
+
+// FabricByName builds one of the named fabric shapes from a node and
+// switch budget — the -fabric flag of cmd/ampsim and the E13 sweep
+// axis. The budget must be realizable exactly: a shape never silently
+// drops or resizes what was asked for (a 9-node sharded request is an
+// error, not an 8-node cluster). The returned topology is validated,
+// so callers can hand it straight to a cluster builder.
+func FabricByName(name string, nodes, switches int, fiberM float64) (Topology, error) {
+	var t Topology
+	switch name {
+	case "", "uniform":
+		t = Uniform(nodes, switches, fiberM)
+	case "dualring":
+		// The shape fixes the switch count at 2; a node/fiber budget is
+		// all it takes.
+		t = DualRing(nodes, fiberM)
+	case "mesh":
+		if switches < 2 {
+			return Topology{}, fmt.Errorf("phys: mesh fabric needs at least 2 switches (got %d)", switches)
+		}
+		t = Mesh(nodes, switches, fiberM)
+	case "sharded":
+		const shards = 2
+		if nodes%shards != 0 || switches%shards != 0 || switches == 0 {
+			return Topology{}, fmt.Errorf(
+				"phys: sharded fabric splits nodes and switches across %d shards; %d nodes × %d switches does not divide evenly",
+				shards, nodes, switches)
+		}
+		t = Sharded(shards, nodes/shards, switches/shards, fiberM)
+	default:
+		return Topology{}, fmt.Errorf("phys: unknown fabric %q (want uniform, dualring, mesh or sharded)", name)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, err
+	}
+	return t, nil
+}

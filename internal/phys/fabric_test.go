@@ -1,0 +1,121 @@
+package phys
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTopologyValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		topo Topology
+		want string // substring of the error, "" for valid
+	}{
+		{"uniform", Uniform(6, 4, 50), ""},
+		{"dualring", DualRing(6, 50), ""},
+		{"mesh", Mesh(8, 4, 50), ""},
+		{"sharded", Sharded(2, 3, 2, 50), ""},
+		{"no nodes", Uniform(0, 4, 50), "at least one node"},
+		{"too many switches", Uniform(4, 9, 50), "at most 8"},
+		{"trunk out of range", Topology{Name: "x", Nodes: 2, Switches: 2, Trunks: []TrunkSpec{{A: 0, B: 5}}}, "out of range"},
+		{"trunk self-loop", Topology{Name: "x", Nodes: 2, Switches: 2, Trunks: []TrunkSpec{{A: 1, B: 1}}}, "self-loop"},
+		{"orphan node", Topology{Name: "x", Nodes: 2, Switches: 2,
+			Attached: func(n, s int) bool { return n == 0 }}, "no switch attachment"},
+	} {
+		err := tc.topo.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFabricByName pins the budget contract: a named shape either
+// realizes the requested node/switch budget exactly or errors — it
+// never silently drops or resizes.
+func TestFabricByName(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		nodes, switches int
+		wantErr         string
+		wantNodes       int
+		wantSwitches    int
+	}{
+		{"uniform", 6, 4, "", 6, 4},
+		{"", 6, 4, "", 6, 4},
+		{"dualring", 6, 4, "", 6, 2}, // the shape fixes switches at 2
+		{"mesh", 8, 4, "", 8, 4},
+		{"sharded", 8, 4, "", 8, 4},
+		{"sharded", 9, 4, "does not divide evenly", 0, 0},
+		{"sharded", 8, 3, "does not divide evenly", 0, 0},
+		{"mesh", 8, 1, "at least 2 switches", 0, 0},
+		{"mesh", 8, 9, "at most 8", 0, 0},
+		{"banana", 6, 4, "unknown fabric", 0, 0},
+	} {
+		topo, err := FabricByName(tc.name, tc.nodes, tc.switches, 50)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("FabricByName(%q, %d, %d): error %v, want substring %q",
+					tc.name, tc.nodes, tc.switches, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("FabricByName(%q, %d, %d): %v", tc.name, tc.nodes, tc.switches, err)
+			continue
+		}
+		if topo.Nodes != tc.wantNodes || topo.Switches != tc.wantSwitches {
+			t.Errorf("FabricByName(%q, %d, %d) = %d nodes × %d switches, want %d × %d",
+				tc.name, tc.nodes, tc.switches, topo.Nodes, topo.Switches, tc.wantNodes, tc.wantSwitches)
+		}
+	}
+}
+
+// TestBuildFabricTrunks checks trunk wiring: ports beyond the node
+// ports, live links, and status watchers firing on fail/restore after
+// the detection latency.
+func TestBuildFabricTrunks(t *testing.T) {
+	net := NewNet(sim.NewKernel(1))
+	c, err := BuildFabric(net, Sharded(2, 3, 2, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTrunks() != 2 || c.NumNodes() != 6 || c.NumSwitches() != 4 {
+		t.Fatalf("sharded(2,3,2) = %d nodes, %d switches, %d trunks", c.NumNodes(), c.NumSwitches(), c.NumTrunks())
+	}
+	for _, tr := range c.Trunks {
+		if tr.PortA < c.Switches[tr.A].NumNodePorts() || tr.PortB < c.Switches[tr.B].NumNodePorts() {
+			t.Fatalf("trunk %d wired to a node port (%d/%d)", tr.Index, tr.PortA, tr.PortB)
+		}
+		if !tr.Link.Up() {
+			t.Fatalf("trunk %d built dark", tr.Index)
+		}
+	}
+	// Sparse attachment: node 0 (shard 0) has no port to switch 2.
+	if c.HasLink(0, 2) || !c.HasLink(0, 0) {
+		t.Fatal("sharded attachment wrong for node 0")
+	}
+	var events []int
+	c.WatchTrunks(func(tr int, up bool) { events = append(events, tr) })
+	c.FailTrunk(1)
+	net.K.RunUntil(net.K.Now() + 2*DefaultDetect)
+	if c.TrunkUp(1) || len(events) != 1 || events[0] != 1 {
+		t.Fatalf("trunk fail not observed: up=%v events=%v", c.TrunkUp(1), events)
+	}
+	c.RestoreTrunk(1)
+	net.K.RunUntil(net.K.Now() + 2*DefaultDetect)
+	if !c.TrunkUp(1) || len(events) != 2 {
+		t.Fatalf("trunk restore not observed: up=%v events=%v", c.TrunkUp(1), events)
+	}
+	if tr := c.TrunkBetween(0, 2); tr == nil || tr.Index != 0 {
+		t.Fatalf("TrunkBetween(0,2) = %v, want trunk 0", tr)
+	}
+	if tr := c.TrunkBetween(0, 3); tr != nil {
+		t.Fatalf("TrunkBetween(0,3) = %v, want nil", tr)
+	}
+}

@@ -53,6 +53,11 @@ type Frame struct {
 	Pkt  *micropacket.Packet
 	Wire int
 	Hops uint8
+	// VC is the frame's virtual-circuit tag, stamped by the first
+	// switch on a hop with the ingress node-port index (the hop's
+	// source node). Switches use it to route frames arriving over
+	// inter-switch trunks; see Switch.SetVCRoute.
+	VC uint8
 	// Prio marks frames queued via SendPriority; used to keep priority
 	// traffic FIFO among itself while it overtakes data.
 	Prio bool

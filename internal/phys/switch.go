@@ -15,51 +15,96 @@ import (
 // to every live port except the ingress — that is what lets the
 // "modified flooding algorithm" (slide 16) explore all available paths.
 //
-// Switches connect only to nodes in the paper's topologies (slide 14),
-// so rostering floods cannot loop inside the switch layer; nodes
-// deduplicate by wave identifier before re-flooding.
+// Ports come in two kinds. The first nodePorts ports face nodes (port n
+// belongs to node n, part of the ubiquitous configuration database —
+// slide 2); any further ports are inter-switch trunk ends. A frame
+// entering a node port is stamped with that port index as its virtual
+// circuit id (the hop's source node), so a frame arriving over a trunk
+// can be routed by its VC tag — several ring hops may share one trunk
+// without crossbar conflicts, each on its own circuit.
+//
+// In node-only topologies rostering floods cannot loop inside the
+// switch layer; with trunks a flood could circulate around a switch
+// cycle, so switches expire flood frames after MaxFloodHops crossings
+// (nodes additionally deduplicate by announcement sequence before
+// re-flooding).
 type Switch struct {
-	Name    string
-	net     *Net
-	ports   []*Port
-	xbar    map[int]int // ingress port index → egress port index
-	latency sim.Time
-	failed  bool
+	Name      string
+	net       *Net
+	ports     []*Port
+	nodePorts int
+	xbar      map[int]int    // node-port ingress → egress port index
+	vcRoutes  map[uint16]int // trunk ingress<<8|vc → egress port index
+	latency   sim.Time
+	failed    bool
 
 	// Flooded and Forwarded count rostering floods and crossbar
 	// forwards for diagnostics.
 	Flooded   uint64
 	Forwarded uint64
-	// Unrouted counts packets that arrived with no crossbar entry.
+	// Unrouted counts packets that arrived with no crossbar or VC entry.
 	Unrouted uint64
+	// FloodExpired counts rostering floods dropped at the hop limit.
+	FloodExpired uint64
+	// FloodDeduped counts rostering floods dropped as already-seen
+	// waves.
+	FloodDeduped uint64
+
+	// Flood deduplication state: announcements seen in the current
+	// highest rostering epoch. Without it a trunked switch cycle
+	// multiplies every flood exponentially.
+	floodEpoch uint32
+	floodSeen  map[uint64]bool
 }
 
 // DefaultSwitchLatency is the cut-through forwarding latency.
 const DefaultSwitchLatency = 200 * sim.Nanosecond
 
-// NewSwitch creates a switch with nPorts unconnected ports.
+// MaxFloodHops bounds how many switch crossings a rostering flood frame
+// may make; it terminates floods circulating a trunk cycle.
+const MaxFloodHops = 32
+
+// NewSwitch creates a switch with nPorts unconnected node-facing ports.
 func (n *Net) NewSwitch(name string, nPorts int) *Switch {
-	s := &Switch{Name: name, net: n, xbar: map[int]int{}, latency: DefaultSwitchLatency}
+	s := &Switch{
+		Name: name, net: n, nodePorts: nPorts,
+		xbar: map[int]int{}, vcRoutes: map[uint16]int{},
+		latency: DefaultSwitchLatency,
+	}
 	for i := 0; i < nPorts; i++ {
-		idx := i
-		p := n.NewPort(fmt.Sprintf("%s.p%d", name, i), nil)
-		p.SetHandler(func(_ *Port, f Frame) { s.receive(idx, f) })
-		s.ports = append(s.ports, p)
+		s.addPort(fmt.Sprintf("%s.p%d", name, i))
 	}
 	return s
 }
 
-// Port returns the i-th switch port (to be connected to a node port).
+func (s *Switch) addPort(name string) (*Port, int) {
+	idx := len(s.ports)
+	p := s.net.NewPort(name, nil)
+	p.SetHandler(func(_ *Port, f Frame) { s.receive(idx, f) })
+	s.ports = append(s.ports, p)
+	return p, idx
+}
+
+// addTrunkPort appends a trunk end beyond the node-facing ports.
+func (s *Switch) addTrunkPort(tag string) (*Port, int) {
+	return s.addPort(fmt.Sprintf("%s.%s", s.Name, tag))
+}
+
+// Port returns the i-th switch port (node ports first, then trunks).
 func (s *Switch) Port(i int) *Port { return s.ports[i] }
 
-// NumPorts returns the port count.
+// NumPorts returns the total port count (node ports plus trunk ends).
 func (s *Switch) NumPorts() int { return len(s.ports) }
+
+// NumNodePorts returns the node-facing port count.
+func (s *Switch) NumNodePorts() int { return s.nodePorts }
 
 // SetLatency overrides the cut-through latency.
 func (s *Switch) SetLatency(d sim.Time) { s.latency = d }
 
-// SetRoute programs the crossbar: frames entering port in exit at port
-// out. Pass out < 0 to clear the route.
+// SetRoute programs the crossbar: frames entering node port in exit at
+// port out (a node port or a trunk end). Pass out < 0 to clear the
+// route.
 func (s *Switch) SetRoute(in, out int) {
 	if out < 0 {
 		delete(s.xbar, in)
@@ -68,13 +113,30 @@ func (s *Switch) SetRoute(in, out int) {
 	s.xbar[in] = out
 }
 
-// ClearRoutes empties the crossbar (done at the start of rostering).
-func (s *Switch) ClearRoutes() { s.xbar = map[int]int{} }
+// SetVCRoute programs trunk forwarding: frames arriving on trunk port
+// in with virtual-circuit tag vc exit at port out. Pass out < 0 to
+// clear the entry.
+func (s *Switch) SetVCRoute(in int, vc uint8, out int) {
+	key := uint16(in)<<8 | uint16(vc)
+	if out < 0 {
+		delete(s.vcRoutes, key)
+		return
+	}
+	s.vcRoutes[key] = out
+}
+
+// ClearRoutes empties the crossbar and the trunk VC table (done at the
+// start of rostering).
+func (s *Switch) ClearRoutes() {
+	s.xbar = map[int]int{}
+	s.vcRoutes = map[uint16]int{}
+}
 
 // Failed reports whether the switch has been failed.
 func (s *Switch) Failed() bool { return s.failed }
 
-// Fail takes the whole switch down: every attached link goes dark.
+// Fail takes the whole switch down: every attached link — node fibers
+// and trunk ends alike — goes dark.
 func (s *Switch) Fail() {
 	if s.failed {
 		return
@@ -100,12 +162,53 @@ func (s *Switch) Restore() {
 	}
 }
 
+// floodAdmit decides whether a rostering flood frame is a new wave.
+// Switches, like nodes, deduplicate floods by wave identifier (slide
+// 16's "modified flooding algorithm"): the announcement's epoch,
+// origin and sequence, read from the rostering payload layout defined
+// in internal/rostering (epoch little-endian at bytes 3..6, origin at
+// byte 0, sequence at byte 7). Announcements of a newer epoch reset
+// the seen set; stale epochs are dropped outright — every agent of a
+// superseded round has already moved on. In node-only topologies
+// floods cannot revisit a switch, so this logic only matters once
+// trunks create switch-layer cycles, where re-flooding duplicates
+// would multiply exponentially.
+func (s *Switch) floodAdmit(f Frame) bool {
+	pl := f.Pkt.Payload
+	epoch := uint32(pl[3]) | uint32(pl[4])<<8 | uint32(pl[5])<<16 | uint32(pl[6])<<24
+	switch {
+	case epoch > s.floodEpoch:
+		s.floodEpoch = epoch
+		s.floodSeen = map[uint64]bool{}
+	case epoch < s.floodEpoch:
+		return false
+	}
+	key := uint64(pl[0])<<8 | uint64(pl[7])
+	if s.floodSeen == nil {
+		s.floodSeen = map[uint64]bool{}
+	}
+	if s.floodSeen[key] {
+		return false
+	}
+	s.floodSeen[key] = true
+	return true
+}
+
 // receive handles a frame arriving on port index in.
 func (s *Switch) receive(in int, f Frame) {
 	if s.failed {
 		return
 	}
 	if f.Pkt.Type == micropacket.TypeRostering {
+		if f.Hops >= MaxFloodHops {
+			s.FloodExpired++
+			return
+		}
+		if !s.floodAdmit(f) {
+			s.FloodDeduped++
+			return
+		}
+		f.Hops++
 		// Flood to every other live port after the cut-through delay.
 		s.net.K.After(s.latency, func() {
 			if s.failed {
@@ -121,7 +224,16 @@ func (s *Switch) receive(in int, f Frame) {
 		})
 		return
 	}
-	out, ok := s.xbar[in]
+	var out int
+	var ok bool
+	if in < s.nodePorts {
+		// Node ingress: stamp the hop's virtual circuit (the source
+		// node's id) and consult the crossbar.
+		f.VC = uint8(in)
+		out, ok = s.xbar[in]
+	} else {
+		out, ok = s.vcRoutes[uint16(in)<<8|uint16(f.VC)]
+	}
 	if !ok {
 		s.Unrouted++
 		return

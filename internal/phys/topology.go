@@ -2,38 +2,98 @@ package phys
 
 import "fmt"
 
-// Cluster is the paper's redundant switched topology (slides 14–15):
-// every node has one port to every switch. With 2 switches the segment
-// is dual-redundant; with 4, quad-redundant (slide 14 shows 6 nodes × 4
-// switches).
+// Cluster is a built fabric: the paper's redundant switched topology
+// (slides 14–15) generalized to declarative Topology shapes. Every node
+// has one port per switch it attaches to; switches may additionally be
+// joined by inter-switch trunks that ring hops can cross when the
+// endpoints no longer share a live switch.
 type Cluster struct {
-	Net      *Net
+	Net  *Net
+	Topo Topology
+
 	Switches []*Switch
-	// NodePorts[n][s] is node n's port facing switch s.
+	// NodePorts[n][s] is node n's port facing switch s, nil where the
+	// topology does not attach n to s.
 	NodePorts [][]*Port
-	// NodeLinks[n][s] is the fiber between node n and switch s.
+	// NodeLinks[n][s] is the fiber between node n and switch s, nil
+	// where unattached.
 	NodeLinks [][]*Link
+	// Trunks are the built inter-switch trunks, in TrunkSpec order.
+	Trunks []*Trunk
+
+	trunkWatch []func(trunk int, up bool)
 }
 
-// BuildCluster wires nodes × switches with fiberM meters of fiber per
-// link. Node-side handlers are attached afterwards by the MAC layer.
+// Trunk is one built switch-to-switch fiber.
+type Trunk struct {
+	Index int
+	A, B  int // switch ids
+	// PortA and PortB are the port indices of the trunk's ends on
+	// switches A and B (trunk ports follow the node-facing ports).
+	PortA, PortB int
+	Link         *Link
+}
+
+// BuildCluster wires the uniform nodes × switches fabric (every node to
+// every switch) with fiberM meters of fiber per link — the paper's
+// slide-14 segment and the historical constructor.
 func BuildCluster(net *Net, nodes, switches int, fiberM float64) *Cluster {
-	c := &Cluster{Net: net}
-	for s := 0; s < switches; s++ {
-		c.Switches = append(c.Switches, net.NewSwitch(fmt.Sprintf("sw%d", s), nodes))
-	}
-	c.NodePorts = make([][]*Port, nodes)
-	c.NodeLinks = make([][]*Link, nodes)
-	for n := 0; n < nodes; n++ {
-		c.NodePorts[n] = make([]*Port, switches)
-		c.NodeLinks[n] = make([]*Link, switches)
-		for s := 0; s < switches; s++ {
-			p := net.NewPort(fmt.Sprintf("n%d.s%d", n, s), nil)
-			c.NodePorts[n][s] = p
-			c.NodeLinks[n][s] = net.Connect(p, c.Switches[s].Port(n), fiberM)
-		}
+	c, err := BuildFabric(net, Uniform(nodes, switches, fiberM))
+	if err != nil { // a uniform topology with positive sizes never fails
+		panic(err)
 	}
 	return c
+}
+
+// BuildFabric builds a declarative Topology: switches, node ports and
+// links for every attachment, and trunk ports and fibers for every
+// TrunkSpec. Node-side handlers are attached afterwards by the MAC
+// layer.
+func BuildFabric(net *Net, topo Topology) (*Cluster, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Net: net, Topo: topo}
+	for s := 0; s < topo.Switches; s++ {
+		c.Switches = append(c.Switches, net.NewSwitch(fmt.Sprintf("sw%d", s), topo.Nodes))
+	}
+	c.NodePorts = make([][]*Port, topo.Nodes)
+	c.NodeLinks = make([][]*Link, topo.Nodes)
+	for n := 0; n < topo.Nodes; n++ {
+		c.NodePorts[n] = make([]*Port, topo.Switches)
+		c.NodeLinks[n] = make([]*Link, topo.Switches)
+		for s := 0; s < topo.Switches; s++ {
+			if !topo.IsAttached(n, s) {
+				continue
+			}
+			p := net.NewPort(fmt.Sprintf("n%d.s%d", n, s), nil)
+			c.NodePorts[n][s] = p
+			c.NodeLinks[n][s] = net.Connect(p, c.Switches[s].Port(n), topo.FiberM)
+		}
+	}
+	for i, spec := range topo.Trunks {
+		fiber := spec.FiberM
+		if fiber == 0 {
+			fiber = topo.FiberM
+		}
+		t := &Trunk{Index: i, A: spec.A, B: spec.B}
+		var pa, pb *Port
+		pa, t.PortA = c.Switches[spec.A].addTrunkPort(fmt.Sprintf("t%d", i))
+		pb, t.PortB = c.Switches[spec.B].addTrunkPort(fmt.Sprintf("t%d", i))
+		t.Link = net.Connect(pa, pb, fiber)
+		// Trunk status is sensed by the adjacent switch hardware and
+		// surfaced to the rostering layer (slide 18: "network failures
+		// detected by hardware"). One side suffices: Link.Fail notifies
+		// both ends at the same instant.
+		idx := i
+		pa.SetStatusHandler(func(_ *Port, up bool) {
+			for _, w := range c.trunkWatch {
+				w(idx, up)
+			}
+		})
+		c.Trunks = append(c.Trunks, t)
+	}
+	return c, nil
 }
 
 // NumNodes returns the node count.
@@ -42,33 +102,105 @@ func (c *Cluster) NumNodes() int { return len(c.NodePorts) }
 // NumSwitches returns the switch count.
 func (c *Cluster) NumSwitches() int { return len(c.Switches) }
 
+// NumTrunks returns the trunk count.
+func (c *Cluster) NumTrunks() int { return len(c.Trunks) }
+
+// HasLink reports whether the topology attaches node n to switch s.
+func (c *Cluster) HasLink(n, s int) bool { return c.NodeLinks[n][s] != nil }
+
 // FailNode takes all of node n's links dark (models node death as seen
 // by the fabric).
 func (c *Cluster) FailNode(n int) {
 	for _, l := range c.NodeLinks[n] {
-		l.Fail()
+		if l != nil {
+			l.Fail()
+		}
 	}
 }
 
 // RestoreNode re-lights node n's links.
 func (c *Cluster) RestoreNode(n int) {
 	for _, l := range c.NodeLinks[n] {
-		l.Restore()
+		if l != nil {
+			l.Restore()
+		}
 	}
 }
 
+// FailTrunk cuts trunk t; RestoreTrunk re-splices it.
+func (c *Cluster) FailTrunk(t int)    { c.Trunks[t].Link.Fail() }
+func (c *Cluster) RestoreTrunk(t int) { c.Trunks[t].Link.Restore() }
+
+// TrunkUp reports whether trunk t carries light.
+func (c *Cluster) TrunkUp(t int) bool { return c.Trunks[t].Link.Up() }
+
+// WatchTrunks registers a callback for trunk status changes (fired
+// after the PHY detection latency, like port status). The rostering
+// agents use it to start a healing round when a trunk dies or returns.
+func (c *Cluster) WatchTrunks(fn func(trunk int, up bool)) {
+	c.trunkWatch = append(c.trunkWatch, fn)
+}
+
 // LiveSwitchesBetween returns the switch indices that still have live
-// links to both node a and node b — the candidate hops for a logical
-// ring edge a→b.
+// links to both node a and node b — the candidate single-switch hops
+// for a logical ring edge a→b.
 func (c *Cluster) LiveSwitchesBetween(a, b int) []int {
 	var out []int
 	for s := range c.Switches {
 		if c.Switches[s].Failed() {
 			continue
 		}
-		if c.NodeLinks[a][s].Up() && c.NodeLinks[b][s].Up() {
+		if c.NodeLinks[a][s] != nil && c.NodeLinks[a][s].Up() &&
+			c.NodeLinks[b][s] != nil && c.NodeLinks[b][s].Up() {
 			out = append(out, s)
 		}
 	}
 	return out
+}
+
+// TrunkBetween returns the lowest-index live trunk joining switches a
+// and b, or nil. Every node picks the same trunk for the same hop, so
+// the crossbar programming of a roster is consistent without
+// coordination.
+func (c *Cluster) TrunkBetween(a, b int) *Trunk {
+	for _, t := range c.Trunks {
+		if ((t.A == a && t.B == b) || (t.A == b && t.B == a)) && t.Link.Up() {
+			return t
+		}
+	}
+	return nil
+}
+
+// FabricView captures the switch-layer connectivity the rostering
+// algorithm routes over: which switch pairs are joined by a live trunk,
+// and whether the fabric's rings counter-rotate. Node-to-switch
+// liveness travels separately, in the flooded link-state masks.
+type FabricView struct {
+	Switches        int
+	TrunkUp         [][]bool
+	CounterRotating bool
+}
+
+// View snapshots the cluster's current fabric view.
+func (c *Cluster) View() *FabricView {
+	v := &FabricView{Switches: len(c.Switches), CounterRotating: c.Topo.CounterRotating}
+	if len(c.Trunks) == 0 {
+		return v
+	}
+	v.TrunkUp = make([][]bool, v.Switches)
+	for i := range v.TrunkUp {
+		v.TrunkUp[i] = make([]bool, v.Switches)
+	}
+	for _, t := range c.Trunks {
+		if t.Link.Up() && !c.Switches[t.A].Failed() && !c.Switches[t.B].Failed() {
+			v.TrunkUp[t.A][t.B] = true
+			v.TrunkUp[t.B][t.A] = true
+		}
+	}
+	return v
+}
+
+// Joined reports whether switches a and b are joined by a live trunk.
+func (v *FabricView) Joined(a, b int) bool {
+	return v.TrunkUp != nil && v.TrunkUp[a][b]
 }

@@ -92,6 +92,15 @@ func NewAgent(k *sim.Kernel, id int, cluster *phys.Cluster, st *insertion.Statio
 			a.Trigger()
 		}
 	}
+	// Trunk failures leave every node-facing fiber lit; the switch
+	// hardware senses the dark trunk and raises the failure to the
+	// rostering layer (slide 18: "network failures detected by
+	// hardware").
+	cluster.WatchTrunks(func(_ int, _ bool) {
+		if !a.stopped {
+			a.Trigger()
+		}
+	})
 	return a
 }
 
@@ -166,10 +175,11 @@ func (a *Agent) Trigger() {
 }
 
 // mask returns this node's live-switch bitmask from its port status.
+// Ports are nil for switches the topology does not attach this node to.
 func (a *Agent) mask() LinkState {
 	var m LinkState
 	for s, p := range a.Station.Ports {
-		if p.Up() {
+		if p != nil && p.Up() {
 			m |= 1 << s
 		}
 	}
@@ -200,7 +210,7 @@ func (a *Agent) announce() {
 func (a *Agent) floodExcept(pkt *micropacket.Packet, skip *phys.Port) {
 	f := phys.NewFrame(pkt)
 	for _, p := range a.Station.Ports {
-		if p == skip || !p.Up() {
+		if p == nil || p == skip || !p.Up() {
 			continue
 		}
 		p.SendPriority(f)
@@ -282,16 +292,48 @@ func (a *Agent) adopt() {
 	for id, ann := range a.lsdb {
 		lsdb[id] = ann.Mask
 	}
-	r := BuildRoster(a.epoch, lsdb)
+	r := BuildRosterFabric(a.epoch, lsdb, a.Cluster.View())
 	a.current = r
 	a.Adoptions++
 
 	if next, via, ok := r.Next(a.ID); ok {
-		// Program the switch hop: our port on switch `via` routes to
-		// the downstream node's port. (Port n on every switch belongs
-		// to node n, by construction of the cluster wiring, which is
-		// part of the ubiquitous configuration database — slide 2.)
-		a.Cluster.Switches[via].SetRoute(a.ID, next)
+		// Program our hop's switch path. (Port n on every switch
+		// belongs to node n, by construction of the cluster wiring,
+		// which is part of the ubiquitous configuration database —
+		// slide 2.) A single-switch hop is one crossbar route from our
+		// port to the downstream node's; a hop healing across trunks
+		// additionally programs each trunk crossing under our virtual
+		// circuit (our node id), so many hops can share a trunk.
+		path := r.PathOf(a.ID)
+		for j, sw := range path {
+			ingress := a.ID
+			if j > 0 {
+				t := a.Cluster.TrunkBetween(path[j-1], sw)
+				if t == nil {
+					break // trunk died since the database settled; next round heals
+				}
+				ingress = t.PortB
+				if t.A == sw {
+					ingress = t.PortA
+				}
+			}
+			egress := next
+			if j+1 < len(path) {
+				t := a.Cluster.TrunkBetween(sw, path[j+1])
+				if t == nil {
+					break
+				}
+				egress = t.PortA
+				if t.B == sw {
+					egress = t.PortB
+				}
+			}
+			if j == 0 {
+				a.Cluster.Switches[sw].SetRoute(ingress, egress)
+			} else {
+				a.Cluster.Switches[sw].SetVCRoute(ingress, uint8(a.ID), egress)
+			}
+		}
 		a.Station.SetEgress(via)
 	} else {
 		a.Station.SetEgress(-1)

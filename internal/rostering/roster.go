@@ -34,11 +34,16 @@ import (
 )
 
 // Roster is one logical ring: the cyclic node order and, for each hop
-// Nodes[i] → Nodes[(i+1) % len], the switch it crosses.
+// Nodes[i] → Nodes[(i+1) % len], the switch path it crosses. Via[i] is
+// the first switch of hop i (the source node's egress switch); Paths[i]
+// is the full switch sequence, which has more than one entry when the
+// hop heals across inter-switch trunks because the endpoints no longer
+// share a live switch.
 type Roster struct {
 	Epoch uint32
 	Nodes []int
 	Via   []int
+	Paths [][]int
 }
 
 // Size returns the number of nodes on the ring.
@@ -64,15 +69,30 @@ func (r *Roster) IndexOf(id int) int {
 	return -1
 }
 
-// Next returns the downstream neighbor of node id and the switch the
-// hop crosses. ok is false if id is not on the ring or the ring has a
-// single node.
+// Next returns the downstream neighbor of node id and the first switch
+// of the hop (the node's egress switch). ok is false if id is not on
+// the ring or the ring has a single node.
 func (r *Roster) Next(id int) (next, via int, ok bool) {
 	i := r.IndexOf(id)
 	if i < 0 || len(r.Nodes) < 2 {
 		return 0, 0, false
 	}
 	return r.Nodes[(i+1)%len(r.Nodes)], r.Via[i], true
+}
+
+// PathOf returns the full switch path of node id's egress hop, or nil
+// when the node is off the ring or the ring has a single node. Rosters
+// built before trunks existed carry no Paths; the single via switch is
+// returned then.
+func (r *Roster) PathOf(id int) []int {
+	i := r.IndexOf(id)
+	if i < 0 || len(r.Nodes) < 2 {
+		return nil
+	}
+	if i < len(r.Paths) && len(r.Paths[i]) > 0 {
+		return r.Paths[i]
+	}
+	return []int{r.Via[i]}
 }
 
 // Equal reports whether two rosters describe the same ring (same
@@ -91,8 +111,28 @@ func (r *Roster) Equal(o *Roster) bool {
 		if r.Nodes[(ri+k)%n] != o.Nodes[(oi+k)%n] || r.Via[(ri+k)%n] != o.Via[(oi+k)%n] {
 			return false
 		}
+		rp, op := r.hopPath((ri+k)%n), o.hopPath((oi+k)%n)
+		if len(rp) != len(op) {
+			return false
+		}
+		for j := range rp {
+			if rp[j] != op[j] {
+				return false
+			}
+		}
 	}
 	return true
+}
+
+// hopPath returns hop i's switch path, defaulting to the single via.
+func (r *Roster) hopPath(i int) []int {
+	if i < len(r.Paths) && len(r.Paths[i]) > 0 {
+		return r.Paths[i]
+	}
+	if i < len(r.Via) {
+		return []int{r.Via[i]}
+	}
+	return nil
 }
 
 func (r *Roster) minIndex() int {
@@ -105,7 +145,8 @@ func (r *Roster) minIndex() int {
 	return mi
 }
 
-// String renders "0 -s2-> 3 -s0-> 5 -s2-> (0)".
+// String renders "0 -s2-> 3 -s0-> 5 -s2-> (0)"; hops healing across
+// trunks render the full switch path, e.g. "2 -s1:s3-> 4".
 func (r *Roster) String() string {
 	if len(r.Nodes) == 0 {
 		return "<empty roster>"
@@ -113,7 +154,15 @@ func (r *Roster) String() string {
 	s := fmt.Sprintf("epoch %d: ", r.Epoch)
 	for i, n := range r.Nodes {
 		if len(r.Via) == len(r.Nodes) {
-			s += fmt.Sprintf("%d -s%d-> ", n, r.Via[i])
+			s += fmt.Sprintf("%d -s", n)
+			for j, sw := range r.hopPath(i) {
+				if j > 0 {
+					s += fmt.Sprintf(":s%d", sw)
+				} else {
+					s += fmt.Sprint(sw)
+				}
+			}
+			s += "-> "
 		} else {
 			s += fmt.Sprintf("%d ", n)
 		}
@@ -143,14 +192,26 @@ func common(a, b LinkState) int {
 }
 
 // BuildRoster deterministically computes the largest logical ring the
-// link-state database allows: nodes are inserted in ascending id order
-// into the cycle at the first feasible position (both new edges must
-// share a live switch), repeating until no more nodes fit. Nodes that
-// cannot join remain off the roster — the paper's "largest possible
-// logical ring" under damage. Every node computes the same result from
-// the same database, which is what lets rostering converge without a
-// master.
+// link-state database allows on a trunkless fabric. It is the
+// historical entry point; BuildRosterFabric is the general form.
 func BuildRoster(epoch uint32, lsdb map[int]LinkState) *Roster {
+	return BuildRosterFabric(epoch, lsdb, nil)
+}
+
+// BuildRosterFabric deterministically computes the largest logical ring
+// the link-state database and the fabric's live trunks allow: nodes are
+// inserted in ascending id order into the cycle at the first feasible
+// position (both new edges must be routable — a shared live switch, or
+// a live trunk path between a switch live at each endpoint), repeating
+// until no more nodes fit. Nodes that cannot join remain off the roster
+// — the paper's "largest possible logical ring" under damage. Every
+// node computes the same result from the same database and fabric view,
+// which is what lets rostering converge without a master.
+//
+// On counter-rotating fabrics the ring orientation follows the lowest
+// live switch: when it is odd (the primary ring's switch is gone), the
+// node order is reversed, so the backup ring rotates the other way.
+func BuildRosterFabric(epoch uint32, lsdb map[int]LinkState, view *phys.FabricView) *Roster {
 	ids := make([]int, 0, len(lsdb))
 	for id, m := range lsdb {
 		if m != 0 {
@@ -167,7 +228,7 @@ func BuildRoster(epoch uint32, lsdb map[int]LinkState) *Roster {
 		progress = false
 		var left []int
 		for _, c := range pending {
-			if pos := feasiblePos(ring, c, lsdb); pos >= 0 {
+			if pos := feasiblePos(ring, c, lsdb, view); pos >= 0 {
 				ring = append(ring, 0)
 				copy(ring[pos+2:], ring[pos+1:])
 				ring[pos+1] = c
@@ -178,45 +239,128 @@ func BuildRoster(epoch uint32, lsdb map[int]LinkState) *Roster {
 		}
 		pending = left
 	}
+	if view != nil && view.CounterRotating && len(ring) >= 3 && lowestLiveSwitch(ring, lsdb)%2 == 1 {
+		for i, j := 1, len(ring)-1; i < j; i, j = i+1, j-1 {
+			ring[i], ring[j] = ring[j], ring[i]
+		}
+	}
 	r := &Roster{Epoch: epoch, Nodes: ring}
 	if len(ring) >= 2 {
 		r.Via = make([]int, len(ring))
+		r.Paths = make([][]int, len(ring))
 		for i := range ring {
 			a, b := ring[i], ring[(i+1)%len(ring)]
-			s := common(lsdb[a], lsdb[b])
-			if s < 0 {
+			path := switchPath(lsdb[a], lsdb[b], view)
+			if path == nil {
 				// Cannot happen for rings built by feasiblePos, but keep
 				// the invariant explicit.
-				panic("rostering: ring edge without common switch")
+				panic("rostering: ring edge without a switch path")
 			}
-			r.Via[i] = s
+			r.Via[i] = path[0]
+			r.Paths[i] = path
 		}
 	}
 	return r
 }
 
+// lowestLiveSwitch returns the lowest switch index live for any ring
+// member, or -1 when none is.
+func lowestLiveSwitch(ring []int, lsdb map[int]LinkState) int {
+	var union LinkState
+	for _, id := range ring {
+		union |= lsdb[id]
+	}
+	for s := 0; s < 8; s++ {
+		if union.Has(s) {
+			return s
+		}
+	}
+	return -1
+}
+
 // feasiblePos returns an index i such that candidate c can be inserted
-// between ring[i] and ring[i+1] (both new edges share a live switch
-// with c), or -1.
-func feasiblePos(ring []int, c int, lsdb map[int]LinkState) int {
+// between ring[i] and ring[i+1] (both new edges must be routable), or
+// -1.
+func feasiblePos(ring []int, c int, lsdb map[int]LinkState, view *phys.FabricView) int {
 	if len(ring) == 1 {
-		if common(lsdb[ring[0]], lsdb[c]) >= 0 {
+		if routable(lsdb[ring[0]], lsdb[c], view) {
 			return 0
 		}
 		return -1
 	}
 	for i := range ring {
 		a, b := ring[i], ring[(i+1)%len(ring)]
-		if common(lsdb[a], lsdb[c]) >= 0 && common(lsdb[c], lsdb[b]) >= 0 {
+		if routable(lsdb[a], lsdb[c], view) && routable(lsdb[c], lsdb[b], view) {
 			return i
 		}
 	}
 	return -1
 }
 
-// Valid checks the roster against a link-state database: every hop must
-// cross a switch live at both endpoints.
+// routable reports whether a hop between nodes with live-switch masks a
+// and b can be routed: a shared switch, or a live trunk path.
+func routable(a, b LinkState, view *phys.FabricView) bool {
+	return switchPath(a, b, view) != nil
+}
+
+// switchPath returns the deterministic switch path of a hop between
+// masks a and b: the lowest shared live switch when one exists (a
+// single-element path — the trunkless behavior), otherwise the
+// breadth-first shortest live-trunk path from the lowest feasible
+// switch of a to a switch live for b. nil means the hop is unroutable.
+func switchPath(a, b LinkState, view *phys.FabricView) []int {
+	if s := common(a, b); s >= 0 {
+		return []int{s}
+	}
+	if view == nil || view.TrunkUp == nil {
+		return nil
+	}
+	n := view.Switches
+	parent := make([]int, n)
+	seen := make([]bool, n)
+	var queue []int
+	for s := 0; s < n; s++ {
+		if a.Has(s) {
+			seen[s], parent[s] = true, -1
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for next := 0; next < n; next++ {
+			if seen[next] || !view.TrunkUp[cur][next] {
+				continue
+			}
+			seen[next], parent[next] = true, cur
+			if b.Has(next) {
+				var path []int
+				for s := next; s >= 0; s = parent[s] {
+					path = append(path, s)
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// Valid checks the roster against a link-state database on a trunkless
+// fabric: every hop must cross a switch live at both endpoints. See
+// ValidInFabric for fabrics with trunks.
 func (r *Roster) Valid(lsdb map[int]LinkState) bool {
+	return r.ValidInFabric(lsdb, nil)
+}
+
+// ValidInFabric checks the roster against a link-state database and a
+// fabric view: each hop's path must start at a switch live for the
+// source, end at one live for the destination, and cross only live
+// trunks in between.
+func (r *Roster) ValidInFabric(lsdb map[int]LinkState, view *phys.FabricView) bool {
 	if len(r.Nodes) < 2 {
 		return true
 	}
@@ -225,9 +369,14 @@ func (r *Roster) Valid(lsdb map[int]LinkState) bool {
 	}
 	for i, a := range r.Nodes {
 		b := r.Nodes[(i+1)%len(r.Nodes)]
-		s := r.Via[i]
-		if !lsdb[a].Has(s) || !lsdb[b].Has(s) {
+		path := r.hopPath(i)
+		if len(path) == 0 || !lsdb[a].Has(path[0]) || !lsdb[b].Has(path[len(path)-1]) {
 			return false
+		}
+		for j := 0; j+1 < len(path); j++ {
+			if view == nil || !view.Joined(path[j], path[j+1]) {
+				return false
+			}
 		}
 	}
 	return true
