@@ -9,6 +9,7 @@ package ampnet
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/enc8b10b"
 	"repro/internal/experiments"
 	"repro/internal/micropacket"
@@ -226,6 +227,64 @@ func BenchmarkE12AmpIPCollectives(b *testing.B) {
 		}
 	}
 }
+
+// --- E14: parallel sharded engine (internal/parsim) ---
+
+// benchParsim runs one fixed fault+load scenario per iteration on the
+// given shard count and reports virtual-events-per-second economics:
+// ns/event is the number that must not regress, and comparing the
+// Serial and Sharded variants of one size gives the machine's speedup.
+// Node counts stop at 248 — the ceiling of the one-byte MicroPacket
+// address space (phys.MaxNodes); scaling past it means widening the
+// wire format (see ROADMAP.md).
+func benchParsim(b *testing.B, nodes, shards int) {
+	topo := phys.Sharded(8, nodes/8, 1, 50)
+	for i := range topo.Trunks {
+		topo.Trunks[i].FiberM = 200
+	}
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cl *core.Cluster
+		rep, err := core.Scenario{
+			Name: "bench",
+			Opts: core.Options{Fabric: &topo, Seed: 1, Shards: shards,
+				HeartbeatInterval: 1 * sim.Millisecond},
+			BootWindow: 200 * sim.Millisecond,
+			Plan:       core.Plan{core.FailSwitch(5*sim.Millisecond, 7), core.RestoreSwitch(15*sim.Millisecond, 7)},
+			Loads: []core.Load{&core.PubSubLoad{
+				Publisher: 0, Topic: 1, Every: 100 * sim.Microsecond,
+				Subscribers: []int{1, nodes / 2, nodes - 1},
+			}},
+			For:       20 * sim.Millisecond,
+			OnCluster: func(c *core.Cluster) { cl = c },
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Congestion drops during the switch-death transition are a
+		// model outcome (identical on both engines), not a bench
+		// failure; surface them instead.
+		b.ReportMetric(float64(rep.Drops), "drops")
+		events = cl.EventsFired()
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+		b.ReportMetric(float64(events), "events")
+	}
+}
+
+func BenchmarkE14ParsimSerial64(b *testing.B)   { benchParsim(b, 64, 1) }
+func BenchmarkE14ParsimSharded64(b *testing.B)  { benchParsim(b, 64, 8) }
+func BenchmarkE14ParsimSerial128(b *testing.B)  { benchParsim(b, 128, 1) }
+func BenchmarkE14ParsimSharded128(b *testing.B) { benchParsim(b, 128, 8) }
+
+// The 248-node pair is the address-space ceiling: heavyweight (tens of
+// seconds per iteration), for on-demand speedup measurements rather
+// than the CI guard.
+func BenchmarkE14ParsimSerial248(b *testing.B)  { benchParsim(b, 248, 1) }
+func BenchmarkE14ParsimSharded248(b *testing.B) { benchParsim(b, 248, 8) }
 
 // --- substrate micro-benchmarks ---
 

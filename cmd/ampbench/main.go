@@ -32,6 +32,8 @@ func main() {
 	nodes := flag.Int("nodes", 0, "node-count override for single runs")
 	switches := flag.Int("switches", 0, "switch-count override for single runs")
 	fiber := flag.Float64("fiber", 0, "fiber-meters override for single runs")
+	shards := flag.Int("shards", 0,
+		"run shard-aware experiments (e13, e14) on the parallel sharded engine (internal/parsim) with this many shards (0/1 = serial; others ignore it)")
 
 	sweep := flag.Bool("sweep", false, "sweep experiments × seeds × topology variants")
 	seeds := flag.Int("seeds", 8, "sweep: seeds per variant")
@@ -59,11 +61,11 @@ func main() {
 	}
 
 	if *sweep {
-		runSweep(*exp, *seeds, *baseSeed, *par, *noVariants, *jsonOut, *csvOut, *quiet)
+		runSweep(*exp, *seeds, *baseSeed, *par, *noVariants, *shards, *jsonOut, *csvOut, *quiet)
 		return
 	}
 
-	p := experiments.Params{Seed: *seed, Nodes: *nodes, Switches: *switches, FiberM: *fiber}
+	p := experiments.Params{Seed: *seed, Nodes: *nodes, Switches: *switches, FiberM: *fiber, Shards: *shards}
 	if *exp != "" {
 		for _, id := range strings.Split(*exp, ",") {
 			s := experiments.ByID(strings.TrimSpace(id))
@@ -88,12 +90,13 @@ func run(s experiments.Spec, p experiments.Params) {
 	fmt.Printf("  [%s completed in %v wall time]\n", s.ID, time.Since(start).Round(time.Millisecond))
 }
 
-func runSweep(exp string, seeds int, baseSeed uint64, par int, noVariants bool, jsonOut, csvOut string, quiet bool) {
+func runSweep(exp string, seeds int, baseSeed uint64, par int, noVariants bool, shards int, jsonOut, csvOut string, quiet bool) {
 	cfg := harness.Config{
 		Seeds:      seeds,
 		BaseSeed:   baseSeed,
 		Parallel:   par,
 		NoVariants: noVariants,
+		Shards:     shards,
 	}
 	if exp != "" {
 		for _, id := range strings.Split(exp, ",") {

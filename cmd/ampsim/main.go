@@ -45,6 +45,8 @@ func main() {
 	traffic := flag.Bool("traffic", false, "run a pub/sub load during the scenario")
 	showTrace := flag.Bool("trace", false, "print the event timeline at exit")
 	deep := flag.Bool("deepphy", false, "run every frame through the real 8b/10b datapath")
+	shards := flag.Int("shards", 0,
+		"run on the parallel sharded engine with this many shards (0/1 = serial; reports are byte-identical either way)")
 	report := flag.String("report", "", "write the deterministic scenario report JSON to this file")
 	flag.Parse()
 
@@ -73,7 +75,7 @@ func main() {
 		Name: "ampsim",
 		Opts: ampnet.Options{
 			Fabric: &topo, FiberMeters: *fiber, Seed: *seed,
-			DeepPHY: *deep,
+			DeepPHY: *deep, Shards: *shards,
 		},
 		Plan: p,
 		For:  vd(*runFor),
@@ -108,7 +110,14 @@ func main() {
 	fmt.Printf("  congestion drops    %d\n", rep.Drops)
 	fmt.Printf("  failure losses      %d (in-flight frames destroyed by cut fibers)\n", rep.Lost)
 	fmt.Printf("  frames delivered    %d\n", rep.Delivered)
-	fmt.Printf("  events executed     %d\n", c.K.Fired)
+	fmt.Printf("  events executed     %d\n", c.EventsFired())
+	if st := c.ParStats(); st != nil {
+		fmt.Printf("  parallel engine     %d shards, lookahead %v\n", c.Opts.Shards, c.Lookahead())
+		fmt.Printf("    windows           %d (%.0f events/window/shard)\n", st.Windows,
+			float64(c.EventsFired())/float64(max(st.Windows, 1))/float64(c.Opts.Shards))
+		fmt.Printf("    barrier exchange  %d frames, %d deferred routes, %d plan actions\n",
+			st.Frames, st.Routes, st.Actions)
+	}
 	for _, e := range rep.Events {
 		heal := ""
 		if e.HealNS > 0 {

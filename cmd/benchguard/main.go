@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench '^BenchmarkE[1-7][A-Z]' . | go run ./cmd/benchguard -baseline BENCH_baseline.json
-//	go test -run '^$' -bench '^BenchmarkE[1-7][A-Z]' . | go run ./cmd/benchguard -baseline BENCH_baseline.json -update
+//	go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$)' . | go run ./cmd/benchguard -baseline BENCH_baseline.json
+//	go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$)' . | go run ./cmd/benchguard -baseline BENCH_baseline.json -update
 //
 // Host benchmarks are noisy, so the guard compares only ns/op with a
 // generous default tolerance (25%) and reports improvements without
@@ -33,7 +33,9 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
 	tolerance := flag.Float64("tolerance", 0.25,
 		"allowed fractional ns/op regression (0.25 = +25%); overrides the baseline's stored tolerance when set explicitly")
-	update := flag.Bool("update", false, "rewrite the baseline from this run instead of comparing")
+	update := flag.Bool("update", false,
+		"merge this run into the baseline instead of comparing: present benchmarks are refreshed, absent ones kept")
+	prune := flag.Bool("prune", false, "with -update: drop baseline entries missing from this run")
 	flag.Parse()
 	toleranceSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -63,15 +65,38 @@ func main() {
 	}
 
 	if *update {
+		// Merge over the existing baseline so a partial run (one new
+		// benchmark, one subsystem) can refresh its entries without
+		// silently dropping every other guard. -prune restores the old
+		// replace-everything behavior.
+		fresh := len(results)
+		merged := results
+		note := "ns/op baseline for the guarded hot paths (E1–E7 experiments, E14 parsim at 64/128 nodes); regenerate with: go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$)' . | go run ./cmd/benchguard -update"
+		tol := *tolerance
+		if prev, err := benchparse.ReadBaseline(*baselinePath); err == nil {
+			// The stored tolerance survives a regeneration unless the
+			// flag was given explicitly — the regen command in CI notes
+			// carries no -tolerance and must not silently retighten it.
+			if prev.Tolerance > 0 && !toleranceSet {
+				tol = prev.Tolerance
+			}
+			if !*prune {
+				for name, r := range prev.Benchmarks {
+					if _, ok := merged[name]; !ok {
+						merged[name] = r
+					}
+				}
+			}
+		}
 		base := benchparse.Baseline{
-			Note:       "ns/op baseline for the E1–E7 hot paths; regenerate with: go test -run '^$' -bench '^BenchmarkE[1-7][A-Z]' . | go run ./cmd/benchguard -update",
-			Tolerance:  *tolerance,
-			Benchmarks: results,
+			Note:       note,
+			Tolerance:  tol,
+			Benchmarks: merged,
 		}
 		if err := base.Write(*baselinePath); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("benchguard: wrote %d baselines to %s\n", len(results), *baselinePath)
+		fmt.Printf("benchguard: wrote %d baselines to %s (%d from this run)\n", len(merged), *baselinePath, fresh)
 		return
 	}
 

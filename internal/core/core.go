@@ -49,6 +49,20 @@ type Options struct {
 	HeartbeatInterval sim.Time
 	HeartbeatMiss     int
 
+	// Shards selects the parallel sharded engine (internal/parsim):
+	// the fabric is partitioned by switch into this many shards, each
+	// simulated on a private kernel, advancing in conservative
+	// lookahead windows on its own OS thread. 0 or 1 run the serial
+	// engine. A sharded run's Report is byte-identical to the serial
+	// run's for the same seed; see DESIGN.md ("determinism under
+	// parallelism") for the loads and options the parallel engine
+	// supports.
+	Shards int
+	// Parallel is convenience sugar: when true and Shards is 0, one
+	// shard per switch is used. The shard count — not the machine —
+	// determines the partition, so results stay machine-independent.
+	Parallel bool
+
 	// DeepPHY runs every delivered frame through the real datapath —
 	// MicroPacket wire codec plus 8b/10b line coding — so the whole
 	// stack is exercised bit-for-bit. Slower, but the strongest
@@ -86,6 +100,12 @@ func (o *Options) fill() {
 	if o.Version == 0 {
 		o.Version = 0x0100
 	}
+	if o.Parallel && o.Shards == 0 {
+		o.Shards = o.Switches
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
 }
 
 // topology resolves the fabric to build: the declared Fabric, or the
@@ -104,9 +124,21 @@ func (o *Options) topology() phys.Topology {
 // Cluster is a fully assembled AmpNet network.
 type Cluster struct {
 	Opts Options
+	// K is the simulation kernel on the serial engine. Under
+	// Options.Shards > 1 it is nil — each node runs on its shard's
+	// kernel (Nodes[i].K), and driver-level time control goes through
+	// the engine (Run, WaitUntil, Install). Nets lists every shard's
+	// physical network (one entry on the serial engine); fabric-wide
+	// counters are summed over it.
 	K    *sim.Kernel
 	Net  *phys.Net
+	Nets []*phys.Net
 	Phys *phys.Cluster
+
+	// eng abstracts serial vs parallel time control; par is non-nil
+	// only under the parallel engine.
+	eng engine
+	par *parsimEngine
 
 	Nodes    []*ampdk.Node
 	Services []*ampdc.Services
@@ -126,12 +158,21 @@ type Cluster struct {
 }
 
 // New assembles a cluster. Nothing runs until Boot (or manual Node
-// boots) and Run.
+// boots) and Run. With Options.Shards > 1 the cluster is built over
+// the parallel sharded engine (see newParallel); the resulting Cluster
+// drives and reports identically — call Close when done with a
+// directly-driven parallel cluster to release its worker threads
+// (Scenario.Run does so automatically).
 func New(opts Options) *Cluster {
 	opts.fill()
+	if opts.Shards > 1 {
+		return newParallel(opts)
+	}
 	c := &Cluster{Opts: opts}
 	c.K = sim.NewKernel(opts.Seed)
+	c.eng = serialEngine{c.K}
 	c.Net = phys.NewNet(c.K)
+	c.Nets = []*phys.Net{c.Net}
 	c.Net.DeepPHY = opts.DeepPHY
 	if opts.DeepPHY && opts.BER > 0 {
 		rng := c.K.RNG().Split()
@@ -149,23 +190,32 @@ func New(opts Options) *Cluster {
 		panic(err)
 	}
 	c.Phys = ph
+	c.buildNodes(func(int) *sim.Kernel { return c.K })
+	return c
+}
+
+// buildNodes assembles the per-node software stacks; kernelOf names
+// the kernel each node's components schedule on (the single kernel on
+// the serial engine, the node's shard kernel under parsim).
+func (c *Cluster) buildNodes(kernelOf func(node int) *sim.Kernel) {
+	opts := c.Opts
 	for i := 0; i < opts.Nodes; i++ {
 		ver := opts.Version
 		if opts.VersionOf != nil {
 			ver = opts.VersionOf(i)
 		}
-		nd := ampdk.NewNode(c.K, c.Phys, ampdk.Config{
+		nd := ampdk.NewNode(kernelOf(i), c.Phys, ampdk.Config{
 			ID: i, Version: ver, Regions: opts.Regions,
 			HeartbeatInterval: opts.HeartbeatInterval,
 			HeartbeatMiss:     opts.HeartbeatMiss,
 			FiberM:            opts.FiberMeters,
 		})
+		nd.Agent.Shard = c.Phys.ShardOfNode(i)
 		c.Nodes = append(c.Nodes, nd)
 		c.Services = append(c.Services, ampdc.New(nd))
 		c.Stacks = append(c.Stacks, ampip.NewStack(nd))
 		c.Managers = append(c.Managers, failover.NewManager(nd))
 	}
-	return c
 }
 
 // Boot boots every node at the current virtual time and runs the
@@ -176,14 +226,14 @@ func (c *Cluster) Boot(window sim.Time) error {
 	c.booted = true
 	for _, nd := range c.Nodes {
 		nd := nd
-		c.K.After(0, func() { nd.Boot() })
+		nd.K.After(0, func() { nd.Boot() })
 	}
 	if window == 0 {
 		window = 50 * sim.Millisecond
 	}
 	// The poll step is clamped to the deadline (stepUntil): a
 	// sub-millisecond (or non-integral-ms) window must not run past it.
-	if c.stepUntil(c.allSettled, c.K.Now()+window, sim.Millisecond) {
+	if c.stepUntil(c.allSettled, c.Now()+window, sim.Millisecond) {
 		return nil
 	}
 	for _, nd := range c.Nodes {
@@ -204,10 +254,19 @@ func (c *Cluster) allSettled() bool {
 }
 
 // Run advances virtual time by d.
-func (c *Cluster) Run(d sim.Time) { c.K.RunUntil(c.K.Now() + d) }
+func (c *Cluster) Run(d sim.Time) { c.eng.RunUntil(c.eng.Now() + d) }
 
 // Now returns the current virtual time.
-func (c *Cluster) Now() sim.Time { return c.K.Now() }
+func (c *Cluster) Now() sim.Time { return c.eng.Now() }
+
+// Close releases engine resources (the parallel engine's worker
+// threads). It is safe to call on any cluster, more than once, and is
+// called automatically by Scenario.Run.
+func (c *Cluster) Close() {
+	if c.par != nil {
+		c.par.e.Shutdown()
+	}
+}
 
 // Roster returns the current logical ring as seen by the lowest online
 // node (all live nodes converge to the same roster; crashed nodes hold
@@ -263,8 +322,29 @@ func (c *Cluster) CrashNode(n int)  { c.Nodes[n].Crash() }
 func (c *Cluster) RebootNode(n int) { c.Nodes[n].Reboot() }
 
 // Drops returns congestion drops on the fabric (must stay 0 under
-// AmpNet MACs).
-func (c *Cluster) Drops() uint64 { return c.Net.Drops.N }
+// AmpNet MACs), summed over every shard's network.
+func (c *Cluster) Drops() uint64 {
+	var n uint64
+	for _, net := range c.Nets {
+		n += net.Drops.N
+	}
+	return n
+}
 
-// Lost returns frames destroyed by failures.
-func (c *Cluster) Lost() uint64 { return c.Net.Lost.N }
+// Lost returns frames destroyed by failures, summed over shards.
+func (c *Cluster) Lost() uint64 {
+	var n uint64
+	for _, net := range c.Nets {
+		n += net.Lost.N
+	}
+	return n
+}
+
+// Delivered returns frames handed to receivers, summed over shards.
+func (c *Cluster) Delivered() uint64 {
+	var n uint64
+	for _, net := range c.Nets {
+		n += net.Delivered.N
+	}
+	return n
+}

@@ -163,8 +163,17 @@ type PubSubLoad struct {
 	// Subscribers lists the consuming nodes; nil means every node
 	// except the publisher.
 	Subscribers []int
-	// Every is the publish interval (default 100 µs).
+	// Every is the publish interval (default 100 µs). With Poisson it
+	// is the mean of the exponential inter-arrival distribution.
 	Every sim.Time
+	// Poisson switches the generator from a fixed cadence to a Poisson
+	// arrival process: inter-arrival times are drawn from a seeded
+	// exponential distribution, giving deterministic but bursty,
+	// non-uniform traffic. The stream is derived from the cluster seed
+	// and the load's publisher/topic, so it is identical run to run —
+	// and identical across serial and sharded engines, which is why it
+	// does not touch the kernel RNG.
+	Poisson bool
 	// Count bounds the stream; 0 means publish until quiesced.
 	Count int
 	// Payload is the number of application bytes beyond the 16-byte
@@ -214,6 +223,11 @@ func (l *PubSubLoad) begin(c *Cluster, a *ActiveLoad) {
 	for si, node := range subs {
 		st := &subState{node: node}
 		states[si] = st
+		// The delivery callback runs on the subscriber's kernel (its
+		// shard under the parallel engine) and touches only this
+		// subscriber's state, so accounting is race-free and identical
+		// on both engines.
+		subK := c.Nodes[node].K
 		c.Services[node].Sub.Subscribe(l.Topic, func(_ micropacket.NodeID, data []byte) {
 			if len(data) < pubSubHeader {
 				return
@@ -228,7 +242,7 @@ func (l *PubSubLoad) begin(c *Cluster, a *ActiveLoad) {
 			}
 			st.seen = true
 			st.lastSeq = seq
-			now := c.K.Now()
+			now := subK.Now()
 			if st.lastRx != 0 && now-st.lastRx > st.maxGap {
 				st.maxGap = now - st.lastRx
 			}
@@ -242,7 +256,15 @@ func (l *PubSubLoad) begin(c *Cluster, a *ActiveLoad) {
 		})
 	}
 	seq := uint64(0)
-	c.Every(every, func() bool {
+	pubK := c.Nodes[l.Publisher].K
+	var arrivals *sim.RNG
+	if l.Poisson {
+		// A private stream derived from the run seed and the load's
+		// identity: deterministic, and independent of the engine and
+		// of any other load's draws.
+		arrivals = sim.NewRNG(c.Opts.Seed ^ 0x9e3779b97f4a7c15*uint64(l.Publisher+1) ^ uint64(l.Topic)<<56)
+	}
+	gen := func() bool {
 		if a.halted {
 			return false
 		}
@@ -250,7 +272,7 @@ func (l *PubSubLoad) begin(c *Cluster, a *ActiveLoad) {
 			seq++
 			buf := make([]byte, pubSubHeader+l.Payload)
 			binary.LittleEndian.PutUint64(buf, seq)
-			binary.LittleEndian.PutUint64(buf[8:], uint64(c.K.Now()))
+			binary.LittleEndian.PutUint64(buf[8:], uint64(pubK.Now()))
 			if l.Fill != nil {
 				l.Fill(seq, buf[pubSubHeader:])
 			}
@@ -263,7 +285,19 @@ func (l *PubSubLoad) begin(c *Cluster, a *ActiveLoad) {
 			return false
 		}
 		return true
-	})
+	}
+	if l.Poisson {
+		var tick func()
+		tick = func() {
+			if !gen() {
+				return
+			}
+			pubK.After(arrivals.Exp(every), tick)
+		}
+		pubK.After(arrivals.Exp(every), tick)
+	} else {
+		everyOn(pubK, every, gen)
+	}
 	a.finalize = func() {
 		for _, st := range states {
 			a.rep.Delivered += st.received
@@ -314,7 +348,7 @@ func (l *CacheChurn) begin(c *Cluster, a *ActiveLoad) {
 	rec := l.Record
 	var last []byte
 	seq := uint64(0)
-	c.Every(every, func() bool {
+	everyOn(c.Nodes[l.Writer].K, every, func() bool {
 		if a.halted {
 			return false
 		}
@@ -380,6 +414,12 @@ type CollectiveLoad struct {
 func (l *CollectiveLoad) kindName() (string, string) { return "collective", l.Name }
 
 func (l *CollectiveLoad) check(c *Cluster) error {
+	if c.par != nil {
+		// The collective driver advances shared iteration state from
+		// every rank's completion callback — cross-shard shared memory
+		// the parallel engine cannot order deterministically.
+		return fmt.Errorf("core: collective load is not supported with Options.Shards > 1 (its iteration driver spans shards)")
+	}
 	for _, r := range l.Ranks {
 		if err := checkLoadNode(c, "collective", "rank", r); err != nil {
 			return err
@@ -473,6 +513,12 @@ type FileStream struct {
 func (l *FileStream) kindName() (string, string) { return "filestream", l.Name }
 
 func (l *FileStream) check(c *Cluster) error {
+	if c.par != nil {
+		// Each completed file schedules the next send from the
+		// receiver's delivery callback — a cross-shard hop the
+		// parallel engine cannot replay at serial fidelity.
+		return fmt.Errorf("core: filestream load is not supported with Options.Shards > 1 (completion drives the sender from the receiver's shard)")
+	}
 	if err := checkLoadNode(c, "filestream", "sender", l.From); err != nil {
 		return err
 	}

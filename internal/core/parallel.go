@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/parsim"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// engine abstracts driver-level time control so the Scenario/Cluster
+// API is identical over the serial kernel and the parallel sharded
+// engine. RunUntil is inclusive and leaves the clock exactly on its
+// deadline; ScheduleAt runs fn at t ordered like a timer installed at
+// the moment of the call (the contract plan events rely on).
+type engine interface {
+	Now() sim.Time
+	RunUntil(t sim.Time) sim.Time
+	ScheduleAt(t sim.Time, fn func())
+}
+
+// serialEngine drives the single kernel of a serial cluster.
+type serialEngine struct{ k *sim.Kernel }
+
+func (s serialEngine) Now() sim.Time                    { return s.k.Now() }
+func (s serialEngine) RunUntil(t sim.Time) sim.Time     { return s.k.RunUntil(t) }
+func (s serialEngine) ScheduleAt(t sim.Time, fn func()) { s.k.At(t, fn) }
+
+// parsimEngine adapts parsim.Engine to the core engine interface.
+type parsimEngine struct{ e *parsim.Engine }
+
+func (p *parsimEngine) Now() sim.Time                    { return p.e.Now() }
+func (p *parsimEngine) RunUntil(t sim.Time) sim.Time     { return p.e.RunUntil(t) }
+func (p *parsimEngine) ScheduleAt(t sim.Time, fn func()) { p.e.ScheduleAt(t, fn) }
+
+// ValidateParallel reports whether the options can run on the parallel
+// sharded engine: enough switches to own every shard, a positive
+// fabric lookahead, and no BER injection (its fault stream is a single
+// shared RNG, which shards cannot consume deterministically). It is a
+// no-op for serial options.
+func (o Options) ValidateParallel() error {
+	o.fill()
+	if o.Shards <= 1 {
+		return nil
+	}
+	if o.DeepPHY && o.BER > 0 {
+		return fmt.Errorf("core: Options.BER is not supported with Shards > 1 (the symbol-error RNG is a single stream shards cannot share deterministically)")
+	}
+	topo := o.topology()
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	assign, err := phys.AssignShards(&topo, o.Shards)
+	if err != nil {
+		return err
+	}
+	if _, err := phys.Lookahead(&topo, assign); err != nil {
+		return err
+	}
+	return nil
+}
+
+// newParallel assembles a cluster over the parallel sharded engine:
+// one kernel and one phys.Net per shard, the fabric split by
+// phys.AssignShards, every node built on its shard's kernel, and a
+// parsim.Engine coordinating lookahead windows and barrier exchange.
+// Misconfigured options panic, mirroring New; Scenario.Run surfaces
+// the same conditions as errors via ValidateParallel.
+func newParallel(opts Options) *Cluster {
+	// The checks below are exactly ValidateParallel's, derived once
+	// from the assignment/lookahead this build needs anyway; Scenario
+	// surfaces the same conditions as errors before reaching here.
+	if opts.DeepPHY && opts.BER > 0 {
+		panic("core: Options.BER is not supported with Shards > 1 (the symbol-error RNG is a single stream shards cannot share deterministically)")
+	}
+	c := &Cluster{Opts: opts}
+	topo := opts.topology()
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	assign, err := phys.AssignShards(&topo, opts.Shards)
+	if err != nil {
+		panic(err)
+	}
+	lookahead, err := phys.Lookahead(&topo, assign)
+	if err != nil {
+		panic(err)
+	}
+	kernels := make([]*sim.Kernel, opts.Shards)
+	nets := make([]*phys.Net, opts.Shards)
+	for i := range kernels {
+		// Every shard derives its seed from the run seed; the streams
+		// are unused by the sharded model (see ValidateParallel's BER
+		// gate) but kept distinct for any future per-shard noise.
+		kernels[i] = sim.NewKernel(opts.Seed + uint64(i)<<32)
+		nets[i] = phys.NewNet(kernels[i])
+		nets[i].DeepPHY = opts.DeepPHY
+	}
+	eng, err := parsim.New(kernels, nets, lookahead)
+	if err != nil {
+		panic(err)
+	}
+	ph, err := phys.BuildFabricSharded(nets, topo, assign)
+	if err != nil {
+		eng.Shutdown()
+		panic(err)
+	}
+	ph.RouteSink = eng.DeferRoute
+	c.Phys = ph
+	c.Net = nets[0]
+	c.Nets = nets
+	c.par = &parsimEngine{eng}
+	c.eng = c.par
+	c.buildNodes(func(n int) *sim.Kernel { return kernels[assign.NodeShard[n]] })
+	return c
+}
+
+// EventsFired returns the total number of simulation events executed,
+// summed over every shard's kernel (one kernel on the serial engine).
+func (c *Cluster) EventsFired() uint64 {
+	var n uint64
+	seen := map[*sim.Kernel]bool{}
+	for _, nd := range c.Nodes {
+		if !seen[nd.K] {
+			seen[nd.K] = true
+			n += nd.K.Fired
+		}
+	}
+	return n
+}
+
+// ParStats returns the parallel engine's window/barrier statistics, or
+// nil on the serial engine.
+func (c *Cluster) ParStats() *parsim.Stats {
+	if c.par == nil {
+		return nil
+	}
+	st := c.par.e.Stats
+	return &st
+}
+
+// Lookahead returns the parallel engine's window bound (0 on the
+// serial engine).
+func (c *Cluster) Lookahead() sim.Time {
+	if c.par == nil {
+		return 0
+	}
+	return c.par.e.Lookahead()
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netcache"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// equivalenceFabrics are the five shapes of the serial/parallel
+// equivalence battery.
+func equivalenceFabrics() []phys.Topology {
+	return []phys.Topology{
+		phys.Uniform(8, 4, 50),
+		phys.DualRing(6, 50),
+		phys.Mesh(8, 4, 50),
+		phys.Sharded(2, 4, 2, 50),
+		phys.Sharded(4, 3, 1, 50),
+	}
+}
+
+// equivalenceScenario is the common scenario of the battery: a fault
+// plan spanning node crash/reboot and switch death/restore, a paced
+// pub/sub stream, a Poisson pub/sub stream and cache churn.
+func equivalenceScenario(topo *phys.Topology, seed uint64, shards int) Scenario {
+	return Scenario{
+		Name: "equivalence",
+		Opts: Options{Fabric: topo, Seed: seed, Shards: shards, Regions: map[uint8]int{2: 1024}},
+		Plan: Plan{
+			CrashNode(4*sim.Millisecond, topo.Nodes-1),
+			FailSwitch(8*sim.Millisecond, topo.Switches-1),
+			RebootNode(14*sim.Millisecond, topo.Nodes-1),
+			RestoreSwitch(18*sim.Millisecond, topo.Switches-1),
+		},
+		Loads: []Load{
+			&PubSubLoad{Publisher: 0, Topic: 1, Every: 50 * sim.Microsecond},
+			&PubSubLoad{Name: "poisson", Publisher: 1, Topic: 2, Every: 80 * sim.Microsecond, Poisson: true},
+			&CacheChurn{Writer: 2, Record: netcache.Record{Region: 2, Off: 0, Size: 64}, Every: 70 * sim.Microsecond},
+		},
+		For: 25 * sim.Millisecond,
+	}
+}
+
+// TestEquivalenceBattery is the serial/parallel determinism property:
+// for every fabric shape × seed, a sharded run's Report JSON is
+// byte-identical to the serial run's — the defining guarantee of
+// internal/parsim. CI runs it under -race, which also exercises the
+// engine's barrier discipline (shared fabric state must only change
+// while the shards are parked).
+func TestEquivalenceBattery(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, topo := range equivalenceFabrics() {
+		topo := topo
+		t.Run(topo.Name+fmt.Sprintf("%dx%d", topo.Nodes, topo.Switches), func(t *testing.T) {
+			for _, seed := range seeds {
+				serialRep, err := equivalenceScenario(&topo, seed, 1).Run()
+				if err != nil {
+					t.Fatalf("serial seed=%d: %v", seed, err)
+				}
+				serial := serialRep.JSON()
+				for _, shards := range []int{2, 4} {
+					if shards > topo.Switches {
+						continue
+					}
+					parRep, err := equivalenceScenario(&topo, seed, shards).Run()
+					if err != nil {
+						t.Fatalf("seed=%d shards=%d: %v", seed, shards, err)
+					}
+					if par := parRep.JSON(); !bytes.Equal(serial, par) {
+						t.Errorf("seed=%d shards=%d: report diverged from serial\n--- serial ---\n%s--- shards=%d ---\n%s",
+							seed, shards, serial, shards, par)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRejectsUnsupportedLoads pins the engine's stated limits:
+// loads whose drivers span shards, and BER injection, fail up front
+// with actionable errors instead of racing mid-run.
+func TestParallelRejectsUnsupportedLoads(t *testing.T) {
+	topo := phys.Sharded(2, 3, 1, 50)
+	base := Scenario{
+		Opts: Options{Fabric: &topo, Shards: 2},
+		For:  2 * sim.Millisecond,
+	}
+	col := base
+	col.Loads = []Load{&CollectiveLoad{Iters: 1}}
+	if _, err := col.Run(); err == nil || !strings.Contains(err.Error(), "collective") {
+		t.Fatalf("collective load under shards: err = %v, want unsupported", err)
+	}
+	fs := base
+	fs.Loads = []Load{&FileStream{From: 0, To: 1}}
+	if _, err := fs.Run(); err == nil || !strings.Contains(err.Error(), "filestream") {
+		t.Fatalf("filestream load under shards: err = %v, want unsupported", err)
+	}
+	ber := base
+	ber.Opts.DeepPHY = true
+	ber.Opts.BER = 1e-6
+	if _, err := ber.Run(); err == nil || !strings.Contains(err.Error(), "BER") {
+		t.Fatalf("BER under shards: err = %v, want unsupported", err)
+	}
+	over := base
+	over.Opts.Shards = 3 // only 2 switches: a shard would own none
+	if _, err := over.Run(); err == nil || !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("more shards than switches: err = %v, want error", err)
+	}
+}
+
+// TestPoissonLoadDeterministicAndBursty verifies the Poisson arrival
+// option: same seed ⇒ identical report; different seed ⇒ different
+// arrival pattern; and the inter-arrival stream is actually bursty
+// (not the fixed cadence).
+func TestPoissonLoadDeterministicAndBursty(t *testing.T) {
+	topo := phys.Uniform(4, 2, 50)
+	run := func(seed uint64) *Report {
+		rep, err := Scenario{
+			Opts:  Options{Fabric: &topo, Seed: seed},
+			Loads: []Load{&PubSubLoad{Publisher: 0, Topic: 1, Every: 100 * sim.Microsecond, Poisson: true}},
+			For:   10 * sim.Millisecond,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(3), run(3)
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatal("same-seed Poisson runs diverge")
+	}
+	c := run(4)
+	if a.Loads[0].Sent == c.Loads[0].Sent && a.Loads[0].MaxLatencyNS == c.Loads[0].MaxLatencyNS {
+		t.Fatal("different seeds produced an identical Poisson stream (suspicious)")
+	}
+	// A 10 ms run at a 100 µs mean holds ~100 arrivals; a fixed cadence
+	// would send exactly 100. Expect the Poisson count to differ.
+	if a.Loads[0].Sent == 100 {
+		t.Fatalf("Poisson stream sent exactly the fixed-cadence count (%d): not bursty", a.Loads[0].Sent)
+	}
+}
+
+// TestLargeFabricSmoke boots the largest addressable fabric — 248
+// nodes over 8 sharded switch groups, the ceiling of the one-byte
+// MicroPacket address space — on the parallel engine, and requires it
+// to heal to a full ring within a wall-clock budget. This is the
+// scale smoke CI runs; the serial-vs-parallel speedup at this size is
+// recorded by the E14 benchmarks.
+func TestLargeFabricSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fabric smoke skipped in -short")
+	}
+	topo := phys.Sharded(8, 31, 1, 50)
+	for i := range topo.Trunks {
+		topo.Trunks[i].FiberM = 200
+	}
+	start := time.Now()
+	rep, err := Scenario{
+		Name: "large-fabric",
+		Opts: Options{Fabric: &topo, Seed: 1, Shards: 8,
+			HeartbeatInterval: 2 * sim.Millisecond},
+		BootWindow: 200 * sim.Millisecond,
+		Loads:      []Load{&PubSubLoad{Publisher: 0, Topic: 1, Every: 100 * sim.Microsecond, Subscribers: []int{31, 62, 124, 247}}},
+		For:        5 * sim.Millisecond,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RingSize != topo.Nodes || !rep.Healed {
+		t.Fatalf("large fabric did not heal: ring=%d healed=%v", rep.RingSize, rep.Healed)
+	}
+	if rep.Drops != 0 {
+		t.Fatalf("congestion drops at scale: %d", rep.Drops)
+	}
+	if wall := time.Since(start); wall > 5*time.Minute {
+		t.Fatalf("large fabric smoke took %v, budget 5m", wall)
+	}
+}

@@ -134,7 +134,7 @@ type Plan []Event
 // mid-simulation.
 func (p Plan) Validate(c *Cluster) error {
 	nodes, switches := len(c.Nodes), len(c.Phys.Switches)
-	now := c.K.Now()
+	now := c.Now()
 
 	// Merge the candidate events (offsets made absolute) with the
 	// pending events of previously installed plans, then walk them in
@@ -276,15 +276,20 @@ func (c *Cluster) Install(p Plan) error {
 	}
 	for _, e := range p {
 		e := e
-		c.pending = append(c.pending, AppliedEvent{At: c.K.Now() + e.At, Event: e})
-		c.K.After(e.At, func() { c.apply(e) })
+		c.pending = append(c.pending, AppliedEvent{At: c.Now() + e.At, Event: e})
+		// On the serial engine this is a plain kernel timer. On the
+		// parallel engine it is a coordinator action: the fault fires
+		// single-threaded at a window barrier, with every shard parked
+		// on the event's instant — the only moment shared fabric state
+		// (link light, switch health) may change.
+		c.eng.ScheduleAt(c.Now()+e.At, func() { c.apply(e) })
 	}
 	return nil
 }
 
 func (c *Cluster) apply(e Event) {
 	for i, pe := range c.pending {
-		if pe.Event == e && pe.At == c.K.Now() {
+		if pe.Event == e && pe.At == c.Now() {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			break
 		}
@@ -307,7 +312,7 @@ func (c *Cluster) apply(e Event) {
 	case EvRestoreTrunk:
 		c.RestoreTrunk(e.Switch)
 	}
-	c.applied = append(c.applied, AppliedEvent{At: c.K.Now(), Event: e})
+	c.applied = append(c.applied, AppliedEvent{At: c.Now(), Event: e})
 	if c.OnEvent != nil {
 		c.OnEvent(e)
 	}

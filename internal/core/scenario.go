@@ -150,18 +150,25 @@ func (s Scenario) Run() (*Report, error) {
 			return nil, err
 		}
 	}
+	if err := s.Opts.ValidateParallel(); err != nil {
+		return nil, err
+	}
 	c := New(s.Opts)
+	defer c.Close()
 	if s.OnCluster != nil {
 		s.OnCluster(c)
 	}
 	// Record every roster adoption (chaining any hooks OnCluster
-	// installed) to attribute heal windows to plan events.
-	var adopts []sim.Time
-	for _, nd := range c.Nodes {
-		nd := nd
+	// installed) to attribute heal windows to plan events. Adoptions
+	// are kept per node: each node's hook fires on its own shard's
+	// kernel under the parallel engine, so the slices are single-writer
+	// (and the heal-window scan below is order-insensitive).
+	adopts := make([][]sim.Time, len(c.Nodes))
+	for i, nd := range c.Nodes {
+		i, nd := i, nd
 		prev := nd.OnRoster
 		nd.OnRoster = func(r *rostering.Roster) {
-			adopts = append(adopts, c.K.Now())
+			adopts[i] = append(adopts[i], nd.K.Now())
 			if prev != nil {
 				prev(r)
 			}
@@ -231,7 +238,7 @@ func (s Scenario) Run() (*Report, error) {
 		Healed:    c.Healed(),
 		Drops:     c.Drops(),
 		Lost:      c.Lost(),
-		Delivered: c.Net.Delivered.N,
+		Delivered: c.Delivered(),
 	}
 	applied := c.Applied()
 	for i, ae := range applied {
@@ -240,9 +247,11 @@ func (s Scenario) Run() (*Report, error) {
 		if i+1 < len(applied) {
 			window = applied[i+1].At
 		}
-		for _, at := range adopts {
-			if at > ae.At && at <= window && int64(at-ae.At) > er.HealNS {
-				er.HealNS = int64(at - ae.At)
+		for _, nodeAdopts := range adopts {
+			for _, at := range nodeAdopts {
+				if at > ae.At && at <= window && int64(at-ae.At) > er.HealNS {
+					er.HealNS = int64(at - ae.At)
+				}
 			}
 		}
 		rep.Events = append(rep.Events, er)
@@ -273,7 +282,7 @@ func (c *Cluster) Snapshot(name string, loads ...*ActiveLoad) *Report {
 		Healed:    c.Healed(),
 		Drops:     c.Drops(),
 		Lost:      c.Lost(),
-		Delivered: c.Net.Delivered.N,
+		Delivered: c.Delivered(),
 	}
 	for _, ae := range c.Applied() {
 		rep.Events = append(rep.Events, EventReport{AtNS: int64(ae.At), Event: ae.Event.String()})

@@ -20,16 +20,16 @@ func (c *Cluster) stepUntil(pred func() bool, deadline, step sim.Time) bool {
 	// Realize the current instant before the first probe: zero-offset
 	// plan events and After(0) work are pending at Now, and the
 	// predicate must not observe the world as it was before they fire.
-	c.K.RunUntil(c.K.Now())
+	c.eng.RunUntil(c.eng.Now())
 	if pred() {
 		return true
 	}
-	for c.K.Now() < deadline {
-		next := c.K.Now() + step
+	for c.eng.Now() < deadline {
+		next := c.eng.Now() + step
 		if next > deadline {
 			next = deadline
 		}
-		c.K.RunUntil(next)
+		c.eng.RunUntil(next)
 		if pred() {
 			return true
 		}
@@ -43,10 +43,10 @@ func (c *Cluster) stepUntil(pred func() bool, deadline, step sim.Time) bool {
 // stops exactly when the condition holds, so follow-on measurements
 // are taken at the condition's onset, not a window boundary.
 func (c *Cluster) WaitUntil(pred func() bool, within sim.Time) error {
-	if c.stepUntil(pred, c.K.Now()+within, waitStep) {
+	if c.stepUntil(pred, c.Now()+within, waitStep) {
 		return nil
 	}
-	return fmt.Errorf("core: condition still false after %v (t=%v)", within, c.K.Now())
+	return fmt.Errorf("core: condition still false after %v (t=%v)", within, c.Now())
 }
 
 // WaitRingSize waits until the logical ring reaches exactly n nodes.
@@ -74,6 +74,17 @@ func (c *Cluster) WaitHealed(within sim.Time) error {
 // (checkpoints, pollers) without hand-rolling self-rescheduling
 // closures.
 func (c *Cluster) Every(d sim.Time, fn func() bool) {
+	if c.K == nil {
+		panic("core: Every has no node affinity; under Options.Shards > 1 drive periodic work from a node's kernel (Nodes[i].K) or a Load")
+	}
+	everyOn(c.K, d, fn)
+}
+
+// everyOn is Every pinned to one kernel — the node-affine form the
+// loads use, so a generator runs on its node's shard under the
+// parallel engine (and on the single kernel, identically, on the
+// serial one).
+func everyOn(k *sim.Kernel, d sim.Time, fn func() bool) {
 	if d <= 0 {
 		panic("core: Every with non-positive interval")
 	}
@@ -82,7 +93,7 @@ func (c *Cluster) Every(d sim.Time, fn func() bool) {
 		if !fn() {
 			return
 		}
-		c.K.After(d, tick)
+		k.After(d, tick)
 	}
-	c.K.After(0, tick)
+	k.After(0, tick)
 }

@@ -73,9 +73,16 @@ func E13FabricHealP(p Params) *Table {
 			if sched.needTrunks && len(topo.Trunks) == 0 {
 				continue
 			}
+			// Params.Shards rides along where the shape can carry it
+			// (a shard must own at least one switch); the report — and
+			// so the table — is byte-identical to the serial engine's.
+			shards := p.Shards
+			if shards > topo.Switches {
+				shards = topo.Switches
+			}
 			rep, err := core.Scenario{
 				Name: fmt.Sprintf("e13-%s-%s", topo.Name, sched.name),
-				Opts: core.Options{Fabric: &topo, Seed: p.seed()},
+				Opts: core.Options{Fabric: &topo, Seed: p.seed(), Shards: shards},
 				Plan: sched.plan(topo.Nodes),
 				Loads: []core.Load{&core.PubSubLoad{
 					Publisher: 0, Topic: 1, Every: 50 * sim.Microsecond,

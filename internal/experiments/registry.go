@@ -13,6 +13,11 @@ type Params struct {
 	Nodes    int     // node count; 0 → experiment default
 	Switches int     // switch count (2=dual, 4=quad redundant); 0 → default
 	FiberM   float64 // fiber meters per link; 0 → default
+	// Shards runs cluster-level experiments on the parallel sharded
+	// engine (internal/parsim) with this many shards; 0/1 is the
+	// serial engine. Reports are byte-identical either way, so this is
+	// a wall-clock knob, not a semantic one.
+	Shards int
 }
 
 // seed returns the effective kernel seed.
@@ -37,6 +42,9 @@ func (p Params) Merged(d Params) Params {
 	if p.FiberM == 0 {
 		p.FiberM = d.FiberM
 	}
+	if p.Shards == 0 {
+		p.Shards = d.Shards
+	}
 	return p
 }
 
@@ -54,6 +62,9 @@ func (p Params) Label() string {
 	if p.FiberM != 0 {
 		parts = append(parts, fmt.Sprintf("f%.0f", p.FiberM))
 	}
+	if p.Shards > 1 {
+		parts = append(parts, fmt.Sprintf("p%d", p.Shards))
+	}
 	if len(parts) == 0 {
 		return "default"
 	}
@@ -68,7 +79,12 @@ type Spec struct {
 	Short    string
 	Defaults Params   // base topology; zero fields fall back to in-code defaults
 	Variants []Params // optional topology variants for -sweep (merged over Defaults)
-	Run      func(Params) *Table
+	// Sharded marks experiments whose Run honors Params.Shards (drives
+	// its clusters through the scenario layer's engine selection). The
+	// sweep harness only stamps a shard count onto these, so a "pN"
+	// variant label always means the parallel engine actually ran.
+	Sharded bool
+	Run     func(Params) *Table
 }
 
 // All returns every experiment in DESIGN.md §2 order, with the default
@@ -123,7 +139,13 @@ func All() []Spec {
 		{ID: "e13", Short: "fabric shapes × fault schedules: heal time, delivered throughput",
 			Defaults: Params{Nodes: 6, Switches: 4},
 			Variants: []Params{{Nodes: 6, Switches: 4}, {Nodes: 8, Switches: 4}},
+			Sharded:  true,
 			Run:      E13FabricHealP},
+		{ID: "e14", Short: "parallel sharded engine: serial-identical reports, exchange volume vs shards",
+			Defaults: Params{Nodes: 64, Switches: 8},
+			Variants: []Params{{Nodes: 64, Switches: 8}, {Nodes: 128, Switches: 8}},
+			Sharded:  true,
+			Run:      E14ParsimScaleP},
 	}
 }
 

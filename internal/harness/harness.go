@@ -33,6 +33,12 @@ type Config struct {
 	Parallel int `json:"parallel"`
 	// NoVariants restricts every experiment to its default topology.
 	NoVariants bool `json:"no_variants,omitempty"`
+	// Shards, when > 1, runs every variant's cluster-level experiments
+	// on the parallel sharded engine (internal/parsim). Reports — and
+	// therefore sweep aggregates — are byte-identical to serial runs;
+	// this trades sweep-level parallelism (worker pool) for run-level
+	// parallelism on big single scenarios.
+	Shards int `json:"shards,omitempty"`
 
 	// KeepTables retains each run's rendered table in the Report.
 	KeepTables bool `json:"-"`
@@ -144,6 +150,12 @@ func Plan(cfg Config) ([]Run, error) {
 	var runs []Run
 	for _, s := range specs {
 		for _, v := range variantsOf(s, cfg.NoVariants) {
+			// Only experiments that actually honor Params.Shards get
+			// stamped: a "pN" label must never claim the parallel
+			// engine for a run that ignored it.
+			if cfg.Shards > 1 && v.Shards == 0 && s.Sharded {
+				v.Shards = cfg.Shards
+			}
 			for i := 0; i < cfg.Seeds; i++ {
 				p := v
 				p.Seed = cfg.BaseSeed + uint64(i)

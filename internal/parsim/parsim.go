@@ -1,0 +1,366 @@
+// Package parsim is AmpNet's parallel sharded simulation engine: a
+// conservative time-windowed discrete-event scheduler that runs the
+// shards of a fabric on all cores without giving up byte-reproducible
+// determinism.
+//
+// The fabric is partitioned by switch (phys.AssignShards): each shard
+// owns its switches, their attached nodes, and every intra-shard link,
+// all scheduled on a private sim.Kernel. Shards advance in lockstep
+// lookahead windows: with L the minimum propagation delay of any
+// cross-shard fiber (phys.Lookahead), an event at time t can influence
+// another shard no earlier than t+L — one full cross-shard flight —
+// so all shards may safely run a window of L in parallel.
+//
+// Cross-shard traffic never touches a foreign kernel mid-window.
+// A port transmitting over a split link hands the frame to its shard's
+// capture queue (phys.RemoteExchange) with its exact arrival time; at
+// the window barrier the coordinator drains every queue in a canonical
+// order — (arrival, transmit time, source shard, capture sequence) —
+// and schedules each frame on the destination kernel at precisely the
+// arrival time a serial run would have delivered it. Crossbar
+// programming aimed at a remote switch (ring hops healing across
+// trunks) is deferred the same way; the first frame that could need
+// the route is always at least one cross-shard flight away, so the
+// barrier application is invisible. The result is a parallel run whose
+// Report is byte-identical to the serial engine's for the same seed.
+//
+// Driver-level work — plan events (faults/repairs), condition probes —
+// runs in coordinator actions: single-threaded closures executed with
+// every kernel parked on the same virtual instant, after all events
+// before t and before any event at t. That is where the fabric's
+// shared state (link light, switch crossbars, trunk views) may flip;
+// between barriers it is read-only, which is what makes the mid-window
+// reads of the rostering layer race-free.
+package parsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Stats counts the engine's work for per-window reporting.
+type Stats struct {
+	// Windows is the number of parallel windows executed; Barriers the
+	// number of synchronization points (windows plus action stops).
+	Windows  uint64
+	Barriers uint64
+	// Frames is the number of cross-shard frames exchanged at
+	// barriers; Routes the number of barrier-deferred crossbar writes.
+	Frames uint64
+	Routes uint64
+	// Actions is the number of coordinator actions executed.
+	Actions uint64
+}
+
+// pendingFrame is one captured cross-shard frame awaiting injection.
+type pendingFrame struct {
+	srcUID  uint32 // sending port identity: the wire tie-break key
+	dst     *phys.Port
+	f       phys.Frame
+	link    *phys.Link
+	epoch   uint64
+	arrival sim.Time
+	txAt    sim.Time // transmit start, for canonical ordering
+	src     int
+	seq     uint64
+}
+
+// action is one coordinator closure, run at `at` with all shards
+// parked on that instant. Same-instant actions keep registration
+// order (the sort below is stable).
+type action struct {
+	at sim.Time
+	fn func()
+}
+
+// Engine coordinates the shard kernels of one parallel simulation.
+// It is driven from a single goroutine (the scenario driver); the
+// shard workers only ever run inside RunUntil.
+type Engine struct {
+	Kernels []*sim.Kernel
+	Nets    []*phys.Net
+
+	lookahead sim.Time
+	now       sim.Time
+
+	actions []action
+
+	frames   [][]pendingFrame // per source shard, filled during windows
+	frameSeq []uint64
+	routes   [][]func() // per source shard
+
+	inject []pendingFrame // scratch for barrier drain
+
+	// Window hand-off: one target send and one done receive per worker
+	// per window. Workers park between windows, so driver read phases
+	// and single-core hosts cost nothing; on multicore the wakeups
+	// overlap and the per-window barrier stays in the low microseconds
+	// against window workloads hundreds of events deep.
+	work     []chan sim.Time
+	done     chan struct{}
+	shutdown sync.Once
+
+	Stats Stats
+}
+
+// New builds an engine over one kernel+Net pair per shard. lookahead
+// is the fabric's conservative window bound (phys.Lookahead); it must
+// be positive. The engine installs itself as every Net's
+// RemoteExchange and starts one worker goroutine per shard; call
+// Shutdown when the simulation is done.
+func New(kernels []*sim.Kernel, nets []*phys.Net, lookahead sim.Time) (*Engine, error) {
+	if len(kernels) != len(nets) || len(kernels) == 0 {
+		return nil, fmt.Errorf("parsim: %d kernels vs %d nets", len(kernels), len(nets))
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("parsim: non-positive lookahead %v", lookahead)
+	}
+	e := &Engine{
+		Kernels:   kernels,
+		Nets:      nets,
+		lookahead: lookahead,
+		frames:    make([][]pendingFrame, len(kernels)),
+		frameSeq:  make([]uint64, len(kernels)),
+		routes:    make([][]func(), len(kernels)),
+	}
+	for i, n := range nets {
+		n.Shard = i
+		n.Remote = &shardExchange{e: e, shard: i}
+	}
+	if len(kernels) > 1 {
+		e.done = make(chan struct{}, len(kernels))
+		for i := range kernels {
+			ch := make(chan sim.Time)
+			e.work = append(e.work, ch)
+			go e.worker(i, ch)
+		}
+	}
+	return e, nil
+}
+
+// Shutdown stops the worker goroutines. The engine must not be run
+// afterwards.
+func (e *Engine) Shutdown() {
+	e.shutdown.Do(func() {
+		for _, ch := range e.work {
+			close(ch)
+		}
+	})
+}
+
+// worker runs shard i's kernel window by window.
+func (e *Engine) worker(i int, ch chan sim.Time) {
+	k := e.Kernels[i]
+	for target := range ch {
+		k.RunUntil(target)
+		e.done <- struct{}{}
+	}
+}
+
+// Now returns the engine's global virtual time (every kernel is at
+// this instant whenever the driver can observe the simulation).
+func (e *Engine) Now() sim.Time { return e.now }
+
+// Lookahead returns the window bound the engine runs with.
+func (e *Engine) Lookahead() sim.Time { return e.lookahead }
+
+// ScheduleAt registers a coordinator action: fn runs single-threaded
+// at virtual time t, after every event before t and before any model
+// event at t, with all shard kernels parked on t. Actions at the same
+// instant run in registration order. Scheduling in the past panics,
+// mirroring sim.Kernel.At.
+func (e *Engine) ScheduleAt(t sim.Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("parsim: action at %v before now %v", t, e.now))
+	}
+	e.actions = append(e.actions, action{at: t, fn: fn})
+	sort.SliceStable(e.actions, func(a, b int) bool { return e.actions[a].at < e.actions[b].at })
+}
+
+// shardExchange is the per-shard phys.RemoteExchange: it captures
+// cross-shard frames into the source shard's private queue. Only the
+// shard's own worker appends during a window, so no locking is needed.
+type shardExchange struct {
+	e     *Engine
+	shard int
+}
+
+func (x *shardExchange) RemoteFrame(src, dst *phys.Port, f phys.Frame, link *phys.Link, epoch uint64, arrival sim.Time) {
+	e := x.e
+	e.frames[x.shard] = append(e.frames[x.shard], pendingFrame{
+		srcUID: src.UID(), dst: dst, f: f, link: link, epoch: epoch,
+		arrival: arrival, txAt: e.Kernels[x.shard].Now(),
+		src: x.shard, seq: e.frameSeq[x.shard],
+	})
+	e.frameSeq[x.shard]++
+}
+
+// DeferRoute queues a barrier-deferred crossbar write from srcShard;
+// wire it to phys.Cluster.RouteSink.
+func (e *Engine) DeferRoute(srcShard int, apply func()) {
+	e.routes[srcShard] = append(e.routes[srcShard], apply)
+}
+
+// drain applies everything captured since the last barrier: deferred
+// crossbar writes (per source shard, FIFO), then cross-shard frames in
+// the canonical (arrival, transmit time, source shard, sequence)
+// order, each scheduled on its destination kernel at its exact arrival
+// time. Runs single-threaded with all kernels parked.
+func (e *Engine) drain() {
+	for s := range e.routes {
+		for _, apply := range e.routes[s] {
+			apply()
+			e.Stats.Routes++
+		}
+		e.routes[s] = e.routes[s][:0]
+	}
+	e.inject = e.inject[:0]
+	for s := range e.frames {
+		e.inject = append(e.inject, e.frames[s]...)
+		e.frames[s] = e.frames[s][:0]
+	}
+	if len(e.inject) == 0 {
+		return
+	}
+	sort.Slice(e.inject, func(a, b int) bool {
+		pa, pb := &e.inject[a], &e.inject[b]
+		if pa.arrival != pb.arrival {
+			return pa.arrival < pb.arrival
+		}
+		if pa.txAt != pb.txAt {
+			return pa.txAt < pb.txAt
+		}
+		if pa.src != pb.src {
+			return pa.src < pb.src
+		}
+		return pa.seq < pb.seq
+	})
+	for i := range e.inject {
+		pf := e.inject[i]
+		dstK := pf.dst.Net().K
+		// The wire key (transmit start, sending-port identity) slots
+		// the arrival into exactly the same same-instant order the
+		// serial engine would have used.
+		dstK.AtPri(pf.arrival, pf.txAt, pf.srcUID, func() {
+			pf.dst.Net().CompleteDelivery(pf.dst, pf.f, pf.link, pf.epoch)
+		})
+		e.Stats.Frames++
+	}
+}
+
+// runWindow executes all shards in parallel up to target (inclusive),
+// then drains the barrier.
+func (e *Engine) runWindow(target sim.Time) {
+	if len(e.work) == 0 {
+		e.Kernels[0].RunUntil(target)
+	} else {
+		for _, ch := range e.work {
+			ch <- target
+		}
+		for range e.work {
+			<-e.done
+		}
+	}
+	e.Stats.Windows++
+	e.Stats.Barriers++
+	e.drain()
+	e.now = target
+}
+
+// nextEvent returns the earliest pending event time across all shards.
+func (e *Engine) nextEvent() (sim.Time, bool) {
+	min, any := sim.MaxTime, false
+	for _, k := range e.Kernels {
+		if t, ok := k.NextEventTime(); ok && t < min {
+			min, any = t, true
+		}
+	}
+	return min, any
+}
+
+// runActionsAtNow executes every action due at the current instant.
+// Kernels must already be parked on e.now with no pending events
+// before it. Actions may send cross-shard traffic (a rebooted node
+// solicits immediately), so the barrier is drained afterwards.
+func (e *Engine) runActionsAtNow() {
+	ran := false
+	for len(e.actions) > 0 && e.actions[0].at == e.now {
+		fn := e.actions[0].fn
+		e.actions = e.actions[1:]
+		fn()
+		e.Stats.Actions++
+		ran = true
+	}
+	if ran {
+		e.drain()
+		e.Stats.Barriers++
+	}
+}
+
+// RunUntil advances the whole simulation to deadline (inclusive),
+// window by window, and leaves every shard kernel parked exactly on
+// deadline — the same clock contract as sim.Kernel.RunUntil. The
+// driver may freely read cross-shard state after it returns.
+func (e *Engine) RunUntil(deadline sim.Time) sim.Time {
+	if deadline < e.now {
+		return e.now
+	}
+	for {
+		e.runActionsAtNow()
+		if e.now >= deadline {
+			// RunUntil is inclusive: model events at the deadline
+			// instant (including any the actions just scheduled) still
+			// run, exactly as the serial kernel would.
+			if m, any := e.nextEvent(); any && m <= deadline {
+				e.runWindow(deadline)
+			}
+			break
+		}
+		// Stop one tick short of the next action so it can run with
+		// events before its instant done and events at its instant
+		// still pending.
+		horizon := deadline
+		if len(e.actions) > 0 && e.actions[0].at <= deadline {
+			horizon = e.actions[0].at - 1
+		}
+		if horizon > e.now {
+			m, any := e.nextEvent()
+			switch {
+			case !any || m > horizon:
+				// Dead time: nothing to execute before the horizon.
+				e.runWindow(horizon)
+			default:
+				start := m
+				if start < e.now {
+					start = e.now
+				}
+				wEnd := horizon
+				if e.lookahead < sim.MaxTime && start+e.lookahead-1 < wEnd {
+					wEnd = start + e.lookahead - 1
+				}
+				if wEnd < e.now {
+					wEnd = e.now
+				}
+				e.runWindow(wEnd)
+			}
+			continue
+		}
+		// horizon == e.now: the next action is one tick away. Realize
+		// the current instant first (an earlier action may have
+		// scheduled zero-delay work), then advance every kernel onto
+		// the action's instant without executing anything there.
+		if m, any := e.nextEvent(); any && m <= e.now {
+			e.runWindow(e.now)
+		}
+		at := e.actions[0].at
+		for _, k := range e.Kernels {
+			k.AdvanceTo(at)
+		}
+		e.now = at
+	}
+	return e.now
+}

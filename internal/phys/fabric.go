@@ -7,6 +7,14 @@ import "fmt"
 // announcement payload (see rostering.LinkState).
 const MaxSwitches = 8
 
+// MaxNodes bounds the node count of any fabric: MicroPacket node
+// addresses are one wire byte (micropacket.NodeID), with 0xFF reserved
+// for broadcast. Beyond it node ids would alias on the wire — a fabric
+// of 1000 nodes would silently run a 255-node ring. Scaling past this
+// ceiling means widening the MicroPacket address space (tracked in
+// ROADMAP.md), not a bigger topology.
+const MaxNodes = 255
+
 // Topology declaratively describes a fabric: which switches exist, which
 // node attaches to which switch, and which switches are joined by
 // inter-switch trunks. The zero Attached function means "every node to
@@ -52,6 +60,10 @@ func (t *Topology) Validate() error {
 	if t.Switches > MaxSwitches {
 		return fmt.Errorf("phys: topology %q has %d switches; the rostering link-state mask allows at most %d",
 			t.Name, t.Switches, MaxSwitches)
+	}
+	if t.Nodes > MaxNodes {
+		return fmt.Errorf("phys: topology %q has %d nodes; the one-byte MicroPacket address space allows at most %d",
+			t.Name, t.Nodes, MaxNodes)
 	}
 	for i, tr := range t.Trunks {
 		if tr.A < 0 || tr.A >= t.Switches || tr.B < 0 || tr.B >= t.Switches {

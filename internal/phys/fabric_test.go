@@ -101,7 +101,7 @@ func TestBuildFabricTrunks(t *testing.T) {
 		t.Fatal("sharded attachment wrong for node 0")
 	}
 	var events []int
-	c.WatchTrunks(func(tr int, up bool) { events = append(events, tr) })
+	c.WatchTrunks(net.K, func(tr int, up bool) { events = append(events, tr) })
 	c.FailTrunk(1)
 	net.K.RunUntil(net.K.Now() + 2*DefaultDetect)
 	if c.TrunkUp(1) || len(events) != 1 || events[0] != 1 {

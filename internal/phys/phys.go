@@ -75,10 +75,35 @@ type Handler func(p *Port, f Frame)
 // up=false on loss of light, up=true when light returns.
 type StatusHandler func(p *Port, up bool)
 
+// RemoteExchange carries frames between the Nets of a sharded fabric.
+// When a port transmits to a peer owned by a different Net (a split
+// link: the cross-shard fibers of internal/parsim), the frame is not
+// delivered by a local kernel event; it is handed to the sender Net's
+// exchange with its precise arrival time, and the engine injects it
+// into the receiving shard's kernel at a window barrier. Conservative
+// lookahead guarantees arrival is always beyond the current window, so
+// the handoff never reorders anything.
+type RemoteExchange interface {
+	// RemoteFrame ships f from src to dst (a port of another Net)
+	// arriving at the absolute virtual time arrival. link/epoch are
+	// the sending link and its epoch at transmit start; the receiver
+	// re-checks them at arrival exactly as a local delivery would, and
+	// schedules the arrival under src's wire key (transmit start, port
+	// identity) so same-instant ordering matches the serial engine.
+	RemoteFrame(src, dst *Port, f Frame, link *Link, epoch uint64, arrival sim.Time)
+}
+
 // Net is a collection of ports and links sharing one simulation kernel
 // and one set of PHY parameters.
 type Net struct {
 	K *sim.Kernel
+
+	// Shard identifies this Net's shard in a sharded fabric (0 when
+	// the whole fabric shares one Net). Remote, when set, receives
+	// frames transmitted to ports of other Nets; without it such a
+	// transmit panics (a split link needs an engine behind it).
+	Shard  int
+	Remote RemoteExchange
 
 	// IFG is the inter-frame gap in bytes added after every frame.
 	IFG int
@@ -127,7 +152,8 @@ type Port struct {
 	Name string
 	net  *Net
 	link *Link
-	end  int // 0 or 1: which end of link
+	end  int    // 0 or 1: which end of link
+	uid  uint32 // stable identity hash of Name; wire-order tie-break
 
 	onFrame  Handler
 	onStatus StatusHandler
@@ -144,10 +170,24 @@ type Port struct {
 // NewPort creates an unconnected port. handler may be nil (frames are
 // then counted but discarded); use SetHandler to attach later.
 func (n *Net) NewPort(name string, handler Handler) *Port {
-	p := &Port{Name: name, net: n, onFrame: handler, cap: n.FIFOCap}
+	p := &Port{Name: name, net: n, onFrame: handler, cap: n.FIFOCap, uid: nameHash(name)}
 	n.ports = append(n.ports, p)
 	return p
 }
+
+// nameHash is FNV-1a over the port name: an engine-independent port
+// identity (the serial and sharded builders create ports in different
+// orders, but with identical names).
+func nameHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// UID returns the port's stable identity hash.
+func (p *Port) UID() uint32 { return p.uid }
 
 // SetHandler attaches the frame delivery callback.
 func (p *Port) SetHandler(h Handler) { p.onFrame = h }
@@ -162,6 +202,9 @@ func (p *Port) SetTxDone(h func()) { p.onTxDone = h }
 
 // Connected reports whether the port is attached to a link.
 func (p *Port) Connected() bool { return p.link != nil }
+
+// Net returns the Net (and thereby the shard kernel) owning this port.
+func (p *Port) Net() *Net { return p.net }
 
 // Up reports whether the port's link exists and carries light.
 func (p *Port) Up() bool { return p.link != nil && p.link.up }
@@ -245,32 +288,28 @@ func (p *Port) startTx() {
 	ser := SerTime(f.Wire + p.net.IFG)
 	link := p.link
 	epoch := link.epoch
-	// Delivery at tx end + propagation, if the link survives.
-	p.net.K.After(ser+link.prop, func() {
-		if link.epoch != epoch || !link.up {
-			p.net.Lost.Inc()
-			return
+	dst := link.ports[1-p.end]
+	txAt := p.net.K.Now()
+	if dst.net != p.net {
+		// Split link: the peer lives on another shard's Net. Hand the
+		// frame to the exchange with its exact arrival time; the engine
+		// injects it into the receiving kernel at a window barrier
+		// (always before arrival, by the lookahead bound).
+		if p.net.Remote == nil {
+			panic(fmt.Sprintf("phys: port %s transmits across Nets without a RemoteExchange", p.Name))
 		}
-		dst := link.ports[1-p.end]
-		if p.net.DeepPHY {
-			pkt, ok := p.net.deepPath(f)
-			if !ok {
-				p.net.CRCDrops.Inc()
-				return
-			}
-			hops := f.Hops
-			f = NewFrame(pkt)
-			f.Hops = hops
-		}
-		dst.Received++
-		p.net.Delivered.Inc()
-		if dst.onFrame != nil {
-			dst.onFrame(dst, f)
-		}
-	})
-	// Transmitter frees at tx end. A link failure bumps the epoch and
-	// clears the FIFO, so a stale completion must not pop the new queue.
-	p.net.K.After(ser, func() {
+		p.net.Remote.RemoteFrame(p, dst, f, link, epoch, txAt+ser+link.prop)
+	} else {
+		// Delivery at tx end + propagation, if the link survives. The
+		// event carries the wire key (transmit start, port identity):
+		// same-instant arrivals order by when their bits hit the fiber
+		// on every engine, not by scheduler bookkeeping.
+		p.net.K.AtPri(txAt+ser+link.prop, txAt, p.uid, func() { dst.net.CompleteDelivery(dst, f, link, epoch) })
+	}
+	// Transmitter frees at tx end, under the same wire key. A link
+	// failure bumps the epoch and clears the FIFO, so a stale
+	// completion must not pop the new queue.
+	p.net.K.AtPri(txAt+ser, txAt, p.uid, func() {
 		if link.epoch != epoch {
 			return
 		}
@@ -281,6 +320,34 @@ func (p *Port) startTx() {
 			p.onTxDone()
 		}
 	})
+}
+
+// CompleteDelivery is the receive side of a frame's flight: it runs at
+// the frame's arrival time on the destination port's Net, re-checks
+// that the link survived, applies the DeepPHY datapath, and hands the
+// frame to the port's handler. Local deliveries and cross-shard
+// injections share this path, so a split link delivers byte-for-byte
+// what a local one would.
+func (n *Net) CompleteDelivery(dst *Port, f Frame, link *Link, epoch uint64) {
+	if link.epoch != epoch || !link.up {
+		n.Lost.Inc()
+		return
+	}
+	if n.DeepPHY {
+		pkt, ok := n.deepPath(f)
+		if !ok {
+			n.CRCDrops.Inc()
+			return
+		}
+		hops := f.Hops
+		f = NewFrame(pkt)
+		f.Hops = hops
+	}
+	dst.Received++
+	n.Delivered.Inc()
+	if dst.onFrame != nil {
+		dst.onFrame(dst, f)
+	}
 }
 
 // deepPath runs a frame through the real transmit and receive datapath:
@@ -304,6 +371,15 @@ func (n *Net) deepPath(f Frame) (*micropacket.Packet, bool) {
 	return pkt, true
 }
 
+// statusWatcher is a fabric-level observer of a link's light, bound to
+// the kernel it must be notified on (its shard's kernel in a sharded
+// fabric). Watchers fire after the same detection latency as port
+// status handlers.
+type statusWatcher struct {
+	k  *sim.Kernel
+	fn func(up bool)
+}
+
 // Link is a bidirectional fiber between two ports.
 type Link struct {
 	ports  [2]*Port
@@ -312,10 +388,15 @@ type Link struct {
 	epoch  uint64 // incremented on every failure, invalidating in-flight frames
 	net    *Net
 	Meters float64
+
+	watchers []statusWatcher
 }
 
 // Connect joins two ports with meters of fiber. Both ports must be
-// unconnected.
+// unconnected. The ports may belong to different Nets (a split link of
+// a sharded fabric); the link is then registered with both Nets, and
+// state flips (Fail/Restore) must only happen while both shards are
+// parked on a window barrier.
 func (n *Net) Connect(a, b *Port, meters float64) *Link {
 	if a.link != nil || b.link != nil {
 		panic(fmt.Sprintf("phys: port already connected (%s / %s)", a.Name, b.Name))
@@ -324,7 +405,17 @@ func (n *Net) Connect(a, b *Port, meters float64) *Link {
 	a.link, a.end = l, 0
 	b.link, b.end = l, 1
 	n.links = append(n.links, l)
+	if b.net != n {
+		b.net.links = append(b.net.links, l)
+	}
 	return l
+}
+
+// Watch registers a status observer fired on kernel k after the
+// detection latency whenever the link's light changes. The rostering
+// layer uses it to sense trunk failures from every shard.
+func (l *Link) Watch(k *sim.Kernel, fn func(up bool)) {
+	l.watchers = append(l.watchers, statusWatcher{k: k, fn: fn})
 }
 
 // Up reports whether the link carries light.
@@ -345,13 +436,29 @@ func (l *Link) Fail() {
 		p.fifo = nil
 		p.txBusy = false
 	}
-	l.net.K.After(l.net.Detect, func() {
-		for _, p := range l.ports {
+	l.notify(false)
+}
+
+// notify schedules the loss/return-of-light observations: each port's
+// status handler on that port's own kernel, then every fabric watcher
+// on its registered kernel — all after the detection latency. On a
+// single-Net fabric every event lands on the same kernel with
+// consecutive sequence numbers, which is exactly the historical
+// ordering; on a sharded fabric each shard senses the change on its own
+// kernel at the same virtual instant.
+func (l *Link) notify(up bool) {
+	for _, p := range l.ports {
+		p := p
+		p.net.K.After(p.net.Detect, func() {
 			if p.onStatus != nil {
-				p.onStatus(p, false)
+				p.onStatus(p, up)
 			}
-		}
-	})
+		})
+	}
+	for _, w := range l.watchers {
+		w := w
+		w.k.After(l.net.Detect, func() { w.fn(up) })
+	}
 }
 
 // Restore re-lights the fiber; ports observe light after the detection
@@ -361,13 +468,7 @@ func (l *Link) Restore() {
 		return
 	}
 	l.up = true
-	l.net.K.After(l.net.Detect, func() {
-		for _, p := range l.ports {
-			if p.onStatus != nil {
-				p.onStatus(p, true)
-			}
-		}
-	})
+	l.notify(true)
 }
 
 // Links returns all links (for failure-injection sweeps).

@@ -1,0 +1,110 @@
+package phys
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Assignment partitions a fabric for parallel simulation: every switch
+// and every node is owned by exactly one shard, and each shard runs its
+// components on a private kernel. The partition is a pure function of
+// the topology and the shard count, so two runs (and two machines)
+// always shard identically — a prerequisite for reproducible parallel
+// results.
+type Assignment struct {
+	Shards      int
+	SwitchShard []int // switch id → owning shard
+	NodeShard   []int // node id → owning shard
+}
+
+// AssignShards computes the canonical shard assignment for topo:
+// switches are block-partitioned in index order (shard i owns switches
+// [i·S/K, (i+1)·S/K)); a node whose attachments all land on one shard
+// belongs to that shard (the sharded multi-ring case — a node lives
+// with its switch), and a node attached across shards (the paper's
+// uniform segment, where every node sees every switch) is
+// block-partitioned by node index.
+func AssignShards(topo *Topology, shards int) (*Assignment, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("phys: %d shards; need at least 1", shards)
+	}
+	if shards > topo.Switches {
+		return nil, fmt.Errorf("phys: %d shards over %d switches; a shard must own at least one switch",
+			shards, topo.Switches)
+	}
+	a := &Assignment{
+		Shards:      shards,
+		SwitchShard: make([]int, topo.Switches),
+		NodeShard:   make([]int, topo.Nodes),
+	}
+	for s := 0; s < topo.Switches; s++ {
+		a.SwitchShard[s] = s * shards / topo.Switches
+	}
+	for n := 0; n < topo.Nodes; n++ {
+		home, uniform := -1, true
+		for s := 0; s < topo.Switches; s++ {
+			if !topo.IsAttached(n, s) {
+				continue
+			}
+			if home < 0 {
+				home = a.SwitchShard[s]
+			} else if a.SwitchShard[s] != home {
+				uniform = false
+			}
+		}
+		if uniform && home >= 0 {
+			a.NodeShard[n] = home
+		} else {
+			a.NodeShard[n] = n * shards / topo.Nodes
+		}
+	}
+	return a, nil
+}
+
+// Lookahead returns the fabric's conservative lookahead under assign:
+// the minimum propagation delay over every link whose endpoints live on
+// different shards. Any influence one shard exerts on another needs at
+// least one cross-shard flight, so shards may run a full lookahead
+// window apart without ever reordering a delivery. An error is
+// returned when some cross-shard fiber is so short its propagation
+// rounds to zero — such a fabric has no exploitable lookahead.
+func Lookahead(topo *Topology, assign *Assignment) (sim.Time, error) {
+	min := sim.MaxTime
+	consider := func(meters float64, what string) error {
+		p := PropTime(meters)
+		if p <= 0 {
+			return fmt.Errorf("phys: cross-shard %s has zero propagation delay (%.1f m of fiber); no lookahead", what, meters)
+		}
+		if p < min {
+			min = p
+		}
+		return nil
+	}
+	for n := 0; n < topo.Nodes; n++ {
+		for s := 0; s < topo.Switches; s++ {
+			if topo.IsAttached(n, s) && assign.NodeShard[n] != assign.SwitchShard[s] {
+				if err := consider(topo.FiberM, fmt.Sprintf("link n%d-s%d", n, s)); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	for i, tr := range topo.Trunks {
+		if assign.SwitchShard[tr.A] != assign.SwitchShard[tr.B] {
+			fiber := tr.FiberM
+			if fiber == 0 {
+				fiber = topo.FiberM
+			}
+			if err := consider(fiber, fmt.Sprintf("trunk %d", i)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if min == sim.MaxTime {
+		// Nothing crosses shards: the partition is fully decoupled and
+		// any window length is safe.
+		return sim.MaxTime, nil
+	}
+	return min, nil
+}

@@ -1,6 +1,10 @@
 package phys
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // Cluster is a built fabric: the paper's redundant switched topology
 // (slides 14–15) generalized to declarative Topology shapes. Every node
@@ -21,7 +25,14 @@ type Cluster struct {
 	// Trunks are the built inter-switch trunks, in TrunkSpec order.
 	Trunks []*Trunk
 
-	trunkWatch []func(trunk int, up bool)
+	// Assign is the shard assignment of a sharded fabric (nil when the
+	// whole fabric runs on one kernel). RouteSink, set by the parallel
+	// engine, receives crossbar programming aimed at a switch owned by
+	// another shard; it is applied at the next window barrier, which is
+	// always before any frame that needs the route can arrive (the
+	// frame has at least one full cross-shard flight ahead of it).
+	Assign    *Assignment
+	RouteSink func(srcShard int, apply func())
 }
 
 // Trunk is one built switch-to-switch fiber.
@@ -45,30 +56,63 @@ func BuildCluster(net *Net, nodes, switches int, fiberM float64) *Cluster {
 	return c
 }
 
-// BuildFabric builds a declarative Topology: switches, node ports and
-// links for every attachment, and trunk ports and fibers for every
-// TrunkSpec. Node-side handlers are attached afterwards by the MAC
-// layer.
+// BuildFabric builds a declarative Topology on one Net: switches, node
+// ports and links for every attachment, and trunk ports and fibers for
+// every TrunkSpec. Node-side handlers are attached afterwards by the
+// MAC layer. It is exactly the one-shard case of BuildFabricSharded —
+// a single builder, so the serial and sharded fabrics cannot drift.
 func BuildFabric(net *Net, topo Topology) (*Cluster, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cluster{Net: net, Topo: topo}
+	assign, err := AssignShards(&topo, 1)
+	if err != nil {
+		return nil, err
+	}
+	c, err := BuildFabricSharded([]*Net{net}, topo, assign)
+	if err != nil {
+		return nil, err
+	}
+	// A one-shard fabric is not sharded: no assignment means every
+	// Program call applies synchronously and ShardOf* report 0.
+	c.Assign = nil
+	return c, nil
+}
+
+// BuildFabricSharded builds topo with its components spread over the
+// Nets of assign's shards: every switch, its ports and its trunk ends
+// live on the owning shard's Net; a node's ports live on the node's
+// shard. A link whose endpoints land on different shards is a split
+// link — it is driven through the Nets' RemoteExchange and may only
+// change state at window barriers. Node-side handlers are attached
+// afterwards by the MAC layer, exactly as with BuildFabric.
+func BuildFabricSharded(nets []*Net, topo Topology, assign *Assignment) (*Cluster, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nets) != assign.Shards {
+		return nil, fmt.Errorf("phys: %d Nets for %d shards", len(nets), assign.Shards)
+	}
+	for i, n := range nets {
+		n.Shard = i
+	}
+	c := &Cluster{Net: nets[0], Topo: topo, Assign: assign}
 	for s := 0; s < topo.Switches; s++ {
-		c.Switches = append(c.Switches, net.NewSwitch(fmt.Sprintf("sw%d", s), topo.Nodes))
+		c.Switches = append(c.Switches, nets[assign.SwitchShard[s]].NewSwitch(fmt.Sprintf("sw%d", s), topo.Nodes))
 	}
 	c.NodePorts = make([][]*Port, topo.Nodes)
 	c.NodeLinks = make([][]*Link, topo.Nodes)
 	for n := 0; n < topo.Nodes; n++ {
 		c.NodePorts[n] = make([]*Port, topo.Switches)
 		c.NodeLinks[n] = make([]*Link, topo.Switches)
+		nodeNet := nets[assign.NodeShard[n]]
 		for s := 0; s < topo.Switches; s++ {
 			if !topo.IsAttached(n, s) {
 				continue
 			}
-			p := net.NewPort(fmt.Sprintf("n%d.s%d", n, s), nil)
+			p := nodeNet.NewPort(fmt.Sprintf("n%d.s%d", n, s), nil)
 			c.NodePorts[n][s] = p
-			c.NodeLinks[n][s] = net.Connect(p, c.Switches[s].Port(n), topo.FiberM)
+			c.NodeLinks[n][s] = nodeNet.Connect(p, c.Switches[s].Port(n), topo.FiberM)
 		}
 	}
 	for i, spec := range topo.Trunks {
@@ -80,20 +124,41 @@ func BuildFabric(net *Net, topo Topology) (*Cluster, error) {
 		var pa, pb *Port
 		pa, t.PortA = c.Switches[spec.A].addTrunkPort(fmt.Sprintf("t%d", i))
 		pb, t.PortB = c.Switches[spec.B].addTrunkPort(fmt.Sprintf("t%d", i))
-		t.Link = net.Connect(pa, pb, fiber)
-		// Trunk status is sensed by the adjacent switch hardware and
-		// surfaced to the rostering layer (slide 18: "network failures
-		// detected by hardware"). One side suffices: Link.Fail notifies
-		// both ends at the same instant.
-		idx := i
-		pa.SetStatusHandler(func(_ *Port, up bool) {
-			for _, w := range c.trunkWatch {
-				w(idx, up)
-			}
-		})
+		t.Link = pa.net.Connect(pa, pb, fiber)
 		c.Trunks = append(c.Trunks, t)
 	}
 	return c, nil
+}
+
+// ShardOfSwitch returns the shard owning switch s (0 when unsharded).
+func (c *Cluster) ShardOfSwitch(s int) int {
+	if c.Assign == nil {
+		return 0
+	}
+	return c.Assign.SwitchShard[s]
+}
+
+// ShardOfNode returns the shard owning node n (0 when unsharded).
+func (c *Cluster) ShardOfNode(n int) int {
+	if c.Assign == nil {
+		return 0
+	}
+	return c.Assign.NodeShard[n]
+}
+
+// Program applies a crossbar-programming closure aimed at switch sw on
+// behalf of shard srcShard. A local switch (or an unsharded fabric) is
+// programmed immediately — the historical synchronous semantics. A
+// remote switch's programming is routed through RouteSink to the next
+// window barrier: conservative lookahead guarantees the first frame
+// that could need the route is still at least one cross-shard flight
+// away, so the deferral is invisible to the simulation.
+func (c *Cluster) Program(srcShard, sw int, apply func()) {
+	if c.Assign == nil || c.Assign.SwitchShard[sw] == srcShard || c.RouteSink == nil {
+		apply()
+		return
+	}
+	c.RouteSink(srcShard, apply)
 }
 
 // NumNodes returns the node count.
@@ -137,8 +202,14 @@ func (c *Cluster) TrunkUp(t int) bool { return c.Trunks[t].Link.Up() }
 // WatchTrunks registers a callback for trunk status changes (fired
 // after the PHY detection latency, like port status). The rostering
 // agents use it to start a healing round when a trunk dies or returns.
-func (c *Cluster) WatchTrunks(fn func(trunk int, up bool)) {
-	c.trunkWatch = append(c.trunkWatch, fn)
+// k is the kernel the callback must run on — the watcher's shard kernel
+// in a sharded fabric; every shard senses the change at the same
+// virtual instant, mirroring the hardware's loss-of-light detection.
+func (c *Cluster) WatchTrunks(k *sim.Kernel, fn func(trunk int, up bool)) {
+	for _, t := range c.Trunks {
+		idx := t.Index
+		t.Link.Watch(k, func(up bool) { fn(idx, up) })
+	}
 }
 
 // LiveSwitchesBetween returns the switch indices that still have live

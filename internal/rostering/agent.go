@@ -26,6 +26,12 @@ type Agent struct {
 	Cluster *phys.Cluster
 	Station *insertion.Station
 
+	// Shard is the shard this agent's node runs on in a parallel
+	// sharded simulation (0 on the serial engine). Crossbar programming
+	// aimed at a remote shard's switch is routed through the cluster's
+	// barrier-deferred path; see phys.Cluster.Program.
+	Shard int
+
 	// SettleWindow is how long the link-state database must stay quiet
 	// before the roster is computed. The hardware's scheme paces its
 	// exploration and confirmation waves at ring-tour granularity (one
@@ -96,7 +102,7 @@ func NewAgent(k *sim.Kernel, id int, cluster *phys.Cluster, st *insertion.Statio
 	// hardware senses the dark trunk and raises the failure to the
 	// rostering layer (slide 18: "network failures detected by
 	// hardware").
-	cluster.WatchTrunks(func(_ int, _ bool) {
+	cluster.WatchTrunks(k, func(_ int, _ bool) {
 		if !a.stopped {
 			a.Trigger()
 		}
@@ -329,9 +335,13 @@ func (a *Agent) adopt() {
 				}
 			}
 			if j == 0 {
-				a.Cluster.Switches[sw].SetRoute(ingress, egress)
+				a.Cluster.Program(a.Shard, sw, func() {
+					a.Cluster.Switches[sw].SetRoute(ingress, egress)
+				})
 			} else {
-				a.Cluster.Switches[sw].SetVCRoute(ingress, uint8(a.ID), egress)
+				a.Cluster.Program(a.Shard, sw, func() {
+					a.Cluster.Switches[sw].SetVCRoute(ingress, uint8(a.ID), egress)
+				})
 			}
 		}
 		a.Station.SetEgress(via)

@@ -33,6 +33,10 @@ const MaxTime Time = math.MaxInt64
 // String renders a Time with an adaptive unit, e.g. "1.500ms".
 func (t Time) String() string {
 	switch {
+	case t == math.MinInt64:
+		// -t would overflow (there is no positive MinInt64); render the
+		// magnitude directly from the unsigned negation.
+		return fmt.Sprintf("-%.6fs", float64(uint64(1)<<63)/float64(Second))
 	case t < 0:
 		return fmt.Sprintf("-%s", (-t).String())
 	case t < Microsecond:
@@ -55,19 +59,32 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Millis returns t as a floating-point number of milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
-// event is a scheduled callback. seq breaks ties FIFO so that two events
-// scheduled for the same instant fire in scheduling order, which keeps
-// runs deterministic.
+// event is a scheduled callback. Ties at the same instant are broken
+// by the priority key (priT, priH) and then FIFO by seq, so two events
+// scheduled for the same instant fire in a deterministic order.
+//
+// Plain At/After events key priT with their scheduling time, which
+// makes (at, priT, seq) order identical to the historical (at, seq)
+// FIFO order — sequence numbers are assigned in scheduling order. The
+// key exists for the physical layer: frame deliveries carry their
+// (transmit-start time, port identity) explicitly, so that
+// same-instant arrivals are ordered by when their bits hit the fiber —
+// a property of the modeled hardware that is identical whether the
+// fabric runs on one kernel or on the sharded parallel engine, whose
+// cross-shard frames are scheduled at window barriers (with late local
+// sequence numbers) but with their true wire keys.
 //
 // Events are recycled through the kernel's free list once they fire or
 // are cancelled; gen is bumped on every recycle so that a stale Timer
 // handle can never mistake a reused event for its own.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-	idx int    // heap index, maintained by eventHeap; -1 once off the heap
-	gen uint64 // reuse generation, matched against Timer.gen
+	at   Time
+	priT Time   // primary tie-break: transmit start (0 for plain events)
+	priH uint32 // secondary tie-break: stable port identity hash
+	seq  uint64
+	fn   func()
+	idx  int    // heap index, maintained by eventHeap; -1 once off the heap
+	gen  uint64 // reuse generation, matched against Timer.gen
 }
 
 type eventHeap []*event
@@ -76,6 +93,12 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].priT != h[j].priT {
+		return h[i].priT < h[j].priT
+	}
+	if h[i].priH != h[j].priH {
+		return h[i].priH < h[j].priH
 	}
 	return h[i].seq < h[j].seq
 }
@@ -131,9 +154,9 @@ func (k *Kernel) RNG() *RNG { return k.rng }
 // removed from the heap eagerly, so this is an O(1) live count.
 func (k *Kernel) Pending() int { return len(k.events) }
 
-// schedule queues fn at absolute time t, reusing a recycled event when
-// one is available.
-func (k *Kernel) schedule(t Time, fn func()) *event {
+// schedule queues fn at absolute time t with tie-break key (priT,
+// priH), reusing a recycled event when one is available.
+func (k *Kernel) schedule(t Time, priT Time, priH uint32, fn func()) *event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 	}
@@ -142,9 +165,9 @@ func (k *Kernel) schedule(t Time, fn func()) *event {
 		e = k.free[n-1]
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
-		e.at, e.seq, e.fn = t, k.seq, fn
+		e.at, e.priT, e.priH, e.seq, e.fn = t, priT, priH, k.seq, fn
 	} else {
-		e = &event{at: t, seq: k.seq, fn: fn}
+		e = &event{at: t, priT: priT, priH: priH, seq: k.seq, fn: fn}
 	}
 	k.seq++
 	heap.Push(&k.events, e)
@@ -162,7 +185,19 @@ func (k *Kernel) recycle(e *event) {
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it indicates a model bug that would break causality.
 func (k *Kernel) At(t Time, fn func()) *Timer {
-	e := k.schedule(t, fn)
+	e := k.schedule(t, k.now, 0, fn)
+	return &Timer{k: k, e: e, gen: e.gen, fn: fn}
+}
+
+// AtPri schedules fn at absolute time t with an explicit same-instant
+// tie-break key: events at equal t run in ascending (priT, priH, FIFO)
+// order. Plain At/After events carry (scheduling time, 0), so an
+// explicit key slots into the same-instant order exactly where an
+// event scheduled at priT would have — the physical layer uses this to
+// key frame deliveries by transmit start and port identity, keeping
+// the order engine-independent.
+func (k *Kernel) AtPri(t, priT Time, priH uint32, fn func()) *Timer {
+	e := k.schedule(t, priT, priH, fn)
 	return &Timer{k: k, e: e, gen: e.gen, fn: fn}
 }
 
@@ -206,6 +241,31 @@ func (k *Kernel) RunUntil(deadline Time) Time {
 		k.now = deadline
 	}
 	return k.now
+}
+
+// NextEventTime returns the time of the earliest pending event, or
+// (MaxTime, false) when the queue is empty. The parallel engine uses it
+// to skip dead time between lookahead windows.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if len(k.events) == 0 {
+		return MaxTime, false
+	}
+	return k.events[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// It panics if an event is still pending before t — advancing over it
+// would break causality. The parallel engine uses it to line every
+// shard's clock up on a window boundary before injecting cross-shard
+// work at that instant.
+func (k *Kernel) AdvanceTo(t Time) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: AdvanceTo %v before now %v", t, k.now))
+	}
+	if len(k.events) > 0 && k.events[0].at < t {
+		panic(fmt.Sprintf("sim: AdvanceTo %v over pending event at %v", t, k.events[0].at))
+	}
+	k.now = t
 }
 
 // Step executes exactly one pending event and returns true, or returns
@@ -266,6 +326,6 @@ func (t *Timer) Reset(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	e := t.k.schedule(t.k.now+d, t.fn)
+	e := t.k.schedule(t.k.now+d, t.k.now, 0, t.fn)
 	t.e, t.gen = e, e.gen
 }

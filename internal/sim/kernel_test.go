@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -195,11 +196,16 @@ func TestTimeString(t *testing.T) {
 		t    Time
 		want string
 	}{
+		{0, "0ns"},
 		{500, "500ns"},
 		{1500, "1.500µs"},
 		{2500000, "2.500ms"},
 		{3 * Second, "3.000000s"},
 		{-500, "-500ns"},
+		{MaxTime, "9223372036.854776s"},
+		// MinInt64 has no positive negation; the historical t < 0
+		// branch overflowed on it.
+		{Time(math.MinInt64), "-9223372036.854776s"},
 	}
 	for _, c := range cases {
 		if got := c.t.String(); got != c.want {

@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -54,23 +55,27 @@ type Event struct {
 	Text string // human-readable detail
 }
 
-// Tracer accumulates events from one cluster.
+// Tracer accumulates events from one cluster. Events are buffered per
+// observing node — each node's hooks fire on that node's kernel, so
+// the buffers are single-writer even on the parallel sharded engine —
+// and merged into one (time, node)-ordered timeline on read.
 type Tracer struct {
-	c      *core.Cluster
-	events []Event
-	// Cap bounds memory; older events are discarded FIFO. 0 = unbounded.
+	c       *core.Cluster
+	perNode [][]Event
+	// Cap bounds memory per observing node; older events are discarded
+	// FIFO. 0 = unbounded.
 	Cap int
 }
 
 // Attach installs a tracer on every node of the cluster, chaining the
 // hooks already present.
 func Attach(c *core.Cluster) *Tracer {
-	t := &Tracer{c: c}
+	t := &Tracer{c: c, perNode: make([][]Event, len(c.Nodes))}
 	for i, nd := range c.Nodes {
 		i, nd := i, nd
 		prevRoster := nd.OnRoster
 		nd.OnRoster = func(r *rostering.Roster) {
-			t.add(Event{At: c.Now(), Kind: KindRoster, Node: i, Arg: r.Size(),
+			t.add(Event{At: nd.K.Now(), Kind: KindRoster, Node: i, Arg: r.Size(),
 				Text: r.String()})
 			if prevRoster != nil {
 				prevRoster(r)
@@ -78,7 +83,7 @@ func Attach(c *core.Cluster) *Tracer {
 		}
 		prevOnline := nd.OnOnline
 		nd.OnOnline = func() {
-			t.add(Event{At: c.Now(), Kind: KindOnline, Node: i})
+			t.add(Event{At: nd.K.Now(), Kind: KindOnline, Node: i})
 			if prevOnline != nil {
 				prevOnline()
 			}
@@ -93,7 +98,7 @@ func Attach(c *core.Cluster) *Tracer {
 		}
 		prevUp := nd.OnPeerUp
 		nd.OnPeerUp = func(id int) {
-			t.add(Event{At: c.Now(), Kind: KindPeerUp, Node: i, Arg: id,
+			t.add(Event{At: nd.K.Now(), Kind: KindPeerUp, Node: i, Arg: id,
 				Text: fmt.Sprintf("node %d seen alive by node %d", id, i)})
 			if prevUp != nil {
 				prevUp(id)
@@ -104,30 +109,52 @@ func Attach(c *core.Cluster) *Tracer {
 }
 
 func (t *Tracer) add(e Event) {
-	if t.Cap > 0 && len(t.events) >= t.Cap {
-		copy(t.events, t.events[1:])
-		t.events = t.events[:len(t.events)-1]
+	n := e.Node
+	if t.Cap > 0 && len(t.perNode[n]) >= t.Cap {
+		copy(t.perNode[n], t.perNode[n][1:])
+		t.perNode[n] = t.perNode[n][:len(t.perNode[n])-1]
 	}
-	t.events = append(t.events, e)
+	t.perNode[n] = append(t.perNode[n], e)
 }
 
 // NoteTakeover records a failover takeover; callers wire it from their
 // group's OnTakeover hooks (the tracer cannot see group registration).
 func (t *Tracer) NoteTakeover(node int, group uint8) {
-	t.add(Event{At: t.c.Now(), Kind: KindTakeover, Node: node, Arg: int(group),
+	// Stamped with the observing node's clock: takeover hooks fire on
+	// that node's kernel (its shard under the parallel engine).
+	t.add(Event{At: t.c.Nodes[node].K.Now(), Kind: KindTakeover, Node: node, Arg: int(group),
 		Text: fmt.Sprintf("node %d takes control of group %d", node, group)})
 }
 
-// Events returns the accumulated timeline.
-func (t *Tracer) Events() []Event { return t.events }
+// Events returns the accumulated timeline, merged across nodes in
+// (time, node) order — deterministic on both engines. Call it (or any
+// reader built on it) only while the simulation is parked: between
+// Run/Wait calls, or after Scenario.Run returns.
+func (t *Tracer) Events() []Event {
+	// Rebuilt on every call rather than cached: add runs on shard
+	// kernels under the parallel engine, and the per-node buffers are
+	// the only state it may touch (single-writer; a shared cache
+	// invalidation would be a data race).
+	var out []Event
+	for _, evs := range t.perNode {
+		out = append(out, evs...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].At != out[b].At {
+			return out[a].At < out[b].At
+		}
+		return out[a].Node < out[b].Node
+	})
+	return out
+}
 
 // Filter returns events of the given kinds (all if none given).
 func (t *Tracer) Filter(kinds ...Kind) []Event {
 	if len(kinds) == 0 {
-		return t.events
+		return t.Events()
 	}
 	var out []Event
-	for _, e := range t.events {
+	for _, e := range t.Events() {
 		for _, k := range kinds {
 			if e.Kind == k {
 				out = append(out, e)
@@ -185,6 +212,6 @@ func (t *Tracer) Fprint(w io.Writer, events []Event) {
 // String renders the full deduplicated timeline.
 func (t *Tracer) String() string {
 	var b strings.Builder
-	t.Fprint(&b, Dedup(t.events))
+	t.Fprint(&b, Dedup(t.Events()))
 	return b.String()
 }

@@ -79,14 +79,18 @@ func TestCapBoundsMemory(t *testing.T) {
 	c := core.New(core.Options{Nodes: 2, Switches: 2})
 	tr := Attach(c)
 	tr.Cap = 5
+	// Cap bounds each observing node's buffer (buffers are per-node so
+	// shard kernels never share one): 20 events over 2 nodes keep 5
+	// newest per node.
 	for i := 0; i < 20; i++ {
-		tr.add(Event{Kind: KindOnline, Node: i})
+		tr.add(Event{At: sim.Time(i), Kind: KindOnline, Node: i % 2, Arg: i})
 	}
-	if len(tr.Events()) != 5 {
-		t.Fatalf("cap not enforced: %d", len(tr.Events()))
+	evs := tr.Events()
+	if len(evs) != 10 {
+		t.Fatalf("cap not enforced: %d", len(evs))
 	}
-	if tr.Events()[4].Node != 19 {
-		t.Fatal("newest event not retained")
+	if evs[len(evs)-1].Arg != 19 {
+		t.Fatalf("newest event not retained: %+v", evs[len(evs)-1])
 	}
 }
 
