@@ -71,6 +71,7 @@ import (
 	"repro/internal/netcache"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Cluster is a bootable AmpNet network; see core.Cluster.
@@ -205,6 +206,22 @@ type NodeID = micropacket.NodeID
 
 // Broadcast is the all-nodes destination.
 const Broadcast = micropacket.Broadcast
+
+// WireVersion selects a MicroPacket wire-format version via
+// Options.Wire (or phys.Topology.Wire): WireV1 is the historical
+// one-byte-address format (≤255 nodes), WireV2 carries uint16
+// addresses (≤65535 nodes). The zero value auto-selects the smallest
+// version that fits the fabric.
+type WireVersion = wire.Version
+
+// The registered wire-format versions.
+const (
+	WireV1 = wire.V1
+	WireV2 = wire.V2
+)
+
+// ParseWireVersion resolves "v1"/"v2"/"auto" flag values.
+func ParseWireVersion(s string) (WireVersion, error) { return wire.Parse(s) }
 
 // Node is one AmpNet node (kernel + NIC model).
 type Node = ampdk.Node

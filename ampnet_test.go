@@ -169,8 +169,11 @@ func TestAddressHelpers(t *testing.T) {
 	if ampnetpkg.NodeToIP(0).String() != "10.77.0.1" {
 		t.Fatal("NodeToIP")
 	}
-	if ampnetpkg.Broadcast != 0xFF {
+	if ampnetpkg.Broadcast != 0xFFFF {
 		t.Fatal("Broadcast constant")
+	}
+	if ampnetpkg.NodeToIP(300).String() != "10.77.1.45" {
+		t.Fatal("NodeToIP past the one-byte host space")
 	}
 }
 
@@ -190,5 +193,18 @@ func TestDeterministicRuns(t *testing.T) {
 	f2, r2 := run()
 	if f1 != f2 || r1 != r2 {
 		t.Fatalf("nondeterministic: %d/%d events, rosters %q vs %q", f1, f2, r1, r2)
+	}
+}
+
+func TestNodeToIPRange(t *testing.T) {
+	// Out-of-range ids must not alias into valid addresses, and the
+	// subnet's broadcast host (10.77.255.255) is never assigned.
+	for _, bad := range []int{-1, 65534, 65535, 1 << 20} {
+		if a := ampnetpkg.NodeToIP(bad); a != 0 {
+			t.Fatalf("NodeToIP(%d) = %v, want zero Addr", bad, a)
+		}
+	}
+	if ampnetpkg.NodeToIP(65533).String() != "10.77.255.254" {
+		t.Fatalf("top addressable node: %v", ampnetpkg.NodeToIP(65533))
 	}
 }

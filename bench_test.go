@@ -16,6 +16,7 @@ import (
 	"repro/internal/netcache"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // --- E1/E2: MicroPacket codec ---
@@ -24,11 +25,11 @@ func BenchmarkE1MicroPacketCodec(b *testing.B) {
 	p := micropacket.NewData(1, 2, 3, []byte{1, 2, 3, 4, 5, 6, 7, 8})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		raw, err := p.Encode()
+		raw, err := wire.Encode(wire.V1, p)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := micropacket.Decode(raw); err != nil {
+		if _, _, err := wire.Decode(raw); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -37,13 +38,13 @@ func BenchmarkE1MicroPacketCodec(b *testing.B) {
 func BenchmarkE2WireFormatsVariable(b *testing.B) {
 	data := make([]byte, 64)
 	p := micropacket.NewDMA(1, 2, micropacket.DMAHeader{Channel: 3}, data)
-	b.SetBytes(int64(micropacket.WireSize(micropacket.TypeDMA, 64)))
+	b.SetBytes(int64(wire.Size(wire.V1, micropacket.TypeDMA, 64)))
 	for i := 0; i < b.N; i++ {
-		raw, err := p.Encode()
+		raw, err := wire.Encode(wire.V1, p)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := micropacket.Decode(raw); err != nil {
+		if _, _, err := wire.Decode(raw); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -234,9 +235,9 @@ func BenchmarkE12AmpIPCollectives(b *testing.B) {
 // given shard count and reports virtual-events-per-second economics:
 // ns/event is the number that must not regress, and comparing the
 // Serial and Sharded variants of one size gives the machine's speedup.
-// Node counts stop at 248 — the ceiling of the one-byte MicroPacket
-// address space (phys.MaxNodes); scaling past it means widening the
-// wire format (see ROADMAP.md).
+// Node counts here stop at 248 — the ceiling of the wire v1 address
+// space these scenarios run under; the v2 sizes beyond it are the
+// BenchmarkE15* pair below.
 func benchParsim(b *testing.B, nodes, shards int) {
 	topo := phys.Sharded(8, nodes/8, 1, 50)
 	for i := range topo.Trunks {
@@ -280,11 +281,48 @@ func BenchmarkE14ParsimSharded64(b *testing.B)  { benchParsim(b, 64, 8) }
 func BenchmarkE14ParsimSerial128(b *testing.B)  { benchParsim(b, 128, 1) }
 func BenchmarkE14ParsimSharded128(b *testing.B) { benchParsim(b, 128, 8) }
 
-// The 248-node pair is the address-space ceiling: heavyweight (tens of
-// seconds per iteration), for on-demand speedup measurements rather
-// than the CI guard.
+// The 248-node pair is the v1 address-space ceiling: heavyweight
+// (tens of seconds per iteration), for on-demand speedup measurements
+// rather than the CI guard.
 func BenchmarkE14ParsimSerial248(b *testing.B)  { benchParsim(b, 248, 1) }
 func BenchmarkE14ParsimSharded248(b *testing.B) { benchParsim(b, 248, 8) }
+
+// --- E15: scaling past 255 nodes (wire v2, internal/wire) ---
+
+// benchWireScale is the E15 economics benchmark: it times exactly
+// experiments.E15Scenario (512 nodes over 8 rings, crash+reboot,
+// Poisson pub-sub, liveness cadences retuned for scale) under the
+// uint16-address wire format. Like the 248-node E14 pair it is
+// heavyweight and excluded from the CI bench guard; its baseline
+// entries record the on-demand serial-vs-sharded speedup at a size
+// wire v1 cannot address at all.
+func benchWireScale(b *testing.B, nodes, shards int) {
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cl *core.Cluster
+		sc := experiments.E15Scenario(nodes, 1, shards)
+		prev := sc.OnCluster
+		sc.OnCluster = func(c *core.Cluster) {
+			cl = c
+			prev(c)
+		}
+		rep, err := sc.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Drops), "drops")
+		events = cl.EventsFired()
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+		b.ReportMetric(float64(events), "events")
+	}
+}
+
+func BenchmarkE15WireScaleSerial512(b *testing.B)  { benchWireScale(b, 512, 1) }
+func BenchmarkE15WireScaleSharded512(b *testing.B) { benchWireScale(b, 512, 8) }
 
 // --- substrate micro-benchmarks ---
 
@@ -313,7 +351,7 @@ func BenchmarkPhysPointToPoint(b *testing.B) {
 	a := net.NewPort("a", nil)
 	p := net.NewPort("b", func(_ *phys.Port, f phys.Frame) { delivered++ })
 	net.Connect(a, p, 10)
-	f := phys.NewFrame(micropacket.NewData(1, 2, 0, nil))
+	f := net.NewFrame(micropacket.NewData(1, 2, 0, nil))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for !a.Send(f) {

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/phys"
 )
 
 func main() {
@@ -44,6 +45,19 @@ func main() {
 	csvOut := flag.String("csv", "", "sweep: write aggregate stats as CSV to this file")
 	quiet := flag.Bool("q", false, "sweep: suppress per-run progress")
 	flag.Parse()
+
+	// Surface topology-scale errors here, naming the limit, instead of
+	// letting a direct-cluster experiment panic mid-run. (Node counts
+	// past the v1 wire format's 255-node ceiling auto-select wire v2;
+	// MaxNodes is the v2 ceiling.)
+	if *nodes > phys.MaxNodes {
+		fmt.Fprintf(os.Stderr, "ampbench: -nodes %d exceeds the wire v2 address space (max %d nodes)\n", *nodes, phys.MaxNodes)
+		os.Exit(1)
+	}
+	if *switches > phys.MaxSwitches {
+		fmt.Fprintf(os.Stderr, "ampbench: -switches %d exceeds the rostering link-state mask (max %d switches)\n", *switches, phys.MaxSwitches)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, s := range experiments.All() {

@@ -47,6 +47,8 @@ func main() {
 	deep := flag.Bool("deepphy", false, "run every frame through the real 8b/10b datapath")
 	shards := flag.Int("shards", 0,
 		"run on the parallel sharded engine with this many shards (0/1 = serial; reports are byte-identical either way)")
+	wireV := flag.String("wire", "v2",
+		"MicroPacket wire-format version: v1 (one-byte addresses, ≤255 nodes), v2 (uint16 addresses, ≤65535 nodes), or auto")
 	report := flag.String("report", "", "write the deterministic scenario report JSON to this file")
 	flag.Parse()
 
@@ -64,8 +66,19 @@ func main() {
 		p = append(p, ampnet.CrashNode(vd(*failAt), *crashNode))
 	}
 
+	wv, err := ampnet.ParseWireVersion(*wireV)
+	if err != nil {
+		log.Fatal(err)
+	}
 	topo, err := ampnet.FabricByName(*fabric, *nodes, *switches, *fiber)
 	if err != nil {
+		log.Fatal(err)
+	}
+	topo.Wire = wv
+	// Validate the version choice up front so a too-small wire format
+	// is a clear error (naming the version) instead of a panic deeper
+	// in the build.
+	if err := topo.Validate(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -106,6 +119,7 @@ func main() {
 
 	fmt.Printf("t=%-12v final ring: %s\n", c.Now(), rep.Roster)
 	fmt.Printf("\nstatistics:\n")
+	fmt.Printf("  wire format         %v\n", c.WireVersion())
 	fmt.Printf("  ring size           %d\n", rep.RingSize)
 	fmt.Printf("  congestion drops    %d\n", rep.Drops)
 	fmt.Printf("  failure losses      %d (in-flight frames destroyed by cut fibers)\n", rep.Lost)

@@ -227,6 +227,10 @@ func NewNode(k *sim.Kernel, cluster *phys.Cluster, cfg Config) *Node {
 		RegionHandler: map[uint8]dma.WriteHandler{},
 	}
 	n.Station = insertion.NewStation(k, micropacket.NodeID(cfg.ID), cluster.NodePorts[cfg.ID])
+	// The hop budget tracks the fabric size: a broadcast must survive a
+	// full tour of the largest possible ring (the seed's uint8 budget
+	// silently expired broadcasts past 255 nodes).
+	n.Station.MaxHops = insertion.MaxHopsFor(cluster.NumNodes())
 	n.Agent = rostering.NewAgent(k, cfg.ID, cluster, n.Station, cfg.FiberM)
 	n.DMA = dma.NewEngine(k, n.Station)
 	n.Cache = netcache.New()
@@ -619,7 +623,10 @@ func (n *Node) Interrupt(dst micropacket.NodeID, vector uint8) bool {
 
 // --- configuration database (region 0) ---
 
-// Config DB layout: record 0 holds {magic, version, nodes, switches}.
+// Config DB layout: record 0 holds {magic(1), version(2), nodes(2),
+// switches(1), pad}. The node count is two bytes — it tracks the
+// MicroPacket address width, so a >255-node fabric's size survives the
+// record unaliased.
 var configRec = netcache.Record{Region: ConfigRegion, Off: 0, Size: 16}
 
 const configMagic = 0xA3
@@ -629,8 +636,8 @@ func (n *Node) writeConfigDB() {
 	var rec [16]byte
 	rec[0] = configMagic
 	binary.LittleEndian.PutUint16(rec[1:3], uint16(n.Cfg.Version))
-	rec[3] = byte(n.Cluster.NumNodes())
-	rec[4] = byte(n.Cluster.NumSwitches())
+	binary.LittleEndian.PutUint16(rec[3:5], uint16(n.Cluster.NumNodes()))
+	rec[5] = byte(n.Cluster.NumSwitches())
 	if err := n.CacheW.WriteRecord(configRec, rec[:]); err != nil {
 		panic(err)
 	}
@@ -653,7 +660,7 @@ func (n *Node) ReadConfigDB() NetworkInfo {
 	return NetworkInfo{
 		Founded:  true,
 		Version:  Version(binary.LittleEndian.Uint16(data[1:3])),
-		Nodes:    int(data[3]),
-		Switches: int(data[4]),
+		Nodes:    int(binary.LittleEndian.Uint16(data[3:5])),
+		Switches: int(data[5]),
 	}
 }

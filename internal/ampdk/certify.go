@@ -29,7 +29,8 @@ const (
 )
 
 // rosterRec is the "current configuration" record in the config DB:
-// {epoch(4), ringSize(1), certifierID(1), pad}.
+// {epoch(4), ringSize(2), certifierID(2)}. Ring size and certifier id
+// are two bytes each, matching the MicroPacket address width.
 var rosterRec = netcache.Record{Region: ConfigRegion, Off: 64, Size: 8}
 
 // RingConfig is the decoded current-configuration record.
@@ -48,8 +49,8 @@ func (n *Node) ReadRingConfig() (RingConfig, bool) {
 	}
 	return RingConfig{
 		Epoch:     binary.LittleEndian.Uint32(d[0:4]),
-		RingSize:  int(d[4]),
-		Certifier: int(d[5]),
+		RingSize:  int(binary.LittleEndian.Uint16(d[4:6])),
+		Certifier: int(binary.LittleEndian.Uint16(d[6:8])),
 	}, true
 }
 
@@ -129,8 +130,8 @@ func (n *Node) recordConfig() {
 	}
 	var rec [8]byte
 	binary.LittleEndian.PutUint32(rec[0:4], r.Epoch)
-	rec[4] = byte(r.Size())
-	rec[5] = byte(n.Cfg.ID)
+	binary.LittleEndian.PutUint16(rec[4:6], uint16(r.Size()))
+	binary.LittleEndian.PutUint16(rec[6:8], uint16(n.Cfg.ID))
 	// Best effort: a transient refusal is repaired by the next epoch's
 	// certification.
 	_ = n.CacheW.WriteRecord(rosterRec, rec[:])

@@ -5,8 +5,9 @@
 // communication layer (broadcast, barrier, all-reduce, all-to-all) sits
 // on top, standing in for the MPI box in slide 12's stack figure.
 //
-// Addressing: AmpNet node n is IP host 10.77.0.(n+1); the mapping is
-// static, part of the ubiquitous configuration database.
+// Addressing: AmpNet node n is IP host n+1 in 10.77.0.0/16 (node 0 →
+// 10.77.0.1); the mapping is static, part of the ubiquitous
+// configuration database, and spans the full uint16 node id space.
 package ampip
 
 import (
@@ -26,17 +27,31 @@ const (
 // Addr is an IPv4 address.
 type Addr uint32
 
-// NodeToIP maps an AmpNet node id to its IP address (10.77.0.n+1).
+// NodeToIP maps an AmpNet node id to its IP address: host part n+1 in
+// 10.77.0.0/16, so node 0 is 10.77.0.1 and node 300 is 10.77.1.45.
+// Nodes below 255 keep the historical 10.77.0.(n+1) addresses; the
+// /16 gives nodes 0..65533 an IP each. Out-of-range ids — negative,
+// past 65533 (node 65534 would land on 10.77.255.255, the subnet's
+// directed-broadcast address), or the broadcast NodeID — return the
+// zero Addr, which IPToNode rejects, rather than silently aliasing.
 func NodeToIP(node int) Addr {
-	return Addr(10<<24 | 77<<16 | 0<<8 | uint32(node+1))
+	if node < 0 || node > 0xFFFE-1 {
+		return 0
+	}
+	return Addr(10<<24 | 77<<16 | uint32(node+1))
 }
 
-// IPToNode inverts NodeToIP; ok is false for foreign addresses.
+// IPToNode inverts NodeToIP; ok is false for foreign addresses and
+// the subnet's zero and broadcast hosts.
 func IPToNode(a Addr) (int, bool) {
-	if a>>8 != (10<<16 | 77<<8) {
+	if a>>16 != (10<<8 | 77) {
 		return 0, false
 	}
-	return int(a&0xFF) - 1, true
+	host := a & 0xFFFF
+	if host == 0 || host == 0xFFFF {
+		return 0, false
+	}
+	return int(host) - 1, true
 }
 
 // String renders dotted quad.

@@ -43,7 +43,9 @@ func newRig(t *testing.T, n int) *rig {
 func (r *rig) run(d sim.Time) { r.k.RunUntil(r.k.Now() + d) }
 
 func TestAddressMapping(t *testing.T) {
-	for n := 0; n < 250; n++ {
+	// Round trip across the whole addressable space, including the
+	// ids past the one-byte ceiling.
+	for _, n := range []int{0, 1, 100, 249, 254, 255, 256, 300, 1023, 65533} {
 		ip := NodeToIP(n)
 		got, ok := IPToNode(ip)
 		if !ok || got != n {
@@ -55,6 +57,22 @@ func TestAddressMapping(t *testing.T) {
 	}
 	if NodeToIP(0).String() != "10.77.0.1" {
 		t.Fatalf("addr string = %s", NodeToIP(0))
+	}
+	if NodeToIP(300).String() != "10.77.1.45" {
+		t.Fatalf("wide addr string = %s", NodeToIP(300))
+	}
+	// Out-of-range ids return the zero Addr instead of aliasing, and
+	// the subnet's zero/broadcast hosts never map back to nodes.
+	for _, bad := range []int{-1, 65534, 65535, 1 << 20} {
+		if a := NodeToIP(bad); a != 0 {
+			t.Fatalf("NodeToIP(%d) = %v, want 0", bad, a)
+		}
+	}
+	if _, ok := IPToNode(Addr(10<<24 | 77<<16 | 0xFFFF)); ok {
+		t.Fatal("subnet broadcast host mapped to a node")
+	}
+	if _, ok := IPToNode(Addr(10<<24 | 77<<16)); ok {
+		t.Fatal("zero host mapped to a node")
 	}
 }
 

@@ -95,7 +95,7 @@ func (tr *TokenRing) Send(id int, p *micropacket.Packet) bool {
 		st.Refused++
 		return false
 	}
-	st.sendQ = append(st.sendQ, phys.NewFrame(p))
+	st.sendQ = append(st.sendQ, st.egress.Net().NewFrame(p))
 	return true
 }
 
@@ -116,7 +116,7 @@ func (st *TokenStation) acquireToken() {
 	st.K.After(st.ring.TokenHold, func() {
 		st.holding = false
 		tok := micropacket.NewDiagnostic(st.ID, micropacket.Broadcast, tokenTag)
-		st.egress.Send(phys.NewFrame(tok))
+		st.egress.Send(st.egress.Net().NewFrame(tok))
 	})
 }
 
@@ -185,7 +185,7 @@ func NewDropTailRing(k *sim.Kernel, cluster *phys.Cluster, fifoCap int) []*DropT
 
 // Send inserts immediately — no local-view check, no pacing.
 func (st *DropTailStation) Send(p *micropacket.Packet) bool {
-	if st.egress.Send(phys.NewFrame(p)) {
+	if st.egress.Send(st.egress.Net().NewFrame(p)) {
 		st.Inserted++
 		return true
 	}
@@ -308,7 +308,7 @@ func (sn *StaticNet) scheduleReconverge() {
 // Send transmits from station id around the static ring.
 func (sn *StaticNet) Send(id int, p *micropacket.Packet) bool {
 	st := sn.Stations[id]
-	if st.egress == nil || !st.egress.Send(phys.NewFrame(p)) {
+	if st.egress == nil || !st.egress.Send(st.egress.Net().NewFrame(p)) {
 		st.TxFail++
 		return false
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/failover"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Options configures a cluster. Zero values select the paper's
@@ -35,6 +36,14 @@ type Options struct {
 	Fabric *phys.Topology
 	// FiberMeters is the per-link fiber length.
 	FiberMeters float64
+	// Wire selects the MicroPacket wire-format version (internal/wire):
+	// v1 is the byte-exact historical format (one address byte, ≤255
+	// nodes), v2 widens node addresses to uint16 (≤65535 nodes). The
+	// zero value is "auto" — the smallest version that fits the fabric
+	// — so existing scenarios keep their bit-identical v1 reports and
+	// big fabrics just work. An explicit v1 on a >255-node fabric is a
+	// validation error naming the version.
+	Wire wire.Version
 	// Seed makes the whole run deterministic.
 	Seed uint64
 	// Regions adds application cache regions (id → bytes). Region 0 is
@@ -84,6 +93,9 @@ func (o *Options) fill() {
 		if o.FiberMeters == 0 {
 			o.FiberMeters = o.Fabric.FiberM
 		}
+		if o.Wire == 0 {
+			o.Wire = o.Fabric.Wire
+		}
 	}
 	if o.Nodes == 0 {
 		o.Nodes = 6
@@ -111,14 +123,19 @@ func (o *Options) fill() {
 // topology resolves the fabric to build: the declared Fabric, or the
 // paper's uniform segment shaped by Nodes and Switches.
 func (o *Options) topology() phys.Topology {
+	var t phys.Topology
 	if o.Fabric != nil {
-		t := *o.Fabric
+		t = *o.Fabric
 		if t.FiberM == 0 {
 			t.FiberM = o.FiberMeters
 		}
-		return t
+	} else {
+		t = phys.Uniform(o.Nodes, o.Switches, o.FiberMeters)
 	}
-	return phys.Uniform(o.Nodes, o.Switches, o.FiberMeters)
+	if o.Wire != 0 {
+		t.Wire = o.Wire
+	}
+	return t
 }
 
 // Cluster is a fully assembled AmpNet network.
@@ -314,6 +331,12 @@ func (c *Cluster) FabricName() string {
 		return "uniform"
 	}
 	return c.Phys.Topo.Name
+}
+
+// WireVersion returns the wire-format version the fabric runs (the
+// resolved version — never the zero "auto" value).
+func (c *Cluster) WireVersion() wire.Version {
+	return c.Phys.Topo.WireVersion()
 }
 
 // CrashNode kills a node (NIC and all); RebootNode brings it back

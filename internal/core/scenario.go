@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/rostering"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Scenario binds a cluster configuration, a declarative fault Plan and
@@ -67,6 +68,10 @@ type Report struct {
 	// trunks (0 on the uniform paper segment).
 	Fabric string `json:"fabric,omitempty"`
 	Trunks int    `json:"trunks,omitempty"`
+	// Wire names the wire-format version when the fabric runs anything
+	// newer than the original v1 format (omitted for v1, keeping the
+	// historical reports byte-identical).
+	Wire string `json:"wire,omitempty"`
 	// BootNS is when the cluster settled online; EndNS when the run
 	// (including settle) finished.
 	BootNS int64 `json:"boot_ns"`
@@ -109,6 +114,9 @@ func (r *Report) Summary() string {
 	if r.Fabric != "" && r.Fabric != "uniform" {
 		fabric = fmt.Sprintf(" (%s fabric, %d trunks)", r.Fabric, r.Trunks)
 	}
+	if r.Wire != "" {
+		fabric += fmt.Sprintf(" [wire %s]", r.Wire)
+	}
 	fmt.Fprintf(&b, "%s: %d nodes × %d switches%s, seed %d\n", name, r.Nodes, r.Switches, fabric, r.Seed)
 	fmt.Fprintf(&b, "  online after %v\n", sim.Time(r.BootNS))
 	for _, e := range r.Events {
@@ -141,12 +149,28 @@ func (r *Report) Summary() string {
 	return b.String()
 }
 
+// reportWire names the cluster's wire-format version for a Report:
+// empty for the historical v1 (so pre-versioning reports stay byte
+// identical), the version string otherwise.
+func reportWire(c *Cluster) string {
+	if v := c.WireVersion(); v != wire.V1 {
+		return v.String()
+	}
+	return ""
+}
+
 // Run executes the scenario and returns its report.
 func (s Scenario) Run() (*Report, error) {
 	// A scenario is user input end to end, so a malformed fabric is an
 	// error here, not the panic New reserves for programmatic misuse.
-	if s.Opts.Fabric != nil {
-		if err := s.Opts.Fabric.Validate(); err != nil {
+	// The resolved topology is validated — Options.Wire included — so
+	// e.g. an explicit v1 on a >255-node fabric fails with the
+	// per-version address-space error instead of panicking in New.
+	{
+		opts := s.Opts
+		opts.fill()
+		topo := opts.topology()
+		if err := topo.Validate(); err != nil {
 			return nil, err
 		}
 	}
@@ -231,6 +255,7 @@ func (s Scenario) Run() (*Report, error) {
 		Switches:  c.Opts.Switches,
 		Fabric:    c.FabricName(),
 		Trunks:    c.Phys.NumTrunks(),
+		Wire:      reportWire(c),
 		BootNS:    int64(bootNS),
 		EndNS:     int64(c.Now()),
 		RingSize:  c.RingSize(),
@@ -276,6 +301,7 @@ func (c *Cluster) Snapshot(name string, loads ...*ActiveLoad) *Report {
 		Switches:  c.Opts.Switches,
 		Fabric:    c.FabricName(),
 		Trunks:    c.Phys.NumTrunks(),
+		Wire:      reportWire(c),
 		EndNS:     int64(c.Now()),
 		RingSize:  c.RingSize(),
 		Roster:    c.Roster(),

@@ -6,10 +6,12 @@ import (
 	"repro/internal/enc8b10b"
 	"repro/internal/micropacket"
 	"repro/internal/phys"
+	"repro/internal/wire"
 )
 
 // E1TypeTable reproduces the slide-4 MicroPacket type table and
-// verifies each type round-trips through the codec.
+// verifies each type round-trips through the codec registry — under
+// every registered wire-format version.
 func E1TypeTable() *Table {
 	t := &Table{
 		ID:     "E1",
@@ -25,14 +27,18 @@ func E1TypeTable() *Table {
 		if !info.Mandatory {
 			mand = "No"
 		}
-		ok := roundTrip(info.Type)
+		ok := true
+		for _, v := range wire.Versions() {
+			ok = ok && roundTrip(v, info.Type)
+		}
 		t.Add(info.Name, length, mand, map[bool]string{true: "ok", false: "FAIL"}[ok])
 	}
 	t.Note("matches slide 4 row-for-row; D64 Atomic is the only optional type")
+	t.Note("round-trip verified under every wire-format version (v1 byte addresses, v2 uint16)")
 	return t
 }
 
-func roundTrip(ty micropacket.Type) bool {
+func roundTrip(v wire.Version, ty micropacket.Type) bool {
 	var p *micropacket.Packet
 	switch ty {
 	case micropacket.TypeRostering:
@@ -48,24 +54,26 @@ func roundTrip(ty micropacket.Type) bool {
 	case micropacket.TypeD64Atomic:
 		p = micropacket.NewAtomic(1, 2, 3, micropacket.OpFetchAdd, 42)
 	}
-	raw, err := p.Encode()
+	raw, err := wire.Encode(v, p)
 	if err != nil {
 		return false
 	}
-	q, err := micropacket.Decode(raw)
-	return err == nil && q.Type == ty
+	q, gotV, err := wire.Decode(raw)
+	return err == nil && q.Type == ty && gotV == v
 }
 
 // E2WireFormats reproduces the slide-5/6 format figures as a size
 // table: fixed = 3 payload-bearing words, variable = up to 19 words,
-// and shows serialization times at the FC gigabit rate.
+// and shows serialization times at the FC gigabit rate — for both
+// wire-format versions (v2 adds one control word for the uint16
+// addresses).
 func E2WireFormats() *Table {
 	t := &Table{
 		ID:     "E2",
-		Title:  "MicroPacket wire formats (paper slides 5–6)",
-		Header: []string{"format", "payload B", "wire B", "10b symbols", "serialization", "8b/10b round-trip"},
+		Title:  "MicroPacket wire formats (paper slides 5–6; versioned per internal/wire)",
+		Header: []string{"format", "wire fmt", "payload B", "wire B", "10b symbols", "serialization", "8b/10b round-trip"},
 	}
-	row := func(name string, ty micropacket.Type, payload int) {
+	row := func(name string, v wire.Version, ty micropacket.Type, payload int) {
 		var p *micropacket.Packet
 		if ty.Variable() {
 			data := make([]byte, payload)
@@ -73,22 +81,25 @@ func E2WireFormats() *Table {
 		} else {
 			p = micropacket.NewData(1, 2, 0, make([]byte, payload))
 		}
-		wire := micropacket.WireSize(ty, payload)
+		size := wire.Size(v, ty, payload)
 		enc := enc8b10b.NewEncoder()
 		dec := enc8b10b.NewDecoder()
-		syms, err := p.EncodeSymbols(enc)
+		syms, err := wire.EncodeSymbols(wire.MustForVersion(v), p, enc)
 		ok := err == nil
 		if ok {
-			q, err2 := micropacket.DecodeSymbols(syms, dec)
-			ok = err2 == nil && q.Type == ty
+			q, gotV, err2 := wire.DecodeSymbols(syms, dec)
+			ok = err2 == nil && q.Type == ty && gotV == v
 		}
-		t.Add(name, fmt.Sprint(payload), fmt.Sprint(wire), fmt.Sprint(len(syms)),
-			phys.SerTime(wire).String(), map[bool]string{true: "ok", false: "FAIL"}[ok])
+		t.Add(name, v.String(), fmt.Sprint(payload), fmt.Sprint(size), fmt.Sprint(len(syms)),
+			phys.SerTime(size).String(), map[bool]string{true: "ok", false: "FAIL"}[ok])
 	}
-	row("fixed (slide 5)", micropacket.TypeData, 8)
-	for _, n := range []int{0, 4, 16, 32, 64} {
-		row("variable (slide 6)", micropacket.TypeDMA, n)
+	for _, v := range wire.Versions() {
+		row("fixed (slide 5)", v, micropacket.TypeData, 8)
+		for _, n := range []int{0, 4, 16, 32, 64} {
+			row("variable (slide 6)", v, micropacket.TypeDMA, n)
+		}
 	}
-	t.Note("fixed frame: SOF(4)+3 words(12)+CRC(4)+EOF(4) = 24 B; variable max: SOF+19 words+CRC+EOF = 88 B")
+	t.Note("v1 fixed frame: SOF(4)+3 words(12)+CRC(4)+EOF(4) = 24 B; variable max 88 B")
+	t.Note("v2 widens the control block to 2 words (uint16 addresses): fixed 28 B, variable max 92 B")
 	return t
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/micropacket"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	wirefmt "repro/internal/wire"
 )
 
 // macRing builds n insertion stations on a single-switch ring with a
@@ -61,7 +62,7 @@ func E3MultiStreamP(p Params, framesPerStream int) *Table {
 	}
 	n := p.Nodes
 	payload := 8 // fixed Data packets
-	wire := micropacket.WireSize(micropacket.TypeData, payload)
+	wireB := wirefmt.Size(wirefmt.V1, micropacket.TypeData, payload)
 
 	// AmpNet insertion ring: stream i→(i+1)%n uses a one-hop arc, so
 	// all n streams occupy disjoint segments concurrently.
@@ -81,7 +82,7 @@ func E3MultiStreamP(p Params, framesPerStream int) *Table {
 		}
 		k.Run()
 		el := k.Now()
-		bits := float64(n*framesPerStream*wire) * 8
+		bits := float64(n*framesPerStream*wireB) * 8
 		t.Add("AmpNet insertion ring", fmt.Sprint(n), fmt.Sprint(framesPerStream),
 			el.String(), fmt.Sprintf("%.0f", bits/el.Seconds()/1e6), fmt.Sprint(net.Drops.N))
 		t.Metric("ampnet_mbps", bits/el.Seconds()/1e6)
@@ -115,7 +116,7 @@ func E3MultiStreamP(p Params, framesPerStream int) *Table {
 			}
 		}
 		el := k.Now()
-		bits := float64(n*framesPerStream*wire) * 8
+		bits := float64(n*framesPerStream*wireB) * 8
 		t.Add("token ring (baseline)", fmt.Sprint(n), fmt.Sprint(framesPerStream),
 			el.String(), fmt.Sprintf("%.0f", bits/el.Seconds()/1e6), fmt.Sprint(net.Drops.N))
 		t.Metric("baseline_mbps", bits/el.Seconds()/1e6)
@@ -213,10 +214,10 @@ func E4aLoadSweepP(p Params) *Table {
 		Title:  "offered-load sweep under broadcast traffic (flow-control ablation)",
 		Header: []string{"load ×capacity", "MAC", "offered f/s", "delivered f/s", "drops"},
 	}
-	wire := micropacket.WireSize(micropacket.TypeData, 0) + phys.DefaultIFG
+	wireB := wirefmt.Size(wirefmt.V1, micropacket.TypeData, 0) + phys.DefaultIFG
 	// Ring capacity for broadcast: one frame occupies every hop, so
 	// aggregate broadcast capacity ≈ 1 frame per serialization time.
-	capacityFPS := 1e9 / float64(phys.SerTime(wire))
+	capacityFPS := 1e9 / float64(phys.SerTime(wireB))
 	const window = 20 * sim.Millisecond
 
 	for _, load := range []float64{0.25, 0.5, 0.9, 1.5} {

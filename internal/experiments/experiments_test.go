@@ -26,15 +26,25 @@ func TestE1TableMatchesSlide4(t *testing.T) {
 
 func TestE2Sizes(t *testing.T) {
 	tab := E2WireFormats()
-	if tab.Rows[0][2] != "24" {
-		t.Fatalf("fixed wire size: %v", tab.Rows[0])
+	// Six rows per wire-format version: fixed + five variable sizes.
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "v1" || tab.Rows[0][3] != "24" {
+		t.Fatalf("v1 fixed wire size: %v", tab.Rows[0])
+	}
+	if tab.Rows[5][3] != "88" {
+		t.Fatalf("v1 max variable wire size: %v", tab.Rows[5])
+	}
+	if tab.Rows[6][1] != "v2" || tab.Rows[6][3] != "28" {
+		t.Fatalf("v2 fixed wire size: %v", tab.Rows[6])
 	}
 	last := tab.Rows[len(tab.Rows)-1]
-	if last[2] != "88" {
-		t.Fatalf("max variable wire size: %v", last)
+	if last[3] != "92" {
+		t.Fatalf("v2 max variable wire size: %v", last)
 	}
 	for _, row := range tab.Rows {
-		if row[5] != "ok" {
+		if row[6] != "ok" {
 			t.Fatalf("symbol round trip: %v", row)
 		}
 	}
@@ -190,5 +200,34 @@ func TestTableRendering(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("rendered table missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestE15RejectsIndivisibleNodeCounts(t *testing.T) {
+	tab := E15WireScaleP(Params{Nodes: 300}) // not divisible over 8 rings
+	if len(tab.Rows) != 1 || tab.Rows[0][3] != "ERROR" {
+		t.Fatalf("expected an error row: %v", tab.Rows)
+	}
+}
+
+// TestE15ScalesPast255Nodes runs the scaled-down form of E15: a
+// 264-node fabric (past the v1 wire ceiling), serial vs 8 shards,
+// byte-identical reports. The default 320-node table is the ampbench
+// form; this keeps the property in the test suite at tolerable cost.
+func TestE15ScalesPast255Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("264-node serial+sharded runs skipped in -short")
+	}
+	tab := E15WireScaleP(Params{Nodes: 264})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %v", tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "v2" {
+			t.Fatalf("row not on wire v2: %v", row)
+		}
+	}
+	if tab.Rows[1][7] != "yes" {
+		t.Fatalf("sharded report diverged from serial: %v", tab.Rows[1])
 	}
 }

@@ -146,6 +146,11 @@ func All() []Spec {
 			Variants: []Params{{Nodes: 64, Switches: 8}, {Nodes: 128, Switches: 8}},
 			Sharded:  true,
 			Run:      E14ParsimScaleP},
+		{ID: "e15", Short: "wire v2 scaling past 255 nodes: serial-identical reports beyond the v1 ceiling",
+			Defaults: Params{Nodes: 320},
+			Variants: []Params{{Nodes: 320}},
+			Sharded:  true,
+			Run:      E15WireScaleP},
 	}
 }
 

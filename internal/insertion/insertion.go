@@ -49,7 +49,33 @@ const (
 	DefaultMaxPace = 50 * sim.Microsecond
 	// paceStep is the initial backoff when the local view is congested.
 	paceStep = 500 * sim.Nanosecond
+	// DefaultMaxHops is the transit hop budget for stations built
+	// without topology knowledge — the historical value, enough for
+	// any ≤255-node ring. Stacks that know the fabric size scale it
+	// with MaxHopsFor: the budget must exceed the ring circumference
+	// (a broadcast legitimately crosses every hop) but stay small
+	// enough to expire transition-time loops promptly — the expiry is
+	// part of the deterministic model, so serial and sharded engines
+	// cut a loop at exactly the same hop.
+	DefaultMaxHops = 255
 )
+
+// MaxHopsFor returns the transit hop budget for a fabric of the given
+// node count. Every fabric the one-byte address space could build
+// (≤255 nodes) keeps the historical 255 bit for bit — their reports
+// must not change under this PR — and only fabrics beyond the v1
+// ceiling scale up, to twice the ring circumference (room for a full
+// broadcast tour plus mid-heal detours), capped at the counter range.
+func MaxHopsFor(nodes int) uint16 {
+	if nodes <= DefaultMaxHops {
+		return DefaultMaxHops
+	}
+	h := 2 * nodes
+	if h > 65535 {
+		return 65535
+	}
+	return uint16(h)
+}
 
 // Station is one node's MAC engine.
 type Station struct {
@@ -58,6 +84,9 @@ type Station struct {
 
 	// Ports are the node's physical ports, indexed by switch.
 	Ports []*phys.Port
+	// net is the Net the ports live on; frames are sized under its
+	// wire-format version.
+	net *phys.Net
 
 	egress       *phys.Port
 	egressSwitch int
@@ -70,8 +99,12 @@ type Station struct {
 	// MaxInsertQueue bounds the host insertion queue.
 	MaxInsertQueue int
 	// MaxHops expires transit frames after this many forwards,
-	// protecting against transient loops while rosters converge.
-	MaxHops uint8
+	// protecting against transient loops while rosters converge. It
+	// must exceed the largest possible ring circumference (a broadcast
+	// legitimately crosses every hop of the ring), so it is as wide as
+	// the node address space: the historical uint8 counter silently
+	// expired broadcasts on >255-node rings.
+	MaxHops uint16
 
 	// OnDeliver receives MicroPackets addressed to (or broadcast past)
 	// this node.
@@ -114,12 +147,15 @@ func NewStation(k *sim.Kernel, id micropacket.NodeID, ports []*phys.Port) *Stati
 		InsertThreshold: DefaultInsertThreshold,
 		ForwardDelay:    DefaultForwardDelay,
 		MaxInsertQueue:  DefaultInsertQueue,
-		MaxHops:         255,
+		MaxHops:         DefaultMaxHops,
 		egressSwitch:    -1,
 	}
 	for _, p := range ports {
 		if p == nil {
 			continue // the topology does not attach this node there
+		}
+		if s.net == nil {
+			s.net = p.Net()
 		}
 		p.SetHandler(s.handleFrame)
 		p.SetStatusHandler(func(port *phys.Port, up bool) {
@@ -166,7 +202,7 @@ func (s *Station) Send(p *micropacket.Packet) bool {
 		s.Refused++
 		return false
 	}
-	s.insertQ = append(s.insertQ, phys.NewFrame(p))
+	s.insertQ = append(s.insertQ, s.net.NewFrame(p))
 	s.tryInsert()
 	return true
 }

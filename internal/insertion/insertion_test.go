@@ -217,7 +217,7 @@ func TestRosteringPacketsGoToControlPlane(t *testing.T) {
 	// Inject a rostering frame directly at node 1's ring ingress by
 	// sending from node 0's egress port (bypassing the MAC's own flood
 	// path, which is exercised in the rostering package tests).
-	st[0].Ports[0].Send(phys.NewFrame(micropacket.NewRostering(0, 0, [8]byte{})))
+	st[0].Ports[0].Send(st[0].Ports[0].Net().NewFrame(micropacket.NewRostering(0, 0, [8]byte{})))
 	k.Run()
 	if controlSeen != 1 {
 		t.Fatalf("control packets seen = %d, want 1", controlSeen)

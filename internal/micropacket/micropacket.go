@@ -24,6 +24,11 @@
 // the K28.5 comma (the paper sits MicroPackets directly on FC-0/FC-1),
 // and a CRC-32 trails the payload words, standing in for the "A"
 // (acknowledge/validity) delimiter field of slide 5.
+//
+// This package owns the in-memory Packet model and its structural
+// rules; the on-wire frame layout is versioned and lives in
+// internal/wire (v1 with one-byte addresses — the original format —
+// and v2 with uint16 addresses for fabrics past 255 nodes).
 package micropacket
 
 import (
@@ -94,11 +99,14 @@ func Types() []Info {
 }
 
 // NodeID addresses a node on the AmpNet network. The broadcast address
-// targets every node on the logical ring.
-type NodeID uint8
+// targets every node on the logical ring. In-memory addresses are
+// uint16; how many bits travel on the wire — one byte under format v1,
+// two under v2 — is the codec's business (internal/wire), which also
+// maps Broadcast to the version's all-ones wire address.
+type NodeID uint16
 
 // Broadcast is the all-nodes destination.
-const Broadcast NodeID = 0xFF
+const Broadcast NodeID = 0xFFFF
 
 // Flags is the four-bit flag nibble of control byte 0.
 type Flags uint8

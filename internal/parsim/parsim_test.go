@@ -6,6 +6,7 @@ import (
 	"repro/internal/micropacket"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // rig is two shards joined by one 200 m split link.
@@ -40,7 +41,8 @@ func newRig(t *testing.T) *rig {
 }
 
 func frame() phys.Frame {
-	return phys.NewFrame(micropacket.NewData(1, 2, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	p := micropacket.NewData(1, 2, 0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	return phys.Frame{Pkt: p, Wire: wire.Size(wire.V1, p.Type, len(p.Data))}
 }
 
 // TestCrossShardDeliveryTiming: a frame over a split link arrives at

@@ -7,6 +7,7 @@ import (
 	"repro/internal/enc8b10b"
 	"repro/internal/micropacket"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // TestDeepPHYCleanDelivery: with the full hardware datapath enabled,
@@ -27,7 +28,7 @@ func TestDeepPHYCleanDelivery(t *testing.T) {
 		micropacket.NewRostering(1, 0, [8]byte{1, 2, 3, 4, 5, 6, 7, 8}),
 	}
 	for _, p := range sent {
-		if !a.Send(NewFrame(p)) {
+		if !a.Send(newFrameV1(p)) {
 			t.Fatal("send refused")
 		}
 	}
@@ -53,7 +54,7 @@ func TestDeepPHYCleanDelivery(t *testing.T) {
 func TestDeepPHYCorruptionDiscarded(t *testing.T) {
 	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
 	ref := micropacket.NewData(1, 2, 7, payload)
-	syms, _ := ref.EncodeSymbols(enc8b10b.NewEncoder())
+	syms, _ := wire.EncodeSymbols(wire.MustForVersion(wire.V1), ref, enc8b10b.NewEncoder())
 	nSyms := len(syms)
 
 	delivered, dropped := 0, 0
@@ -80,7 +81,7 @@ func TestDeepPHYCorruptionDiscarded(t *testing.T) {
 				}
 			})
 			n.Connect(a, b, 10)
-			a.Send(NewFrame(micropacket.NewData(1, 2, 7, payload)))
+			a.Send(newFrameV1(micropacket.NewData(1, 2, 7, payload)))
 			k.Run()
 			if !ok {
 				t.Fatalf("corrupted frame DELIVERED with wrong contents (sym %d bit %d)", si, bi)
@@ -124,7 +125,7 @@ func TestDeepPHYBurstErrors(t *testing.T) {
 	i := 0
 	sendNext = func() {
 		if i < total {
-			a.Send(NewFrame(micropacket.NewData(1, 2, uint8(i), []byte{byte(i)})))
+			a.Send(newFrameV1(micropacket.NewData(1, 2, uint8(i), []byte{byte(i)})))
 			i++
 			k.After(SerTime(40), sendNext)
 		}
@@ -147,11 +148,11 @@ func TestDeepPHYHopPreserved(t *testing.T) {
 	k := sim.NewKernel(1)
 	n := NewNet(k)
 	n.DeepPHY = true
-	var gotHops uint8
+	var gotHops uint16
 	a := n.NewPort("a", nil)
 	b := n.NewPort("b", func(_ *Port, f Frame) { gotHops = f.Hops })
 	n.Connect(a, b, 10)
-	f := NewFrame(micropacket.NewData(1, 2, 0, nil))
+	f := newFrameV1(micropacket.NewData(1, 2, 0, nil))
 	f.Hops = 9
 	a.Send(f)
 	k.Run()

@@ -1,19 +1,23 @@
 package phys
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
 
 // MaxSwitches bounds the switch count of any fabric: the rostering
 // link-state masks carry one bit per switch in a single byte of the
 // announcement payload (see rostering.LinkState).
 const MaxSwitches = 8
 
-// MaxNodes bounds the node count of any fabric: MicroPacket node
-// addresses are one wire byte (micropacket.NodeID), with 0xFF reserved
-// for broadcast. Beyond it node ids would alias on the wire — a fabric
-// of 1000 nodes would silently run a 255-node ring. Scaling past this
-// ceiling means widening the MicroPacket address space (tracked in
-// ROADMAP.md), not a bigger topology.
-const MaxNodes = 255
+// MaxNodes bounds the node count of any fabric: the widest registered
+// wire format (v2) carries uint16 node addresses with the all-ones
+// value reserved for broadcast. The effective ceiling of a given
+// fabric is per wire-format version — a v1 fabric still tops out at
+// 255 nodes (one address byte) — and Topology.Validate enforces the
+// resolved version's limit, so ids can never alias on the wire.
+const MaxNodes = 65535
 
 // Topology declaratively describes a fabric: which switches exist, which
 // node attaches to which switch, and which switches are joined by
@@ -41,6 +45,13 @@ type Topology struct {
 	// the opposite rotation: when the lowest live switch has an odd
 	// index, the roster is built in reversed node order.
 	CounterRotating bool
+	// Wire selects the MicroPacket wire-format version the fabric runs
+	// (see internal/wire). The zero value is "auto": the smallest
+	// version whose address space fits Nodes — v1 (the byte-exact
+	// historical format) up to 255 nodes, v2 beyond. An explicit
+	// version is validated against its own ceiling, so a v1 fabric
+	// still rejects >255 nodes.
+	Wire wire.Version
 }
 
 // TrunkSpec declares one inter-switch trunk. FiberM of 0 inherits the
@@ -61,9 +72,16 @@ func (t *Topology) Validate() error {
 		return fmt.Errorf("phys: topology %q has %d switches; the rostering link-state mask allows at most %d",
 			t.Name, t.Switches, MaxSwitches)
 	}
+	if t.Wire != 0 && !t.Wire.Valid() {
+		return fmt.Errorf("phys: topology %q names unknown wire-format version %d", t.Name, t.Wire)
+	}
 	if t.Nodes > MaxNodes {
-		return fmt.Errorf("phys: topology %q has %d nodes; the one-byte MicroPacket address space allows at most %d",
-			t.Name, t.Nodes, MaxNodes)
+		return fmt.Errorf("phys: topology %q has %d nodes; the widest wire format (%v) addresses at most %d",
+			t.Name, t.Nodes, wire.V2, MaxNodes)
+	}
+	if v := t.WireVersion(); t.Nodes > v.MaxNodes() {
+		return fmt.Errorf("phys: topology %q has %d nodes; wire format %v addresses at most %d (use wire %v or auto)",
+			t.Name, t.Nodes, v, v.MaxNodes(), wire.V2)
 	}
 	for i, tr := range t.Trunks {
 		if tr.A < 0 || tr.A >= t.Switches || tr.B < 0 || tr.B >= t.Switches {
@@ -84,6 +102,21 @@ func (t *Topology) Validate() error {
 		}
 	}
 	return nil
+}
+
+// WireVersion resolves the fabric's wire-format version: the declared
+// Wire, or — for the zero "auto" value — the smallest registered
+// version whose address space fits Nodes. Existing ≤255-node fabrics
+// therefore keep running the byte-exact v1 format unless they opt into
+// v2 explicitly.
+func (t *Topology) WireVersion() wire.Version {
+	if t.Wire != 0 {
+		return t.Wire
+	}
+	if t.Nodes <= wire.V1.MaxNodes() {
+		return wire.V1
+	}
+	return wire.V2
 }
 
 // IsAttached reports whether node n has a port to switch s.

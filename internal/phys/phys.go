@@ -17,6 +17,7 @@ import (
 	"repro/internal/enc8b10b"
 	"repro/internal/micropacket"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Physical constants (Fibre Channel gigabit PHY).
@@ -52,20 +53,25 @@ func PropTime(meters float64) sim.Time {
 type Frame struct {
 	Pkt  *micropacket.Packet
 	Wire int
-	Hops uint8
+	// Hops counts MAC forwards. It must be wide enough for a full tour
+	// of the largest addressable ring (a broadcast crosses every hop),
+	// so it tracks the micropacket.NodeID width.
+	Hops uint16
 	// VC is the frame's virtual-circuit tag, stamped by the first
 	// switch on a hop with the ingress node-port index (the hop's
 	// source node). Switches use it to route frames arriving over
 	// inter-switch trunks; see Switch.SetVCRoute.
-	VC uint8
+	VC uint16
 	// Prio marks frames queued via SendPriority; used to keep priority
 	// traffic FIFO among itself while it overtakes data.
 	Prio bool
 }
 
-// NewFrame wraps a packet, computing its wire size.
-func NewFrame(p *micropacket.Packet) Frame {
-	return Frame{Pkt: p, Wire: micropacket.WireSize(p.Type, len(p.Data))}
+// NewFrame wraps a packet, computing its wire size under the Net's
+// wire-format version (frame size sets serialization time, so the
+// version is part of the fabric's timing model).
+func (n *Net) NewFrame(p *micropacket.Packet) Frame {
+	return Frame{Pkt: p, Wire: wire.Size(n.Wire, p.Type, len(p.Data))}
 }
 
 // Handler receives frames delivered to a port.
@@ -105,6 +111,15 @@ type Net struct {
 	Shard  int
 	Remote RemoteExchange
 
+	// Wire is the fabric's wire-format version (see internal/wire): it
+	// decides frame sizes (and thereby serialization times) and how
+	// node addresses are carried in the DeepPHY datapath. NewNet
+	// defaults to V1, the byte-exact historical format; fabrics larger
+	// than its one-byte address space must run V2. Every Net of a
+	// sharded fabric carries the same version (the builder stamps it
+	// from the Topology).
+	Wire wire.Version
+
 	// IFG is the inter-frame gap in bytes added after every frame.
 	IFG int
 	// Detect is the loss-of-light detection latency.
@@ -142,7 +157,7 @@ type Net struct {
 
 // NewNet creates a physical network on kernel k with default parameters.
 func NewNet(k *sim.Kernel) *Net {
-	return &Net{K: k, IFG: DefaultIFG, Detect: DefaultDetect, FIFOCap: DefaultFIFO}
+	return &Net{K: k, Wire: wire.V1, IFG: DefaultIFG, Detect: DefaultDetect, FIFOCap: DefaultFIFO}
 }
 
 // Port is one optical transceiver. Frames sent on a port are serialized
@@ -340,7 +355,7 @@ func (n *Net) CompleteDelivery(dst *Port, f Frame, link *Link, epoch uint64) {
 			return
 		}
 		hops := f.Hops
-		f = NewFrame(pkt)
+		f = n.NewFrame(pkt)
 		f.Hops = hops
 	}
 	dst.Received++
@@ -357,14 +372,18 @@ func (n *Net) CompleteDelivery(dst *Port, f Frame, link *Link, epoch uint64) {
 // canonical negative running disparity (frames are separated by idle
 // fill words that re-establish it).
 func (n *Net) deepPath(f Frame) (*micropacket.Packet, bool) {
-	syms, err := f.Pkt.EncodeSymbols(enc8b10b.NewEncoder())
+	codec, err := wire.ForVersion(n.Wire)
+	if err != nil {
+		return nil, false
+	}
+	syms, err := wire.EncodeSymbols(codec, f.Pkt, enc8b10b.NewEncoder())
 	if err != nil {
 		return nil, false
 	}
 	if n.Corrupt != nil {
 		n.Corrupt(f, syms)
 	}
-	pkt, err := micropacket.DecodeSymbols(syms, enc8b10b.NewDecoder())
+	pkt, _, err := wire.DecodeSymbols(syms, enc8b10b.NewDecoder())
 	if err != nil {
 		return nil, false
 	}

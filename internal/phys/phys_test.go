@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/micropacket"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 func testNet() (*sim.Kernel, *Net) {
@@ -13,7 +14,13 @@ func testNet() (*sim.Kernel, *Net) {
 }
 
 func dataFrame(src, dst micropacket.NodeID) Frame {
-	return NewFrame(micropacket.NewData(src, dst, 0, []byte{1, 2, 3}))
+	return newFrameV1(micropacket.NewData(src, dst, 0, []byte{1, 2, 3}))
+}
+
+// newFrameV1 sizes a frame under the default v1 wire format, standing
+// in for Net.NewFrame in tests that build frames before picking a net.
+func newFrameV1(p *micropacket.Packet) Frame {
+	return Frame{Pkt: p, Wire: wire.Size(wire.V1, p.Type, len(p.Data))}
 }
 
 func TestSerTime(t *testing.T) {
@@ -73,7 +80,7 @@ func TestFIFOSerializationOrder(t *testing.T) {
 	n.Connect(a, b, 10)
 	for i := 0; i < 10; i++ {
 		p := micropacket.NewData(1, 2, uint8(i), nil)
-		if !a.Send(NewFrame(p)) {
+		if !a.Send(newFrameV1(p)) {
 			t.Fatalf("send %d refused", i)
 		}
 	}
@@ -298,7 +305,7 @@ func TestSwitchFloodsRostering(t *testing.T) {
 		ports = append(ports, p)
 	}
 	rp := micropacket.NewRostering(0, 1, [8]byte{})
-	ports[1].Send(NewFrame(rp))
+	ports[1].Send(newFrameV1(rp))
 	k.Run()
 	if len(got) != 3 {
 		t.Fatalf("flooded to %v, want all but ingress", got)
@@ -323,7 +330,7 @@ func TestSwitchFloodSkipsDarkPorts(t *testing.T) {
 		ports = append(ports, p)
 	}
 	links[2].Fail()
-	ports[0].Send(NewFrame(micropacket.NewRostering(0, 1, [8]byte{})))
+	ports[0].Send(newFrameV1(micropacket.NewRostering(0, 1, [8]byte{})))
 	k.Run()
 	if len(got) != 1 || got[0] != 1 {
 		t.Fatalf("flood reached %v, want [1]", got)

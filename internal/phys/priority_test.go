@@ -17,9 +17,9 @@ func TestSendPriorityJumpsQueue(t *testing.T) {
 	b := n.NewPort("b", func(_ *Port, f Frame) { order = append(order, f.Pkt.Tag) })
 	n.Connect(a, b, 10)
 	for i := 0; i < 4; i++ {
-		a.Send(NewFrame(micropacket.NewData(1, 2, uint8(i), nil)))
+		a.Send(newFrameV1(micropacket.NewData(1, 2, uint8(i), nil)))
 	}
-	a.SendPriority(NewFrame(micropacket.NewRostering(1, 99, [8]byte{})))
+	a.SendPriority(newFrameV1(micropacket.NewRostering(1, 99, [8]byte{})))
 	k.Run()
 	if len(order) != 5 {
 		t.Fatalf("delivered %d", len(order))
@@ -47,12 +47,12 @@ func TestSendPriorityBypassesCapacity(t *testing.T) {
 	b := n.NewPort("b", nil)
 	n.Connect(a, b, 10)
 	a.SetCapacity(2)
-	a.Send(NewFrame(micropacket.NewData(1, 2, 0, nil)))
-	a.Send(NewFrame(micropacket.NewData(1, 2, 1, nil)))
-	if a.Send(NewFrame(micropacket.NewData(1, 2, 2, nil))) {
+	a.Send(newFrameV1(micropacket.NewData(1, 2, 0, nil)))
+	a.Send(newFrameV1(micropacket.NewData(1, 2, 1, nil)))
+	if a.Send(newFrameV1(micropacket.NewData(1, 2, 2, nil))) {
 		t.Fatal("over-capacity data accepted")
 	}
-	if !a.SendPriority(NewFrame(micropacket.NewRostering(1, 0, [8]byte{}))) {
+	if !a.SendPriority(newFrameV1(micropacket.NewRostering(1, 0, [8]byte{}))) {
 		t.Fatal("priority frame refused by full FIFO")
 	}
 	k.Run()
@@ -66,7 +66,7 @@ func TestSendPriorityOnDarkLink(t *testing.T) {
 	b := n.NewPort("b", nil)
 	l := n.Connect(a, b, 10)
 	l.Fail()
-	if a.SendPriority(NewFrame(micropacket.NewRostering(1, 0, [8]byte{}))) {
+	if a.SendPriority(newFrameV1(micropacket.NewRostering(1, 0, [8]byte{}))) {
 		t.Fatal("priority send on dark link accepted")
 	}
 	if n.Lost.N != 1 {
@@ -84,10 +84,10 @@ func TestTwoPriorityFramesKeepOrder(t *testing.T) {
 	a := n.NewPort("a", nil)
 	b := n.NewPort("b", func(_ *Port, f Frame) { order = append(order, f.Pkt.Tag) })
 	n.Connect(a, b, 10)
-	a.Send(NewFrame(micropacket.NewData(1, 2, 0, nil)))
-	a.Send(NewFrame(micropacket.NewData(1, 2, 1, nil)))
-	a.SendPriority(NewFrame(micropacket.NewRostering(1, 10, [8]byte{})))
-	a.SendPriority(NewFrame(micropacket.NewRostering(1, 11, [8]byte{})))
+	a.Send(newFrameV1(micropacket.NewData(1, 2, 0, nil)))
+	a.Send(newFrameV1(micropacket.NewData(1, 2, 1, nil)))
+	a.SendPriority(newFrameV1(micropacket.NewRostering(1, 10, [8]byte{})))
+	a.SendPriority(newFrameV1(micropacket.NewRostering(1, 11, [8]byte{})))
 	k.Run()
 	want := []uint8{0, 10, 11, 1}
 	if len(order) != 4 {

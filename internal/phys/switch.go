@@ -34,7 +34,7 @@ type Switch struct {
 	ports     []*Port
 	nodePorts int
 	xbar      map[int]int    // node-port ingress → egress port index
-	vcRoutes  map[uint16]int // trunk ingress<<8|vc → egress port index
+	vcRoutes  map[uint32]int // trunk ingress<<16|vc → egress port index
 	latency   sim.Time
 	failed    bool
 
@@ -68,7 +68,7 @@ const MaxFloodHops = 32
 func (n *Net) NewSwitch(name string, nPorts int) *Switch {
 	s := &Switch{
 		Name: name, net: n, nodePorts: nPorts,
-		xbar: map[int]int{}, vcRoutes: map[uint16]int{},
+		xbar: map[int]int{}, vcRoutes: map[uint32]int{},
 		latency: DefaultSwitchLatency,
 	}
 	for i := 0; i < nPorts; i++ {
@@ -114,10 +114,11 @@ func (s *Switch) SetRoute(in, out int) {
 }
 
 // SetVCRoute programs trunk forwarding: frames arriving on trunk port
-// in with virtual-circuit tag vc exit at port out. Pass out < 0 to
+// in with virtual-circuit tag vc exit at port out. The circuit tag is
+// a node id, so it is as wide as the address space. Pass out < 0 to
 // clear the entry.
-func (s *Switch) SetVCRoute(in int, vc uint8, out int) {
-	key := uint16(in)<<8 | uint16(vc)
+func (s *Switch) SetVCRoute(in int, vc uint16, out int) {
+	key := uint32(in)<<16 | uint32(vc)
 	if out < 0 {
 		delete(s.vcRoutes, key)
 		return
@@ -129,7 +130,7 @@ func (s *Switch) SetVCRoute(in int, vc uint8, out int) {
 // start of rostering).
 func (s *Switch) ClearRoutes() {
 	s.xbar = map[int]int{}
-	s.vcRoutes = map[uint16]int{}
+	s.vcRoutes = map[uint32]int{}
 }
 
 // Failed reports whether the switch has been failed.
@@ -166,13 +167,13 @@ func (s *Switch) Restore() {
 // Switches, like nodes, deduplicate floods by wave identifier (slide
 // 16's "modified flooding algorithm"): the announcement's epoch,
 // origin and sequence, read from the rostering payload layout defined
-// in internal/rostering (epoch little-endian at bytes 3..6, origin at
-// byte 0, sequence at byte 7). Announcements of a newer epoch reset
-// the seen set; stale epochs are dropped outright — every agent of a
-// superseded round has already moved on. In node-only topologies
-// floods cannot revisit a switch, so this logic only matters once
-// trunks create switch-layer cycles, where re-flooding duplicates
-// would multiply exponentially.
+// in internal/rostering (origin little-endian at bytes 0..1, epoch
+// little-endian at bytes 3..6, sequence at byte 7). Announcements of
+// a newer epoch reset the seen set; stale epochs are dropped outright
+// — every agent of a superseded round has already moved on. In
+// node-only topologies floods cannot revisit a switch, so this logic
+// only matters once trunks create switch-layer cycles, where
+// re-flooding duplicates would multiply exponentially.
 func (s *Switch) floodAdmit(f Frame) bool {
 	pl := f.Pkt.Payload
 	epoch := uint32(pl[3]) | uint32(pl[4])<<8 | uint32(pl[5])<<16 | uint32(pl[6])<<24
@@ -183,7 +184,8 @@ func (s *Switch) floodAdmit(f Frame) bool {
 	case epoch < s.floodEpoch:
 		return false
 	}
-	key := uint64(pl[0])<<8 | uint64(pl[7])
+	origin := uint64(pl[0]) | uint64(pl[1])<<8
+	key := origin<<8 | uint64(pl[7])
 	if s.floodSeen == nil {
 		s.floodSeen = map[uint64]bool{}
 	}
@@ -229,10 +231,10 @@ func (s *Switch) receive(in int, f Frame) {
 	if in < s.nodePorts {
 		// Node ingress: stamp the hop's virtual circuit (the source
 		// node's id) and consult the crossbar.
-		f.VC = uint8(in)
+		f.VC = uint16(in)
 		out, ok = s.xbar[in]
 	} else {
-		out, ok = s.vcRoutes[uint16(in)<<8|uint16(f.VC)]
+		out, ok = s.vcRoutes[uint32(in)<<16|uint32(f.VC)]
 	}
 	if !ok {
 		s.Unrouted++

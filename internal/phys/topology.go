@@ -95,6 +95,9 @@ func BuildFabricSharded(nets []*Net, topo Topology, assign *Assignment) (*Cluste
 	}
 	for i, n := range nets {
 		n.Shard = i
+		// Every shard speaks the fabric's wire-format version: frame
+		// sizes (and so serialization times) must agree across shards.
+		n.Wire = topo.WireVersion()
 	}
 	c := &Cluster{Net: nets[0], Topo: topo, Assign: assign}
 	for s := 0; s < topo.Switches; s++ {

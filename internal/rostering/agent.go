@@ -148,7 +148,7 @@ func (a *Agent) keepaliveLoop() {
 		if next, _, ok := r.Next(a.ID); ok {
 			ka := micropacket.NewDiagnostic(micropacket.NodeID(a.ID), micropacket.NodeID(next), insertion.KeepaliveTag)
 			if p := a.Station.Ports[a.Station.EgressSwitch()]; p.Up() {
-				p.SendPriority(phys.NewFrame(ka))
+				p.SendPriority(p.Net().NewFrame(ka))
 			}
 		}
 	}
@@ -214,10 +214,13 @@ func (a *Agent) announce() {
 
 // floodExcept sends the packet on every live port except skip.
 func (a *Agent) floodExcept(pkt *micropacket.Packet, skip *phys.Port) {
-	f := phys.NewFrame(pkt)
+	var f phys.Frame
 	for _, p := range a.Station.Ports {
 		if p == nil || p == skip || !p.Up() {
 			continue
+		}
+		if f.Pkt == nil {
+			f = p.Net().NewFrame(pkt)
 		}
 		p.SendPriority(f)
 	}
@@ -340,7 +343,7 @@ func (a *Agent) adopt() {
 				})
 			} else {
 				a.Cluster.Program(a.Shard, sw, func() {
-					a.Cluster.Switches[sw].SetVCRoute(ingress, uint8(a.ID), egress)
+					a.Cluster.Switches[sw].SetVCRoute(ingress, uint16(a.ID), egress)
 				})
 			}
 		}
@@ -358,27 +361,31 @@ func (a *Agent) RoundStart() sim.Time { return a.startedAt }
 
 // --- announcement wire encoding (8-byte Rostering payload) ---
 //
-//	payload[0] = origin node id
-//	payload[1] = live-switch mask
-//	payload[2] = protocol version (1)
+//	payload[0..1] = origin node id, little endian
+//	payload[2]    = live-switch mask
 //	payload[3..6] = epoch, little endian
-//	payload[7] = origin's announcement sequence
-
-const announceVersion = 1
+//	payload[7]    = origin's announcement sequence
+//
+// The origin field is as wide as the MicroPacket address space
+// (uint16): it is the node identity the link-state database and the
+// switch flood-dedup keys are built on, so a one-byte origin would
+// alias announcements on >255-node fabrics even with wide wire
+// addresses. The byte that used to carry a protocol version now holds
+// the origin's high half; the frame-level format version travels in
+// the SOF format byte (internal/wire) where every layer can see it.
 
 func encodeAnnouncement(id int, epoch uint32, ann Announcement) *micropacket.Packet {
 	var pl [8]byte
-	pl[0] = byte(ann.Origin)
-	pl[1] = byte(ann.Mask)
-	pl[2] = announceVersion
+	binary.LittleEndian.PutUint16(pl[0:2], uint16(ann.Origin))
+	pl[2] = byte(ann.Mask)
 	binary.LittleEndian.PutUint32(pl[3:7], epoch)
 	pl[7] = ann.Seq
 	return micropacket.NewRostering(micropacket.NodeID(id), 0, pl)
 }
 
 func decodeAnnouncement(p *micropacket.Packet) (origin int, epoch uint32, ann Announcement) {
-	origin = int(p.Payload[0])
+	origin = int(binary.LittleEndian.Uint16(p.Payload[0:2]))
 	epoch = binary.LittleEndian.Uint32(p.Payload[3:7])
-	ann = Announcement{Origin: origin, Mask: LinkState(p.Payload[1]), Seq: p.Payload[7]}
+	ann = Announcement{Origin: origin, Mask: LinkState(p.Payload[2]), Seq: p.Payload[7]}
 	return
 }

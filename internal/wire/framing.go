@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/enc8b10b"
+	"repro/internal/micropacket"
+)
+
+// Ordered-set data bytes (after the K28.5 opener). Shared by every
+// version: only the format byte varies.
+const (
+	sofByte1 = 0xB5 // D21.5
+	sofByte2 = 0x36 // D22.1
+	eofByte1 = 0x95 // D21.4
+	eofByte2 = 0x75 // D21.3
+	eofByte3 = 0x75 // D21.3
+)
+
+// The SOF format byte carries the fixed/variable bit and the format
+// version in one octet, generalizing the seed encoding (0x0F fixed,
+// 0xF0 variable) without moving a single v1 bit:
+//
+//	fixed    frames: low nibble 0xF, high nibble = version-1
+//	variable frames: high nibble 0xF, low nibble = version-1
+//
+// v1 → 0x0F / 0xF0 (byte-exact with the seed format); v2 → 0x1F /
+// 0xF1. 0xFF would be ambiguous and is rejected.
+func formatByte(v Version, variable bool) byte {
+	if variable {
+		return 0xF0 | (byte(v) - 1)
+	}
+	return (byte(v)-1)<<4 | 0x0F
+}
+
+// sniffFormat inverts formatByte.
+func sniffFormat(b byte) (v Version, variable bool, err error) {
+	if b == 0xFF {
+		return 0, false, ErrBadSOF
+	}
+	switch {
+	case b&0x0F == 0x0F:
+		return Version(b>>4) + 1, false, nil
+	case b>>4 == 0xF:
+		return Version(b&0x0F) + 1, true, nil
+	default:
+		return 0, false, ErrBadSOF
+	}
+}
+
+// Shared wire sizes.
+const (
+	sofLen = 4
+	crcLen = 4
+	eofLen = 4
+	dmaLen = 8 // DMA control words of the variable format
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// encodeFrame assembles SOF + body + CRC + EOF for one codec: the
+// caller provides the control block and the shared payload section is
+// appended here, so both versions pad and checksum identically.
+func encodeFrame(v Version, p *micropacket.Packet, ctrl []byte, size int) ([]byte, error) {
+	buf := make([]byte, 0, size)
+	buf = append(buf, enc8b10b.K28_5, sofByte1, sofByte2, formatByte(v, p.Type.Variable()))
+	body := make([]byte, 0, size-sofLen-crcLen-eofLen)
+	body = append(body, ctrl...)
+	if p.Type.Variable() {
+		body = append(body, p.DMA.Channel, p.DMA.Region, p.DMA.Length, p.DMA.Seq)
+		var off [4]byte
+		binary.LittleEndian.PutUint32(off[:], p.DMA.Offset)
+		body = append(body, off[:]...)
+		body = append(body, p.Data...)
+		for i := len(p.Data); i < pad4(len(p.Data)); i++ {
+			body = append(body, 0)
+		}
+	} else {
+		body = append(body, p.Payload[:]...)
+	}
+	buf = append(buf, body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(body, castagnoli))
+	buf = append(buf, crc[:]...)
+	buf = append(buf, enc8b10b.K28_5, eofByte1, eofByte2, eofByte3)
+	if len(buf) != size {
+		return nil, fmt.Errorf("wire: internal size error: %d != %d", len(buf), size)
+	}
+	return buf, nil
+}
+
+// openFrame checks SOF/EOF/CRC for a frame claimed to be version v and
+// returns the body (control block + payload section) and the variable
+// flag from the format byte.
+func openFrame(v Version, buf []byte, minWire int) (body []byte, variable bool, err error) {
+	if len(buf) < minWire {
+		return nil, false, ErrTruncated
+	}
+	if buf[0] != enc8b10b.K28_5 || buf[1] != sofByte1 || buf[2] != sofByte2 {
+		return nil, false, ErrBadSOF
+	}
+	fv, variable, err := sniffFormat(buf[3])
+	if err != nil {
+		return nil, false, err
+	}
+	if fv != v {
+		return nil, false, ErrBadSOF
+	}
+	end := len(buf)
+	if buf[end-4] != enc8b10b.K28_5 || buf[end-3] != eofByte1 || buf[end-2] != eofByte2 || buf[end-1] != eofByte3 {
+		return nil, false, ErrBadEOF
+	}
+	body = buf[sofLen : end-crcLen-eofLen]
+	wantCRC := binary.LittleEndian.Uint32(buf[end-crcLen-eofLen : end-eofLen])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return nil, false, ErrBadCRC
+	}
+	return body, variable, nil
+}
+
+// decodePayload parses the shared payload section (everything after
+// the control block) into p, enforcing the same structural rules for
+// both versions.
+func decodePayload(p *micropacket.Packet, rest []byte, variable bool) error {
+	if p.Type.Variable() != variable {
+		return ErrBadFormat
+	}
+	if p.Type.Variable() {
+		if len(rest) < dmaLen {
+			return ErrTruncated
+		}
+		p.DMA = micropacket.DMAHeader{
+			Channel: rest[0], Region: rest[1], Length: rest[2], Seq: rest[3],
+			Offset: binary.LittleEndian.Uint32(rest[4:8]),
+		}
+		payload := rest[dmaLen:]
+		if int(p.DMA.Length) > len(payload) {
+			return micropacket.ErrLengthMism
+		}
+		if len(payload) != pad4(int(p.DMA.Length)) {
+			return micropacket.ErrLengthMism
+		}
+		// Padding must be zero: there is exactly one encoding per
+		// packet per version, so decode-then-encode is the identity on
+		// accepted frames.
+		for _, b := range payload[p.DMA.Length:] {
+			if b != 0 {
+				return ErrReserved
+			}
+		}
+		p.Data = make([]byte, p.DMA.Length)
+		copy(p.Data, payload)
+	} else {
+		if len(rest) != micropacket.FixedPayload {
+			return ErrTruncated
+		}
+		copy(p.Payload[:], rest)
+	}
+	return p.Validate()
+}
+
+// EncodeSymbols serializes the packet all the way to FC-1 10-bit
+// symbols under codec c, using the supplied encoder (which carries
+// link running disparity). The SOF and EOF K28.5 openers are emitted
+// as control characters.
+func EncodeSymbols(c Codec, p *micropacket.Packet, enc *enc8b10b.Encoder) ([]enc8b10b.Symbol, error) {
+	raw, err := c.Encode(p)
+	if err != nil {
+		return nil, err
+	}
+	syms := make([]enc8b10b.Symbol, 0, len(raw))
+	for i, b := range raw {
+		control := b == enc8b10b.K28_5 && (i == 0 || i == len(raw)-eofLen)
+		s, err := enc.Encode(b, control)
+		if err != nil {
+			return nil, err
+		}
+		syms = append(syms, s)
+	}
+	return syms, nil
+}
+
+// DecodeSymbols reverses EncodeSymbols using the supplied decoder,
+// dispatching the decoded bytes on the SOF format byte like Decode.
+// The SOF and EOF ordered sets must open with a control (K) character
+// and every other position must be a data character — byte-value
+// equality is not enough, since e.g. D28.5 and the K28.5 comma share
+// the byte value 0xBC but are distinct transmission characters.
+func DecodeSymbols(syms []enc8b10b.Symbol, dec *enc8b10b.Decoder) (*micropacket.Packet, Version, error) {
+	raw := make([]byte, 0, len(syms))
+	for i, s := range syms {
+		d, err := dec.Decode(s)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wire: symbol %d: %w", i, err)
+		}
+		wantControl := i == 0 || i == len(syms)-eofLen
+		if d.Control != wantControl {
+			return nil, 0, fmt.Errorf("wire: symbol %d: control/data class violation", i)
+		}
+		raw = append(raw, d.Byte)
+	}
+	return Decode(raw)
+}
