@@ -22,9 +22,9 @@ import (
 	"io"
 	"log"
 	"os"
-	"sort"
 
 	"repro/internal/benchparse"
+	"repro/internal/detmap"
 )
 
 func main() {
@@ -81,6 +81,7 @@ func main() {
 				tol = prev.Tolerance
 			}
 			if !*prune {
+				//ampvet:allow detmap map-to-map merge; the baseline writer emits sorted JSON
 				for name, r := range prev.Benchmarks {
 					if _, ok := merged[name]; !ok {
 						merged[name] = r
@@ -109,11 +110,7 @@ func main() {
 		tol = base.Tolerance
 	}
 	verdicts := benchparse.Compare(base.Benchmarks, results, tol)
-	names := make([]string, 0, len(verdicts))
-	for name := range verdicts {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	names := detmap.SortedKeys(verdicts)
 	failed := 0
 	for _, name := range names {
 		v := verdicts[name]

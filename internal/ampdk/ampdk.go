@@ -27,6 +27,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/detmap"
 	"repro/internal/dma"
 	"repro/internal/insertion"
 	"repro/internal/micropacket"
@@ -235,8 +236,8 @@ func NewNode(k *sim.Kernel, cluster *phys.Cluster, cfg Config) *Node {
 	n.DMA = dma.NewEngine(k, n.Station)
 	n.Cache = netcache.New()
 	n.Cache.AddRegion(ConfigRegion, ConfigRegionSize)
-	for id, size := range cfg.Regions {
-		n.Cache.AddRegion(id, size)
+	for _, id := range detmap.SortedKeys(cfg.Regions) {
+		n.Cache.AddRegion(id, cfg.Regions[id])
 	}
 	n.CacheW = netcache.NewWriter(n.Cache, dma.CacheTransport{E: n.DMA, Ch: CacheChannel})
 	n.Sem = netsem.NewService(k, n.Station, n.semHome)
@@ -279,24 +280,25 @@ func (n *Node) Boot() {
 // Online reports whether the node completed assimilation.
 func (n *Node) Online() bool { return n.State == StateOnline }
 
-// Peers returns a snapshot of known peers.
+// Peers returns a snapshot of known peers, in ascending id order.
 func (n *Node) Peers() []Peer {
 	out := make([]Peer, 0, len(n.peers))
-	for _, p := range n.peers {
-		out = append(out, *p)
+	for _, id := range detmap.SortedKeys(n.peers) {
+		out = append(out, *n.peers[id])
 	}
 	return out
 }
 
 // OnlinePeerIDs returns ids of peers currently believed online,
-// including this node if online.
+// including this node if online. The result is not sorted — this
+// node's own id leads — but its order is deterministic.
 func (n *Node) OnlinePeerIDs() []int {
 	var out []int
 	if n.Online() {
 		out = append(out, n.Cfg.ID)
 	}
-	for id, p := range n.peers {
-		if p.Online {
+	for _, id := range detmap.SortedKeys(n.peers) {
+		if n.peers[id].Online {
 			out = append(out, id)
 		}
 	}
@@ -361,6 +363,7 @@ func (n *Node) solicit() {
 // nodes it has heard booting (including itself) — the founding
 // tiebreak when a whole cluster powers on at once.
 func (n *Node) lowestBooting() bool {
+	//ampvet:allow detmap order-free predicate: any qualifying key returns
 	for id := range n.peers {
 		if id < n.Cfg.ID {
 			return false
@@ -419,7 +422,11 @@ func (n *Node) detectLoop() {
 	}
 	deadline := sim.Time(n.Cfg.HeartbeatMiss) * n.Cfg.HeartbeatInterval
 	now := n.K.Now()
-	for id, p := range n.peers {
+	// Sorted so OnPeerDown fires in id order when several peers expire
+	// in the same interval — the callback schedules failover elections,
+	// and map order here would leak into the Report.
+	for _, id := range detmap.SortedKeys(n.peers) {
+		p := n.peers[id]
 		if p.Online && now-p.LastHB > deadline {
 			p.Online = false
 			if n.OnPeerDown != nil {
@@ -507,6 +514,7 @@ func (n *Node) handleJoinReq(p *micropacket.Packet) {
 		return
 	}
 	// Only the sponsor responds.
+	//ampvet:allow detmap order-free predicate: any lower online id suppresses
 	for id, pe := range n.peers {
 		if pe.Online && id < n.Cfg.ID {
 			return

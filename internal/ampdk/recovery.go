@@ -47,6 +47,7 @@ func (n *Node) sponsorID() int {
 	if n.Online() {
 		lo = n.Cfg.ID
 	}
+	//ampvet:allow detmap order-free min over keys
 	for id, p := range n.peers {
 		if p.Online && (lo < 0 || id < lo) {
 			lo = id

@@ -2,8 +2,8 @@ package ampip
 
 import (
 	"encoding/binary"
-	"sort"
 
+	"repro/internal/detmap"
 	"repro/internal/sim"
 )
 
@@ -162,6 +162,7 @@ func (c *Comm) finish(k opKey, st *opState) {
 // rememberReduce records a completed reduce result, bounded.
 func (c *Comm) rememberReduce(seq uint32, v uint64) {
 	if len(c.doneReduce) > completedMemory {
+		//ampvet:allow detmap order-free bounded forget: deletes are independent
 		for s := range c.doneReduce {
 			if s+completedMemory < seq {
 				delete(c.doneReduce, s)
@@ -173,6 +174,7 @@ func (c *Comm) rememberReduce(seq uint32, v uint64) {
 
 func (c *Comm) rememberBarrier(seq uint32) {
 	if len(c.doneBarrier) > completedMemory {
+		//ampvet:allow detmap order-free bounded forget: deletes are independent
 		for s := range c.doneBarrier {
 			if s+completedMemory < seq {
 				delete(c.doneBarrier, s)
@@ -355,6 +357,7 @@ func (c *Comm) AllReduceSum(v uint64, done func(uint64)) {
 		st.done = func(s *opState) {
 			if len(s.from) == len(c.Nodes) && !s.finished {
 				var total uint64
+				//ampvet:allow detmap commutative sum over values
 				for _, x := range s.from {
 					total += x
 				}
@@ -402,6 +405,7 @@ func (c *Comm) Gather(root int, block []byte, done func(blocks [][]byte)) {
 		st.done = func(s *opState) {
 			if len(s.blocks) == len(c.Nodes) && !s.finished {
 				out := make([][]byte, len(c.Nodes))
+				//ampvet:allow detmap scatter by key: each slot written once
 				for r, b := range s.blocks {
 					out[r] = b
 				}
@@ -499,12 +503,7 @@ func (c *Comm) AllToAll(blocks [][]byte, done func(recv [][]byte)) {
 	st.done = func(s *opState) {
 		if len(s.blocks) == len(c.Nodes) && len(s.acked) == len(c.Nodes) && !s.finished {
 			out := make([][]byte, len(c.Nodes))
-			ranks := make([]int, 0, len(s.blocks))
-			for r := range s.blocks {
-				ranks = append(ranks, r)
-			}
-			sort.Ints(ranks)
-			for _, r := range ranks {
+			for _, r := range detmap.SortedKeys(s.blocks) {
 				out[r] = s.blocks[r]
 			}
 			c.finish(k, s)

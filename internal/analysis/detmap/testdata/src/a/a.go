@@ -1,0 +1,49 @@
+package a
+
+import "sort"
+
+func sumUnordered(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `unordered map iteration`
+		s += v
+	}
+	return s
+}
+
+func keyOnlyForm(m map[string]int) {
+	for range m { // want `unordered map iteration`
+	}
+}
+
+type set map[int]bool
+
+func namedMapType(s set) []int {
+	var out []int
+	for k := range s { // want `unordered map iteration`
+		out = append(out, k)
+	}
+	return out
+}
+
+func allowedWithJustification(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //ampvet:allow detmap keys are sorted before any use below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func slicesAreFine(s []int) (t int) {
+	for _, v := range s {
+		t += v
+	}
+	return
+}
+
+func channelsAreFine(ch chan int) int {
+	for v := range ch {
+		return v
+	}
+	return 0
+}

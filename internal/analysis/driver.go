@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// RunStandalone loads the packages matching the go list patterns,
+// runs the analyzers over every non-dependency package, and prints
+// surviving diagnostics to w in `file:line:col: message [ampvet:name]`
+// form. It returns the number of diagnostics, so the caller can exit
+// non-zero on any finding.
+func RunStandalone(w io.Writer, patterns []string, analyzers []*Analyzer) (int, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return 0, err
+	}
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	// go list -deps emits dependencies before dependents, so roots keep
+	// a stable command-line-ish order; sort for full determinism.
+	var roots []*listedPackage
+	for _, p := range pkgs {
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	total := 0
+	for _, p := range roots {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		files, err := parseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return total, err
+		}
+		pkg, info, err := checkPackage(fset, p.ImportPath, files, exportImporter(fset, exports))
+		if err != nil {
+			return total, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		findings, err := RunPackage(fset, files, pkg, info, analyzers)
+		if err != nil {
+			return total, err
+		}
+		sort.SliceStable(findings, func(i, j int) bool { return findings[i].Pos < findings[j].Pos })
+		for _, f := range findings {
+			fmt.Fprintf(w, "%s: %s [ampvet:%s]\n", fset.Position(f.Pos), f.Message, f.Analyzer)
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,12 @@
+package rawrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rawrand"
+)
+
+func TestRawrand(t *testing.T) {
+	analysistest.Run(t, "testdata", rawrand.Analyzer, "a")
+}

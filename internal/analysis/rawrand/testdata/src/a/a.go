@@ -1,0 +1,12 @@
+package a
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand`
+	"math/rand"         // want `import of math/rand`
+)
+
+func use() int {
+	var b [1]byte
+	crand.Read(b[:])
+	return rand.Int()
+}

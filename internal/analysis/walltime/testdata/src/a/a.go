@@ -1,0 +1,31 @@
+package a
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on host time`
+	<-time.After(time.Second)    // want `time\.After fires on host time`
+	_ = time.NewTicker(1)        // want `time\.NewTicker fires on host time`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func allowedSameLine() time.Time {
+	return time.Now() //ampvet:allow walltime operator-facing progress print
+}
+
+func allowedLineAbove() time.Time {
+	//ampvet:allow walltime operator-facing progress print
+	return time.Now()
+}
+
+func otherAllowDoesNotWaive() time.Time {
+	//ampvet:allow detmap wrong analyzer named
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func durationsAreFine(d time.Duration) time.Duration {
+	t := time.Unix(0, 0)
+	_ = t.Add(time.Hour)
+	return d.Round(time.Millisecond)
+}

@@ -1,0 +1,12 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer, "a")
+}

@@ -1,0 +1,41 @@
+package a
+
+import "encoding/binary"
+
+func handRolledRead(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 // want `hand-rolled wire byte layout`
+}
+
+func handRolledWrite(b []byte, v uint16) {
+	b[0] = byte(v)      // single-byte store, no shift: fine
+	b[1] = byte(v >> 8) // want `hand-rolled wire byte layout`
+}
+
+func accumulatorRead(b []byte) (v uint64) {
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i]) // want `hand-rolled wire byte layout`
+	}
+	return v
+}
+
+func arrayForm(b *[8]byte, v uint32) {
+	b[3] = byte(v >> 24) // want `hand-rolled wire byte layout`
+}
+
+func sanctioned(b []byte, v uint32) uint32 {
+	binary.LittleEndian.PutUint32(b, v)
+	return binary.LittleEndian.Uint32(b)
+}
+
+func tableLookupIsFine(tbl []byte, x int) byte {
+	return tbl[x>>4] // the shift selects an element, it does not pack bytes
+}
+
+func intShiftsAreFine(v uint32) uint32 {
+	return v>>8 | v<<24
+}
+
+func allowed(b []byte) uint16 {
+	//ampvet:allow wireenc exercising the escape hatch
+	return uint16(b[0]) | uint16(b[1])<<8
+}

@@ -1,0 +1,12 @@
+package wireenc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireenc"
+)
+
+func TestWireenc(t *testing.T) {
+	analysistest.Run(t, "testdata", wireenc.Analyzer, "a", "wire")
+}

@@ -125,6 +125,7 @@ func (v Verdict) String() string {
 // entries missing from the run fail.
 func Compare(base, run map[string]Result, tolerance float64) map[string]Verdict {
 	out := make(map[string]Verdict, len(base))
+	//ampvet:allow detmap map-to-map projection; callers sort the verdict keys
 	for name, b := range base {
 		v := Verdict{Name: name, Base: b.NsPerOp}
 		cur, ok := run[name]

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/ampdk"
+	"repro/internal/detmap"
 	"repro/internal/rostering"
 )
 
@@ -70,7 +71,8 @@ func (c *Cluster) liveComponents() [][]int {
 		}
 	}
 	comps := make([][]int, 0, len(byRoot))
-	for _, members := range byRoot {
+	for _, root := range detmap.SortedKeys(byRoot) {
+		members := byRoot[root]
 		sort.Ints(members)
 		comps = append(comps, members)
 	}

@@ -1,0 +1,37 @@
+package detmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	for i := 0; i < 32; i++ { // order must hold on every pass, not by luck
+		if got, want := SortedKeys(m), []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+	type named map[string]int
+	if got, want := SortedKeys(named{"b": 1, "a": 2}), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys(named) = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type key struct{ a, b int }
+	m := map[key]bool{{2, 1}: true, {1, 2}: true, {1, 1}: true}
+	got := SortedKeysFunc(m, func(x, y key) bool {
+		if x.a != y.a {
+			return x.a < y.a
+		}
+		return x.b < y.b
+	})
+	want := []key{{1, 1}, {1, 2}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeysFunc = %v, want %v", got, want)
+	}
+}

@@ -299,6 +299,7 @@ func init() {
 		rev6data[e.neg] = uint8(x)
 		rev6data[e.pos] = uint8(x)
 	}
+	//ampvet:allow detmap inverse-table build: scatter by key, each slot written once
 	for x, e := range k6 {
 		rev6k[e.neg] = x
 		rev6k[e.pos] = x

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/ampdk"
+	"repro/internal/detmap"
 	"repro/internal/netcache"
 	"repro/internal/sim"
 )
@@ -160,11 +161,14 @@ func (m *Manager) bestQualified(g *Group, deadOverride map[int]bool) int {
 
 // peerDown handles a kernel liveness verdict against a peer.
 func (m *Manager) peerDown(id int) {
-	for _, g := range m.groups {
+	// Sorted so fail-over timers are scheduled in group-id order: the
+	// elections they trigger mutate shared roster state, and map order
+	// here would reorder kernel events between runs.
+	for _, gid := range detmap.SortedKeys(m.groups) {
+		g := m.groups[gid]
 		if g.primary != id {
 			continue
 		}
-		g := g
 		deadID := id
 		if g.pending != nil {
 			g.pending.Cancel()
@@ -182,8 +186,8 @@ func (m *Manager) peerDown(id int) {
 
 // peerUp re-evaluates groups when a better-qualified member returns.
 func (m *Manager) peerUp(id int) {
-	for _, g := range m.groups {
-		if g.primary < 0 {
+	for _, gid := range detmap.SortedKeys(m.groups) {
+		if g := m.groups[gid]; g.primary < 0 {
 			m.elect(g, nil)
 		}
 	}

@@ -12,9 +12,9 @@ package harness
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
+	"repro/internal/detmap"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 )
@@ -253,6 +253,7 @@ func aggregate(results []Result) []Aggregate {
 				a.Errors++
 				continue
 			}
+			//ampvet:allow detmap per-name accumulation is independent across names
 			for name, v := range r.Metrics {
 				s, ok := samples[name]
 				if !ok {
@@ -264,12 +265,7 @@ func aggregate(results []Result) []Aggregate {
 		}
 		if len(samples) > 0 {
 			a.Metrics = map[string]MetricSummary{}
-			names := make([]string, 0, len(samples))
-			for name := range samples {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			for _, name := range names {
+			for _, name := range detmap.SortedKeys(samples) {
 				a.Metrics[name] = summarize(samples[name])
 			}
 		}

@@ -5,8 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
+
+	"repro/internal/detmap"
 )
 
 // WriteJSON serializes the report. Map keys are emitted sorted (the
@@ -27,12 +28,7 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, a := range r.Aggregates {
-		names := make([]string, 0, len(a.Metrics))
-		for name := range a.Metrics {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
+		for _, name := range detmap.SortedKeys(a.Metrics) {
 			m := a.Metrics[name]
 			if err := cw.Write([]string{
 				a.Exp, a.Variant, name, strconv.Itoa(m.N),
@@ -59,15 +55,13 @@ func (r *Report) WriteText(w io.Writer) error {
 			fmt.Fprintln(w, "  (no scalar metrics)")
 			continue
 		}
-		names := make([]string, 0, len(a.Metrics))
+		names := detmap.SortedKeys(a.Metrics)
 		wName := len("metric")
-		for name := range a.Metrics {
-			names = append(names, name)
+		for _, name := range names {
 			if len(name) > wName {
 				wName = len(name)
 			}
 		}
-		sort.Strings(names)
 		fmt.Fprintf(w, "  %-*s  %10s  %10s  %10s  %10s  %10s\n", wName, "metric", "mean", "min", "p50", "p99", "max")
 		for _, name := range names {
 			m := a.Metrics[name]

@@ -32,6 +32,7 @@
 package micropacket
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -237,18 +238,12 @@ func (p *Packet) SetOp(op AtomicOp) { p.Flags = Flags(op) & 0xF }
 // Word64 returns the fixed payload as a little-endian 64-bit value, the
 // natural view for D64 Atomic packets.
 func (p *Packet) Word64() uint64 {
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(p.Payload[i])
-	}
-	return v
+	return binary.LittleEndian.Uint64(p.Payload[:8])
 }
 
 // SetWord64 stores v into the fixed payload, little-endian.
 func (p *Packet) SetWord64(v uint64) {
-	for i := 0; i < 8; i++ {
-		p.Payload[i] = byte(v >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(p.Payload[:8], v)
 }
 
 // PayloadLen returns the number of meaningful payload bytes.

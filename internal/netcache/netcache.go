@@ -29,6 +29,8 @@ package netcache
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/detmap"
 )
 
 // CounterSize is the size of each of the two record counters.
@@ -62,13 +64,9 @@ func (c *Cache) AddRegion(id uint8, size int) {
 // streaming and diagnostics.
 func (c *Cache) Region(id uint8) []byte { return c.regions[id] }
 
-// Regions returns the region ids present, in unspecified order.
+// Regions returns the region ids present, in ascending order.
 func (c *Cache) Regions() []uint8 {
-	out := make([]uint8, 0, len(c.regions))
-	for id := range c.regions {
-		out = append(out, id)
-	}
-	return out
+	return detmap.SortedKeys(c.regions)
 }
 
 // Apply writes raw bytes into a region at offset — the receive path for

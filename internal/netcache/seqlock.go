@@ -1,6 +1,7 @@
 package netcache
 
 import (
+	"encoding/binary"
 	"runtime"
 	"sync/atomic"
 )
@@ -37,14 +38,11 @@ func (h *HostRecord) Write(data []byte) {
 	}
 	v := h.head.Add(1)
 	for w := range h.data {
-		var word uint64
-		for b := 0; b < 8; b++ {
-			i := w*8 + b
-			if i < len(data) {
-				word |= uint64(data[i]) << (8 * b)
-			}
-		}
-		h.data[w].Store(word)
+		// Pack the word little-endian via encoding/binary (short tail
+		// words are zero-padded), so no byte-layout math lives here.
+		var tmp [8]byte
+		copy(tmp[:], data[w*8:])
+		h.data[w].Store(binary.LittleEndian.Uint64(tmp[:]))
 	}
 	h.tail.Store(v)
 }
@@ -60,13 +58,9 @@ func (h *HostRecord) TryRead(buf []byte) bool {
 		return false
 	}
 	for w := range h.data {
-		word := h.data[w].Load()
-		for b := 0; b < 8; b++ {
-			i := w*8 + b
-			if i < len(buf) {
-				buf[i] = byte(word >> (8 * b))
-			}
-		}
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], h.data[w].Load())
+		copy(buf[w*8:], tmp[:])
 	}
 	return h.head.Load() == v1
 }

@@ -21,8 +21,7 @@
 package netsem
 
 import (
-	"sort"
-
+	"repro/internal/detmap"
 	"repro/internal/insertion"
 	"repro/internal/micropacket"
 	"repro/internal/sim"
@@ -167,12 +166,7 @@ func (s *Service) notify(sem uint8, val uint64) {
 	if len(m) == 0 {
 		return
 	}
-	ids := make([]uint64, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	for _, id := range detmap.SortedKeys(m) {
 		if f, ok := m[id]; ok {
 			f(val)
 		}

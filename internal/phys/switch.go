@@ -1,6 +1,7 @@
 package phys
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/micropacket"
@@ -176,7 +177,7 @@ func (s *Switch) Restore() {
 // re-flooding duplicates would multiply exponentially.
 func (s *Switch) floodAdmit(f Frame) bool {
 	pl := f.Pkt.Payload
-	epoch := uint32(pl[3]) | uint32(pl[4])<<8 | uint32(pl[5])<<16 | uint32(pl[6])<<24
+	epoch := binary.LittleEndian.Uint32(pl[3:7])
 	switch {
 	case epoch > s.floodEpoch:
 		s.floodEpoch = epoch
@@ -184,8 +185,9 @@ func (s *Switch) floodAdmit(f Frame) bool {
 	case epoch < s.floodEpoch:
 		return false
 	}
-	origin := uint64(pl[0]) | uint64(pl[1])<<8
-	key := origin<<8 | uint64(pl[7])
+	origin := uint64(binary.LittleEndian.Uint16(pl[0:2]))
+	seq := uint64(pl[7])
+	key := origin<<8 | seq
 	if s.floodSeen == nil {
 		s.floodSeen = map[uint64]bool{}
 	}

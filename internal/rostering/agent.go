@@ -298,6 +298,7 @@ func (a *Agent) adopt() {
 	a.adoptedAt = a.K.Now()
 	a.Station.LastRx = a.K.Now()
 	lsdb := make(map[int]LinkState, len(a.lsdb))
+	//ampvet:allow detmap map-to-map projection; BuildRosterFabric sorts the ids
 	for id, ann := range a.lsdb {
 		lsdb[id] = ann.Mask
 	}

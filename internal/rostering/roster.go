@@ -27,8 +27,8 @@ package rostering
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/detmap"
 	"repro/internal/phys"
 	"repro/internal/sim"
 )
@@ -213,12 +213,11 @@ func BuildRoster(epoch uint32, lsdb map[int]LinkState) *Roster {
 // node order is reversed, so the backup ring rotates the other way.
 func BuildRosterFabric(epoch uint32, lsdb map[int]LinkState, view *phys.FabricView) *Roster {
 	ids := make([]int, 0, len(lsdb))
-	for id, m := range lsdb {
-		if m != 0 {
+	for _, id := range detmap.SortedKeys(lsdb) {
+		if lsdb[id] != 0 {
 			ids = append(ids, id)
 		}
 	}
-	sort.Ints(ids)
 	if len(ids) == 0 {
 		return &Roster{Epoch: epoch}
 	}
