@@ -7,6 +7,7 @@
 package ampnet
 
 import (
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -18,6 +19,15 @@ import (
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
+
+// TestMain doubles this test binary as the shard-worker command for the
+// socket-transport benchmark (BenchmarkE15WireScaleSocket512 passes
+// os.Args[0] as Options.ShardWorker). Without the ampshard environment
+// this is a plain test run.
+func TestMain(m *testing.M) {
+	RunShardWorkerFromEnv()
+	os.Exit(m.Run())
+}
 
 // --- E1/E2: MicroPacket codec ---
 
@@ -296,17 +306,17 @@ func BenchmarkE14ParsimSharded248(b *testing.B) { benchParsim(b, 248, 8) }
 // heavyweight and excluded from the CI bench guard; its baseline
 // entries record the on-demand serial-vs-sharded speedup at a size
 // wire v1 cannot address at all.
-func benchWireScale(b *testing.B, nodes, shards int) {
+func benchWireScale(b *testing.B, nodes, shards int, transport string) {
 	var events uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var cl *core.Cluster
 		sc := experiments.E15Scenario(nodes, 1, shards)
-		prev := sc.OnCluster
-		sc.OnCluster = func(c *core.Cluster) {
-			cl = c
-			prev(c)
+		if transport != "" {
+			sc.Opts.Transport = transport
+			sc.Opts.ShardWorker = []string{os.Args[0]}
 		}
+		sc.OnCluster = func(c *core.Cluster) { cl = c }
 		rep, err := sc.Run()
 		if err != nil {
 			b.Fatal(err)
@@ -321,8 +331,17 @@ func benchWireScale(b *testing.B, nodes, shards int) {
 	}
 }
 
-func BenchmarkE15WireScaleSerial512(b *testing.B)  { benchWireScale(b, 512, 1) }
-func BenchmarkE15WireScaleSharded512(b *testing.B) { benchWireScale(b, 512, 8) }
+func BenchmarkE15WireScaleSerial512(b *testing.B)  { benchWireScale(b, 512, 1, "") }
+func BenchmarkE15WireScaleSharded512(b *testing.B) { benchWireScale(b, 512, 8, "") }
+
+// BenchmarkE15WireScaleSocket512 is the distributed leg of E15: the
+// same 512-node scenario with its 8 shards as separate OS processes
+// (this test binary, see TestMain) speaking length-prefixed wire v2
+// over loopback TCP. The gap to Sharded512 is the price of the socket
+// barrier protocol — per-window control frames, capture encoding and
+// the coordinator's replica cross-check — at a size where every
+// window carries real cross-shard traffic.
+func BenchmarkE15WireScaleSocket512(b *testing.B) { benchWireScale(b, 512, 8, "socket") }
 
 // --- substrate micro-benchmarks ---
 

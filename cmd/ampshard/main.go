@@ -1,0 +1,27 @@
+// Command ampshard is the shard-worker side of the socket transport:
+// ampsim -transport socket (or any program setting Options.Transport
+// "socket") launches one ampshard process per shard, and each worker
+// dials the coordinator over loopback TCP, rebuilds the cluster from
+// the serialized topology spec, and advances its shard's kernel in
+// lockstep with the coordinator's barrier grants — speaking internal/
+// wire ControlV1 frames end to end.
+//
+// ampshard is not meant to be run by hand: it reads its coordinator
+// address and shard id from the environment (AMPSHARD_ADDR,
+// AMPSHARD_SHARD) that the coordinator sets at launch.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	ampnet "repro"
+)
+
+func main() {
+	if !ampnet.RunShardWorkerFromEnv() {
+		fmt.Fprintln(os.Stderr,
+			"ampshard: not launched by a coordinator (AMPSHARD_ADDR unset); run ampsim -transport socket instead")
+		os.Exit(2)
+	}
+}

@@ -13,7 +13,10 @@
 // Host benchmarks are noisy, so the guard compares only ns/op with a
 // generous default tolerance (25%) and reports improvements without
 // failing. Benchmarks missing from the current run fail the guard —
-// a silently deleted hot-path benchmark is itself a regression.
+// a silently deleted hot-path benchmark is itself a regression. The
+// baseline also stores on-demand entries the CI guard never runs (the
+// 248-node E14 pair, the E15 trio); pass the `-bench` pattern again as
+// -only so those don't count as missing.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"regexp"
 
 	"repro/internal/benchparse"
 	"repro/internal/detmap"
@@ -36,6 +40,8 @@ func main() {
 	update := flag.Bool("update", false,
 		"merge this run into the baseline instead of comparing: present benchmarks are refreshed, absent ones kept")
 	prune := flag.Bool("prune", false, "with -update: drop baseline entries missing from this run")
+	only := flag.String("only", "",
+		"regexp restricting which baseline entries are guarded when comparing (pass the same pattern as -bench, so on-demand entries like the E15 trio don't count as missing); empty = all")
 	flag.Parse()
 	toleranceSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -109,7 +115,24 @@ func main() {
 	if base.Tolerance > 0 && !toleranceSet {
 		tol = base.Tolerance
 	}
-	verdicts := benchparse.Compare(base.Benchmarks, results, tol)
+	guarded := base.Benchmarks
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			log.Fatalf("bad -only pattern: %v", err)
+		}
+		guarded = make(map[string]benchparse.Result)
+		//ampvet:allow detmap map-to-map filter; the verdict keys are sorted below
+		for name, r := range base.Benchmarks {
+			if re.MatchString(name) {
+				guarded[name] = r
+			}
+		}
+		if len(guarded) == 0 {
+			log.Fatalf("-only %q matches no baseline entry", *only)
+		}
+	}
+	verdicts := benchparse.Compare(guarded, results, tol)
 	names := detmap.SortedKeys(verdicts)
 	failed := 0
 	for _, name := range names {

@@ -14,6 +14,12 @@
 // depends on the host scheduler, breaking serial/parallel Report
 // equality.
 //
+// The rule covers both halves of the engine: repro/internal/parsim
+// (the barrier engine) and repro/internal/shardnet (the transport
+// subsystem whose Inproc implementation owns the shard goroutines and
+// the capture queues, and whose Socket implementation mirrors them to
+// worker processes).
+//
 // Shard context is computed statically: every function launched by a
 // `go` statement in the package, every method of a type that
 // implements the RemoteExchange capture surface (a RemoteFrame
@@ -45,9 +51,16 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// inScope reports whether the package is a parallel-engine package.
+// inScope reports whether the package is a parallel-engine package:
+// parsim (the barrier engine) or shardnet (the transport subsystem the
+// shard goroutines and capture queues moved into).
 func inScope(path string) bool {
-	return path == "repro/internal/parsim" || path == "parsim" || strings.HasSuffix(path, "/parsim")
+	for _, pkg := range []string{"parsim", "shardnet"} {
+		if path == "repro/internal/"+pkg || path == pkg || strings.HasSuffix(path, "/"+pkg) {
+			return true
+		}
+	}
+	return false
 }
 
 // sanctioned names the capture APIs that are allowed to append into

@@ -1,0 +1,73 @@
+package shardnet
+
+// Transport stands in for the shardnet transport: per-shard capture
+// queues and counters that only barrier-time code may touch.
+type Transport struct {
+	frames   [][]int
+	frameSeq []int
+	routes   [][]int
+	stats    []int
+	work     []chan int
+	done     chan error
+	window   int
+}
+
+// NewTransport launches the shard workers; it runs on the coordinator.
+func NewTransport(t *Transport) {
+	t.window = 0 // coordinator context: fine
+	for i := range t.work {
+		go t.worker(i, t.work[i])
+	}
+}
+
+func (t *Transport) worker(i int, ch chan int) {
+	for range ch {
+		t.done <- t.runShard(i) // channel send: communication, fine
+	}
+}
+
+// runShard is shard context by propagation: worker calls it.
+func (t *Transport) runShard(i int) (err error) {
+	defer func() {
+		if recover() != nil {
+			err = nil // named result: a plain local, fine
+		}
+	}()
+	t.window++ // want `write to shared coordinator state`
+	return nil
+}
+
+// Grant is coordinator context: never reached from shard context.
+func (t *Transport) Grant(target int) {
+	t.window++ // coordinator context: fine
+}
+
+// capture implements the RemoteExchange surface, making all its
+// methods shard context.
+type capture struct {
+	t     *Transport
+	shard int
+}
+
+// RemoteFrame is the sanctioned frame-capture path: per-shard appends
+// the coordinator drains at the barrier.
+func (x *capture) RemoteFrame(v int) {
+	x.t.frames[x.shard] = append(x.t.frames[x.shard], v)
+	x.t.frameSeq[x.shard]++
+}
+
+// DeferRoute is the sanctioned route-capture path.
+func (t *Transport) DeferRoute(srcShard, op int) {
+	t.routes[srcShard] = append(t.routes[srcShard], op)
+}
+
+// tally is NOT sanctioned: a capture-surface method mutating shared
+// counters outside the sanctioned paths is flagged.
+func (x *capture) tally(v int) {
+	x.t.stats[x.shard] = v // want `write to shared coordinator state`
+}
+
+func (x *capture) allowed(v int) {
+	//ampvet:allow shardshare stats slot is owned by this shard between barriers
+	x.t.stats[x.shard] = v
+}

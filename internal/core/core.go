@@ -15,6 +15,7 @@ import (
 	"repro/internal/enc8b10b"
 	"repro/internal/failover"
 	"repro/internal/phys"
+	"repro/internal/shardnet"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -71,6 +72,29 @@ type Options struct {
 	// shard per switch is used. The shard count — not the machine —
 	// determines the partition, so results stay machine-independent.
 	Parallel bool
+	// Transport selects how the parallel engine's shards are hosted:
+	// "" or "inproc" keeps them as goroutines of this process (the
+	// default — bit-for-bit the engine Shards alone selects), "socket"
+	// additionally runs every shard in its own worker process
+	// (Options.ShardWorker) speaking the internal/wire control protocol
+	// over loopback TCP, with the workers' replicas byte-checked
+	// against the coordinator's at every barrier. Requires Shards > 1
+	// and a fabric with a machine-readable shape (Options.Fabric built
+	// by a phys constructor, or the default shapes).
+	Transport string
+	// ShardWorker is the worker argv for Transport "socket" — typically
+	// the cmd/ampshard binary. The connect address and shard id travel
+	// in the AMPSHARD_ADDR/AMPSHARD_SHARD environment variables.
+	ShardWorker []string
+
+	// JoinTimeout, KeepaliveInterval and SilenceTimeout retune the
+	// per-node liveness cadences for fabric size (big fabrics drown in
+	// the room-sized defaults). Zero keeps each component's default.
+	// They are declarative — part of the cluster spec — so they cross
+	// to socket-transport shard workers, unlike an OnCluster closure.
+	JoinTimeout       sim.Time
+	KeepaliveInterval sim.Time
+	SilenceTimeout    sim.Time
 
 	// DeepPHY runs every delivered frame through the real datapath —
 	// MicroPacket wire codec plus 8b/10b line coding — so the whole
@@ -172,6 +196,9 @@ type Cluster struct {
 	// booted flips once Boot has been called; plan validation assumes
 	// all nodes up until then.
 	booted bool
+	// loads lists every started load in start order; the index is the
+	// cross-process identity actLoadQuiesce mirrors by.
+	loads []*ActiveLoad
 }
 
 // New assembles a cluster. Nothing runs until Boot (or manual Node
@@ -184,6 +211,9 @@ func New(opts Options) *Cluster {
 	opts.fill()
 	if opts.Shards > 1 {
 		return newParallel(opts)
+	}
+	if opts.transportName() == "socket" {
+		panic("core: Options.Transport \"socket\" needs Options.Shards > 1 (the serial engine has no shards to distribute)")
 	}
 	c := &Cluster{Opts: opts}
 	c.K = sim.NewKernel(opts.Seed)
@@ -225,9 +255,16 @@ func (c *Cluster) buildNodes(kernelOf func(node int) *sim.Kernel) {
 			ID: i, Version: ver, Regions: opts.Regions,
 			HeartbeatInterval: opts.HeartbeatInterval,
 			HeartbeatMiss:     opts.HeartbeatMiss,
+			JoinTimeout:       opts.JoinTimeout,
 			FiberM:            opts.FiberMeters,
 		})
 		nd.Agent.Shard = c.Phys.ShardOfNode(i)
+		if opts.KeepaliveInterval != 0 {
+			nd.Agent.KeepaliveInterval = opts.KeepaliveInterval
+		}
+		if opts.SilenceTimeout != 0 {
+			nd.Agent.SilenceTimeout = opts.SilenceTimeout
+		}
 		c.Nodes = append(c.Nodes, nd)
 		c.Services = append(c.Services, ampdc.New(nd))
 		c.Stacks = append(c.Stacks, ampip.NewStack(nd))
@@ -245,6 +282,11 @@ func (c *Cluster) Boot(window sim.Time) error {
 		nd := nd
 		nd.K.After(0, func() { nd.Boot() })
 	}
+	// Distributed shard workers schedule the same boots at the same
+	// parked instant, in the same node order.
+	if err := c.mirror(shardnet.Action{Kind: actBootAll}); err != nil {
+		return err
+	}
 	if window == 0 {
 		window = 50 * sim.Millisecond
 	}
@@ -252,6 +294,11 @@ func (c *Cluster) Boot(window sim.Time) error {
 	// sub-millisecond (or non-integral-ms) window must not run past it.
 	if c.stepUntil(c.allSettled, c.Now()+window, sim.Millisecond) {
 		return nil
+	}
+	// A transport failure mid-boot surfaces as itself, not as the
+	// stuck-node symptom it leaves behind.
+	if err := c.Err(); err != nil {
+		return err
 	}
 	for _, nd := range c.Nodes {
 		if nd.State != ampdk.StateOnline && nd.State != ampdk.StateRejected {
@@ -275,6 +322,21 @@ func (c *Cluster) Run(d sim.Time) { c.eng.RunUntil(c.eng.Now() + d) }
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() sim.Time { return c.eng.Now() }
+
+// Err returns the engine's sticky failure, if any: a shard panic, a
+// worker-process death, or a replica divergence on the socket
+// transport. Once set, the simulation refuses to advance; Scenario.Run
+// surfaces it as the run's error. Always nil on the serial engine.
+func (c *Cluster) Err() error {
+	if c.par != nil {
+		return c.par.e.Err()
+	}
+	return nil
+}
+
+// Distributed reports whether the cluster's shards also run in worker
+// processes (Options.Transport "socket").
+func (c *Cluster) Distributed() bool { return c.par != nil && c.par.e.Distributed() }
 
 // Close releases engine resources (the parallel engine's worker
 // threads). It is safe to call on any cluster, more than once, and is

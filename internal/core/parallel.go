@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/parsim"
 	"repro/internal/phys"
+	"repro/internal/shardnet"
 	"repro/internal/sim"
 )
 
@@ -13,10 +14,14 @@ import (
 // engine. RunUntil is inclusive and leaves the clock exactly on its
 // deadline; ScheduleAt runs fn at t ordered like a timer installed at
 // the moment of the call (the contract plan events rely on).
+// ScheduleAction is ScheduleAt plus the action's serialized descriptor,
+// which distributed transports mirror to their shard workers (nil desc
+// marks a read-only action that never needs mirroring).
 type engine interface {
 	Now() sim.Time
 	RunUntil(t sim.Time) sim.Time
 	ScheduleAt(t sim.Time, fn func())
+	ScheduleAction(t sim.Time, fn func(), desc *shardnet.Action)
 }
 
 // serialEngine drives the single kernel of a serial cluster.
@@ -25,6 +30,10 @@ type serialEngine struct{ k *sim.Kernel }
 func (s serialEngine) Now() sim.Time                    { return s.k.Now() }
 func (s serialEngine) RunUntil(t sim.Time) sim.Time     { return s.k.RunUntil(t) }
 func (s serialEngine) ScheduleAt(t sim.Time, fn func()) { s.k.At(t, fn) }
+func (s serialEngine) ScheduleAction(t sim.Time, fn func(), _ *shardnet.Action) {
+	// One process, one replica: the descriptor has nowhere to go.
+	s.k.At(t, fn)
+}
 
 // parsimEngine adapts parsim.Engine to the core engine interface.
 type parsimEngine struct{ e *parsim.Engine }
@@ -32,6 +41,13 @@ type parsimEngine struct{ e *parsim.Engine }
 func (p *parsimEngine) Now() sim.Time                    { return p.e.Now() }
 func (p *parsimEngine) RunUntil(t sim.Time) sim.Time     { return p.e.RunUntil(t) }
 func (p *parsimEngine) ScheduleAt(t sim.Time, fn func()) { p.e.ScheduleAt(t, fn) }
+func (p *parsimEngine) ScheduleAction(t sim.Time, fn func(), desc *shardnet.Action) {
+	if desc == nil {
+		p.e.ScheduleRead(t, fn)
+		return
+	}
+	p.e.ScheduleAction(t, fn, *desc)
+}
 
 // ValidateParallel reports whether the options can run on the parallel
 // sharded engine: enough switches to own every shard, a positive
@@ -41,10 +57,22 @@ func (p *parsimEngine) ScheduleAt(t sim.Time, fn func()) { p.e.ScheduleAt(t, fn)
 func (o Options) ValidateParallel() error {
 	o.fill()
 	if o.Shards <= 1 {
+		if o.transportName() == "socket" {
+			return fmt.Errorf("core: Options.Transport \"socket\" needs Options.Shards > 1 (the serial engine has no shards to distribute)")
+		}
 		return nil
 	}
 	if o.DeepPHY && o.BER > 0 {
 		return fmt.Errorf("core: Options.BER is not supported with Shards > 1 (the symbol-error RNG is a single stream shards cannot share deterministically)")
+	}
+	switch o.transportName() {
+	case "inproc":
+	case "socket":
+		if _, err := buildSocketSpec(o); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unknown Options.Transport %q (want \"inproc\" or \"socket\")", o.Transport)
 	}
 	topo := o.topology()
 	if err := topo.Validate(); err != nil {
@@ -96,7 +124,33 @@ func newParallel(opts Options) *Cluster {
 		nets[i] = phys.NewNet(kernels[i])
 		nets[i].DeepPHY = opts.DeepPHY
 	}
-	eng, err := parsim.New(kernels, nets, lookahead)
+	// The transport hosts the shards: in-process goroutines by default,
+	// plus one worker process per shard on the socket transport. The
+	// socket workers rebuild this exact cluster from the serialized spec
+	// and launch lazily on the first barrier, so a launch failure flows
+	// down the engine's normal failure path.
+	var tr shardnet.Transport
+	var sock *shardnet.Socket
+	var spec []byte
+	switch opts.transportName() {
+	case "inproc":
+	case "socket":
+		spec, err = buildSocketSpec(opts)
+		if err != nil {
+			panic(err)
+		}
+		sock = shardnet.NewSocket(kernels, nets, shardnet.SocketConfig{
+			Cmd:       opts.ShardWorker,
+			Spec:      spec,
+			Seed:      opts.Seed,
+			Wire:      topo.WireVersion(),
+			Lookahead: lookahead,
+		})
+		tr = sock
+	default:
+		panic(fmt.Sprintf("core: unknown Options.Transport %q (want \"inproc\" or \"socket\")", opts.Transport))
+	}
+	eng, err := parsim.NewWithTransport(kernels, nets, lookahead, tr)
 	if err != nil {
 		panic(err)
 	}
@@ -106,6 +160,10 @@ func newParallel(opts Options) *Cluster {
 		panic(err)
 	}
 	ph.RouteSink = eng.DeferRoute
+	eng.Transport().BindRoutes(func(op phys.RouteOp) { op.Apply(ph) })
+	if sock != nil {
+		sock.SetFingerprint(shardnet.Fingerprint(ph, opts.Seed, lookahead, spec))
+	}
 	c.Phys = ph
 	c.Net = nets[0]
 	c.Nets = nets

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/ampdk"
+	"repro/internal/shardnet"
 	"repro/internal/sim"
 )
 
@@ -281,8 +283,15 @@ func (c *Cluster) Install(p Plan) error {
 		// parallel engine it is a coordinator action: the fault fires
 		// single-threaded at a window barrier, with every shard parked
 		// on the event's instant — the only moment shared fabric state
-		// (link light, switch health) may change.
-		c.eng.ScheduleAt(c.Now()+e.At, func() { c.apply(e) })
+		// (link light, switch health) may change. The descriptor is the
+		// event itself, so distributed shard workers replay the same
+		// fault against their replicas at the same fence.
+		desc, err := json.Marshal(e)
+		if err != nil { // Event is plain data; see its declaration
+			panic(err)
+		}
+		c.eng.ScheduleAction(c.Now()+e.At, func() { c.apply(e) },
+			&shardnet.Action{Kind: actPlanEvent, Data: desc})
 	}
 	return nil
 }

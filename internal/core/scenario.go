@@ -243,10 +243,16 @@ func (s Scenario) Run() (*Report, error) {
 		actives[i] = c.startLoad(l)
 	}
 	c.Run(runFor)
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
 	for _, a := range actives {
 		a.Quiesce()
 	}
 	c.Run(settle)
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
 
 	rep := &Report{
 		Name:      s.Name,

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"runtime/debug"
+	"strconv"
+
+	"repro/internal/phys"
+	"repro/internal/shardnet"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// This file is the worker side of the socket transport (cmd/ampshard):
+// a shard worker dials the coordinator, rebuilds the full cluster from
+// the serialized spec as a mirrored replica, and then advances ONLY its
+// own shard's kernel in lockstep with the coordinator's grants. Every
+// window it reports its capture block and cumulative event count; the
+// coordinator byte-compares both against its own replica, so any
+// divergence — a non-deterministic model, a version skew, a missed
+// mirror — is caught at the barrier it first appears.
+
+// EnvTestDie, when set to a shard id, makes that shard's worker exit
+// without replying on its first granted window — the failure-injection
+// hook the transport tests use to prove a dead worker fails the run
+// instead of hanging it.
+const EnvTestDie = "AMPSHARD_TEST_DIE"
+
+// RunShardWorkerFromEnv serves as a shard worker when the ampshard
+// launch environment (AMPSHARD_ADDR/AMPSHARD_SHARD) is present, then
+// exits the process; it returns false when the environment is absent.
+// cmd/ampshard calls it from main; test binaries that name themselves
+// as Options.ShardWorker call it from TestMain.
+func RunShardWorkerFromEnv() bool {
+	addr := os.Getenv(shardnet.EnvAddr)
+	if addr == "" {
+		return false
+	}
+	shard, err := strconv.Atoi(os.Getenv(shardnet.EnvShard))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ampshard: bad %s: %v\n", shardnet.EnvShard, err)
+		os.Exit(1)
+	}
+	if err := ServeShard(addr, shard); err != nil {
+		fmt.Fprintf(os.Stderr, "ampshard: shard %d: %v\n", shard, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+	return true
+}
+
+// ServeShard runs one shard-worker session against the coordinator at
+// addr: handshake, replica build, then the barrier loop until MsgBye or
+// failure. Errors are also reported to the coordinator as MsgError
+// where the protocol allows, so the run fails with the cause rather
+// than a bare disconnect.
+func ServeShard(addr string, shard int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("core: shard worker: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := wire.WriteControl(conn, shardnet.MsgHello, shardnet.EncodeHello(shard)); err != nil {
+		return err
+	}
+	typ, spec, err := wire.ReadControl(conn)
+	if err != nil {
+		return fmt.Errorf("core: shard worker: waiting for spec: %w", err)
+	}
+	if typ == shardnet.MsgBye {
+		return nil
+	}
+	if typ != shardnet.MsgSpec {
+		return fmt.Errorf("core: shard worker: got message %#02x, want spec", typ)
+	}
+	w := &shardServant{conn: conn, shard: shard}
+	if os.Getenv(EnvTestDie) == strconv.Itoa(shard) {
+		w.die = true
+	}
+	if err := w.build(spec); err != nil {
+		return w.abort(err)
+	}
+	defer w.c.Close()
+	ready := shardnet.Ready{
+		Shard:     shard,
+		Wire:      w.c.WireVersion(),
+		Seed:      w.c.Opts.Seed,
+		TopoHash:  shardnet.Fingerprint(w.c.Phys, w.c.Opts.Seed, w.c.Lookahead(), spec),
+		Lookahead: w.c.Lookahead(),
+	}
+	if err := wire.WriteControl(conn, shardnet.MsgReady, shardnet.EncodeReady(ready)); err != nil {
+		return err
+	}
+	return w.loop()
+}
+
+// shardServant is one worker's state: the full mirrored replica, the
+// one kernel this worker advances, and the replica's in-process
+// transport (its capture queues are where this shard's cross-shard
+// traffic lands).
+type shardServant struct {
+	conn  net.Conn
+	shard int
+	die   bool // EnvTestDie: exit on the first granted window
+
+	c     *Cluster
+	k     *sim.Kernel
+	tr    shardnet.Transport
+	ports map[uint32]*phys.Port
+}
+
+// build rebuilds the coordinator's cluster from the spec. New panics on
+// malformed options, so the build is recover-wrapped into an error the
+// coordinator can print.
+func (w *shardServant) build(spec []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: shard worker: building replica: %v", r)
+		}
+	}()
+	opts, err := specOptions(spec)
+	if err != nil {
+		return err
+	}
+	if w.shard < 0 || w.shard >= opts.Shards {
+		return fmt.Errorf("core: shard worker: shard %d of %d", w.shard, opts.Shards)
+	}
+	w.c = New(opts)
+	w.k = w.c.par.e.Kernels[w.shard]
+	w.tr = w.c.par.e.Transport()
+	return nil
+}
+
+// abort reports err to the coordinator (best effort) and returns it.
+func (w *shardServant) abort(err error) error {
+	_ = wire.WriteControl(w.conn, shardnet.MsgError, shardnet.EncodeError(err))
+	return err
+}
+
+// loop is the barrier protocol: every coordinator transport operation
+// arrives as a message, is applied to the replica, and is answered with
+// this shard's view of the barrier.
+func (w *shardServant) loop() error {
+	for {
+		typ, payload, err := wire.ReadControl(w.conn)
+		if err != nil {
+			return fmt.Errorf("core: shard %d worker: coordinator lost: %w", w.shard, err)
+		}
+		switch typ {
+		case shardnet.MsgRun:
+			target, err := shardnet.DecodeTime(payload)
+			if err != nil {
+				return w.abort(err)
+			}
+			if w.die {
+				// Failure injection: vanish mid-window, reply with
+				// nothing. The coordinator's read deadline must turn
+				// this into a run failure, never a hang.
+				os.Exit(3)
+			}
+			if err := w.runTo(target); err != nil {
+				return w.abort(err)
+			}
+			w.park(target)
+			capture, err := w.capture()
+			if err != nil {
+				return w.abort(err)
+			}
+			if err := wire.WriteControl(w.conn, shardnet.MsgDone,
+				shardnet.EncodeDone(target, w.k.Fired, capture)); err != nil {
+				return err
+			}
+		case shardnet.MsgAdvance:
+			at, err := shardnet.DecodeTime(payload)
+			if err != nil {
+				return w.abort(err)
+			}
+			if err := w.advanceTo(at); err != nil {
+				return w.abort(err)
+			}
+			w.park(at)
+			if err := wire.WriteControl(w.conn, shardnet.MsgAdvanced, shardnet.EncodeTime(at)); err != nil {
+				return err
+			}
+		case shardnet.MsgApply:
+			now, acts, err := shardnet.DecodeApply(payload)
+			if err != nil {
+				return w.abort(err)
+			}
+			w.park(now)
+			if err := w.applyAll(acts); err != nil {
+				return w.abort(err)
+			}
+			capture, err := w.capture()
+			if err != nil {
+				return w.abort(err)
+			}
+			if err := wire.WriteControl(w.conn, shardnet.MsgApplied,
+				shardnet.EncodeApplied(now, capture)); err != nil {
+				return err
+			}
+		case shardnet.MsgDeliver:
+			frames, routes, err := shardnet.DecodeCapture(payload)
+			if err != nil {
+				return w.abort(err)
+			}
+			for i := range frames {
+				dst, err := w.port(frames[i].DstUID)
+				if err != nil {
+					return w.abort(err)
+				}
+				frames[i].Dst = dst
+				frames[i].Link = dst.Link()
+			}
+			if err := w.deliver(frames, routes); err != nil {
+				return w.abort(err)
+			}
+		case shardnet.MsgBye:
+			return nil
+		default:
+			return w.abort(fmt.Errorf("core: shard %d worker: unexpected message %#02x", w.shard, typ))
+		}
+	}
+}
+
+// park moves every remote kernel's clock onto the barrier instant
+// without running anything (sim.Kernel.Park): fence actions applied
+// from a remote node's context — a reboot's synchronous join
+// broadcast, say — must stamp the same virtual times the coordinator
+// stamps, or the capture cross-check would flag a false divergence.
+// The remote kernels' queued events stay pending forever; only their
+// clocks track the barrier.
+func (w *shardServant) park(t sim.Time) {
+	for i, k := range w.c.par.e.Kernels {
+		if i != w.shard {
+			k.Park(t)
+		}
+	}
+}
+
+// runTo advances this worker's own shard kernel — and only it; the
+// other shards' kernels exist solely as construction context and stay
+// clock-parked on the barrier. A model panic becomes an error naming
+// the window.
+func (w *shardServant) runTo(target sim.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: shard %d replica panicked in window ending %v: %v\n%s",
+				w.shard, target, r, debug.Stack())
+		}
+	}()
+	w.k.RunUntil(target)
+	return nil
+}
+
+// advanceTo hops this shard's clock over dead time.
+func (w *shardServant) advanceTo(at sim.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: shard %d replica: advance to %v: %v", w.shard, at, r)
+		}
+	}()
+	w.k.AdvanceTo(at)
+	return nil
+}
+
+// applyAll replays the fence's serialized coordinator actions in order.
+func (w *shardServant) applyAll(acts []shardnet.Action) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: shard %d replica: applying coordinator action: %v\n%s",
+				w.shard, r, debug.Stack())
+		}
+	}()
+	for _, a := range acts {
+		if err := w.c.applyAction(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// capture drains this replica's capture queues and encodes the slice
+// this worker can vouch for: frames and routes sourced by its own
+// shard, whose state is fully live here. Applying a remote shard's
+// fence action (a reboot of a node this worker never ran, say) emits
+// frames from that node's stale state — junk this worker drops; the
+// remote shard's own worker reports the authoritative bytes for them.
+func (w *shardServant) capture() ([]byte, error) {
+	frames, routes, err := w.tr.Collect()
+	if err != nil {
+		return nil, err
+	}
+	var myFrames []shardnet.FrameRec
+	for _, f := range frames {
+		if f.Src == w.shard {
+			myFrames = append(myFrames, f)
+		}
+	}
+	var myRoutes []shardnet.RouteRec
+	for _, r := range routes {
+		if r.Src == w.shard {
+			myRoutes = append(myRoutes, r)
+		}
+	}
+	return shardnet.EncodeCapture(myFrames, myRoutes)
+}
+
+// deliver applies a barrier batch (all routes, this shard's frames) to
+// the replica.
+func (w *shardServant) deliver(frames []shardnet.FrameRec, routes []shardnet.RouteRec) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: shard %d replica: applying barrier batch: %v", w.shard, r)
+		}
+	}()
+	return w.tr.Deliver(frames, routes)
+}
+
+// port resolves a port UID against the replica, rebuilding the index on
+// a miss (ports are created at build time, so a rebuild is rare).
+func (w *shardServant) port(uid uint32) (*phys.Port, error) {
+	if p, ok := w.ports[uid]; ok {
+		return p, nil
+	}
+	w.ports = map[uint32]*phys.Port{}
+	for _, n := range w.c.Nets {
+		for _, p := range n.Ports() {
+			w.ports[p.UID()] = p
+		}
+	}
+	if p, ok := w.ports[uid]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("core: shard %d replica has no port with uid %d", w.shard, uid)
+}

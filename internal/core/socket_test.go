@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/ampdk"
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// TestMain doubles this test binary as the shard-worker command: the
+// socket-transport tests pass os.Args[0] as Options.ShardWorker, and a
+// launched worker finds the ampshard environment here before any test
+// runs. Without the environment this is a plain test run.
+func TestMain(m *testing.M) {
+	RunShardWorkerFromEnv()
+	os.Exit(m.Run())
+}
+
+// socketWorker is the worker argv for socket-transport tests: this
+// test binary itself (see TestMain).
+func socketWorker() []string { return []string{os.Args[0]} }
+
+// TestEquivalenceBatterySocket is the battery's socket-transport leg:
+// for sharded fabrics × seeds, a run whose shards live in separate OS
+// processes speaking internal/wire over loopback TCP yields a Report
+// byte-identical to the serial engine's and to the in-process sharded
+// engine's. Every barrier of each run also cross-checks the workers'
+// wire-encoded captures and event counts against the coordinator's
+// replica, so this is equivalence proven per window, not just at the
+// final report.
+func TestEquivalenceBatterySocket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket equivalence skipped in -short (spawns worker fleets)")
+	}
+	fabrics := []phys.Topology{
+		phys.Sharded(2, 4, 2, 50),
+		phys.Sharded(4, 3, 1, 50),
+	}
+	seeds := []uint64{1, 2}
+	for _, topo := range fabrics {
+		topo := topo
+		t.Run(fmt.Sprintf("%s%dx%d", topo.Name, topo.Nodes, topo.Switches), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				serialRep, err := equivalenceScenario(&topo, seed, 1).Run()
+				if err != nil {
+					t.Fatalf("serial seed=%d: %v", seed, err)
+				}
+				serial := serialRep.JSON()
+
+				inprocSc := equivalenceScenario(&topo, seed, 2)
+				inprocRep, err := inprocSc.Run()
+				if err != nil {
+					t.Fatalf("inproc seed=%d: %v", seed, err)
+				}
+				if !bytes.Equal(serial, inprocRep.JSON()) {
+					t.Fatalf("seed=%d: inproc sharded report diverged from serial", seed)
+				}
+
+				sockSc := equivalenceScenario(&topo, seed, 2)
+				sockSc.Opts.Transport = "socket"
+				sockSc.Opts.ShardWorker = socketWorker()
+				sockRep, err := sockSc.Run()
+				if err != nil {
+					t.Fatalf("socket seed=%d: %v", seed, err)
+				}
+				if sock := sockRep.JSON(); !bytes.Equal(serial, sock) {
+					t.Errorf("seed=%d: socket report diverged from serial\n--- serial ---\n%s--- socket ---\n%s",
+						seed, serial, sock)
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestSocketWorkerDeathFailsRun pins the failure semantics: a shard
+// worker that dies mid-run (here: exits without replying to its first
+// granted window, via the AMPSHARD_TEST_DIE hook) must fail the
+// scenario with an error naming the shard — never hang the barrier.
+func TestSocketWorkerDeathFailsRun(t *testing.T) {
+	t.Setenv(EnvTestDie, "1")
+	topo := phys.Sharded(2, 3, 1, 50)
+	sc := Scenario{
+		Opts: Options{Fabric: &topo, Seed: 1, Shards: 2,
+			Transport: "socket", ShardWorker: socketWorker()},
+		For: 2 * sim.Millisecond,
+	}
+	_, err := sc.Run()
+	if err == nil {
+		t.Fatal("scenario succeeded with a dying shard worker")
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("worker-death error does not name the shard: %v", err)
+	}
+}
+
+// TestSocketWorkerPanicPropagates: a worker whose replica build or
+// window panics reports MsgError and the run fails with the cause. A
+// worker command that cannot even launch fails the same way.
+func TestSocketWorkerLaunchFailure(t *testing.T) {
+	topo := phys.Sharded(2, 3, 1, 50)
+	sc := Scenario{
+		Opts: Options{Fabric: &topo, Seed: 1, Shards: 2,
+			Transport: "socket", ShardWorker: []string{"/nonexistent/ampshard-worker"}},
+		For: sim.Millisecond,
+	}
+	_, err := sc.Run()
+	if err == nil {
+		t.Fatal("scenario succeeded with an unlaunchable worker command")
+	}
+	if !strings.Contains(err.Error(), "worker") {
+		t.Fatalf("launch-failure error: %v", err)
+	}
+}
+
+// TestSocketRejections pins the up-front validation: configurations the
+// mirrored-replica scheme cannot serialize across a process boundary
+// are errors before anything launches, each naming the offending knob.
+func TestSocketRejections(t *testing.T) {
+	topo := phys.Sharded(2, 3, 1, 50)
+	base := Scenario{
+		Opts: Options{Fabric: &topo, Seed: 1, Shards: 2,
+			Transport: "socket", ShardWorker: socketWorker()},
+		For: sim.Millisecond,
+	}
+
+	serial := base
+	serial.Opts.Shards = 1
+	if _, err := serial.Run(); err == nil || !strings.Contains(err.Error(), "Shards") {
+		t.Fatalf("socket on the serial engine: err = %v, want Shards error", err)
+	}
+
+	noWorker := base
+	noWorker.Opts.ShardWorker = nil
+	if _, err := noWorker.Run(); err == nil || !strings.Contains(err.Error(), "ShardWorker") {
+		t.Fatalf("socket without a worker command: err = %v, want ShardWorker error", err)
+	}
+
+	versionOf := base
+	versionOf.Opts.VersionOf = func(n int) ampdk.Version { return 0x0100 }
+	if _, err := versionOf.Run(); err == nil || !strings.Contains(err.Error(), "VersionOf") {
+		t.Fatalf("socket with VersionOf closure: err = %v, want VersionOf error", err)
+	}
+
+	handRolled := base
+	bare := phys.Topology{Name: "hand-rolled", Nodes: 6, Switches: 2, FiberM: 50}
+	handRolled.Opts.Fabric = &bare
+	if _, err := handRolled.Run(); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("socket with hand-rolled fabric: err = %v, want shape error", err)
+	}
+
+	unknown := base
+	unknown.Opts.Transport = "carrier-pigeon"
+	if _, err := unknown.Run(); err == nil || !strings.Contains(err.Error(), "carrier-pigeon") {
+		t.Fatalf("unknown transport: err = %v, want unknown-transport error", err)
+	}
+
+	fillLoad := base
+	fillLoad.Loads = []Load{&PubSubLoad{Publisher: 0, Topic: 1,
+		Fill: func(seq uint64, payload []byte) {}}}
+	if _, err := fillLoad.Run(); err == nil || !strings.Contains(err.Error(), "Fill") {
+		t.Fatalf("socket with Fill closure load: err = %v, want Fill error", err)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/ampdk"
+	"repro/internal/phys"
+	"repro/internal/shardnet"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// This file is the cross-process half of the socket transport's
+// mirrored-replica scheme (Options.Transport "socket"): the serialized
+// cluster spec a shard worker rebuilds its replica from, and the
+// serialized coordinator actions it replays at fences. Everything here
+// must be reconstructible from plain data — closures cannot cross a
+// process boundary, which is why hand-rolled topologies (no Shape),
+// VersionOf and load callbacks are rejected up front.
+
+// shardSpec is the JSON cluster spec carried in MsgSpec. It is the
+// plain-data projection of Options: the fabric by its machine-readable
+// Shape (phys.FabricByName reconstructs it), plus every scalar knob a
+// replica build needs. The handshake's replica fingerprint — a hash of
+// the built fabric, the seed, the lookahead and these exact spec bytes
+// — catches any reconstruction drift.
+type shardSpec struct {
+	Shape    string  `json:"shape"`
+	Nodes    int     `json:"nodes"`
+	Switches int     `json:"switches"`
+	FiberM   float64 `json:"fiber_m"`
+	// TrunkFiberM carries per-trunk fiber overrides (E15's 200 m
+	// inter-shard trunks); empty means every trunk inherits FiberM.
+	TrunkFiberM []float64 `json:"trunk_fiber_m,omitempty"`
+	Wire        uint8     `json:"wire,omitempty"`
+	Seed        uint64    `json:"seed"`
+	Shards      int       `json:"shards"`
+
+	Regions           map[uint8]int `json:"regions,omitempty"`
+	Version           uint16        `json:"version"`
+	HeartbeatInterval sim.Time      `json:"heartbeat_interval,omitempty"`
+	HeartbeatMiss     int           `json:"heartbeat_miss,omitempty"`
+	JoinTimeout       sim.Time      `json:"join_timeout,omitempty"`
+	KeepaliveInterval sim.Time      `json:"keepalive_interval,omitempty"`
+	SilenceTimeout    sim.Time      `json:"silence_timeout,omitempty"`
+	DeepPHY           bool          `json:"deep_phy,omitempty"`
+}
+
+// transportName resolves Options.Transport ("" selects the in-process
+// default).
+func (o *Options) transportName() string {
+	if o.Transport == "" {
+		return "inproc"
+	}
+	return o.Transport
+}
+
+// socketProblem reports why the options cannot run on the socket
+// transport, or nil. The receiver must be filled.
+func (o *Options) socketProblem() error {
+	if len(o.ShardWorker) == 0 {
+		return fmt.Errorf("core: Options.Transport \"socket\" needs Options.ShardWorker (the worker argv, e.g. the cmd/ampshard binary)")
+	}
+	if o.VersionOf != nil {
+		return fmt.Errorf("core: Options.VersionOf is a closure and cannot cross to shard worker processes; use Options.Version")
+	}
+	topo := o.topology()
+	if topo.Shape == "" {
+		return fmt.Errorf("core: fabric %q has no machine-readable shape; hand-rolled topologies cannot be rebuilt by shard worker processes", topo.Name)
+	}
+	return nil
+}
+
+// buildSocketSpec serializes filled options into the MsgSpec payload.
+func buildSocketSpec(o Options) ([]byte, error) {
+	if err := o.socketProblem(); err != nil {
+		return nil, err
+	}
+	topo := o.topology()
+	s := shardSpec{
+		Shape:    topo.Shape,
+		Nodes:    topo.Nodes,
+		Switches: topo.Switches,
+		FiberM:   topo.FiberM,
+		Wire:     uint8(topo.Wire),
+		Seed:     o.Seed,
+		Shards:   o.Shards,
+
+		Regions:           o.Regions,
+		Version:           uint16(o.Version),
+		HeartbeatInterval: o.HeartbeatInterval,
+		HeartbeatMiss:     o.HeartbeatMiss,
+		JoinTimeout:       o.JoinTimeout,
+		KeepaliveInterval: o.KeepaliveInterval,
+		SilenceTimeout:    o.SilenceTimeout,
+		DeepPHY:           o.DeepPHY,
+	}
+	for _, tr := range topo.Trunks {
+		s.TrunkFiberM = append(s.TrunkFiberM, tr.FiberM)
+	}
+	return json.Marshal(s)
+}
+
+// specOptions rebuilds the Options a shard worker constructs its
+// replica from. The result always selects the in-process transport:
+// the worker's replica is a complete local cluster.
+func specOptions(spec []byte) (Options, error) {
+	var s shardSpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return Options{}, fmt.Errorf("core: cluster spec: %w", err)
+	}
+	topo, err := phys.FabricByName(s.Shape, s.Nodes, s.Switches, s.FiberM)
+	if err != nil {
+		return Options{}, fmt.Errorf("core: cluster spec: %w", err)
+	}
+	if len(s.TrunkFiberM) > 0 {
+		if len(s.TrunkFiberM) != len(topo.Trunks) {
+			return Options{}, fmt.Errorf("core: cluster spec carries %d trunk fibers, fabric %q has %d trunks",
+				len(s.TrunkFiberM), s.Shape, len(topo.Trunks))
+		}
+		for i, m := range s.TrunkFiberM {
+			topo.Trunks[i].FiberM = m
+		}
+	}
+	if s.Wire != 0 {
+		topo.Wire = wire.Version(s.Wire)
+	}
+	return Options{
+		Fabric:      &topo,
+		FiberMeters: s.FiberM,
+		Wire:        wire.Version(s.Wire),
+		Seed:        s.Seed,
+		Shards:      s.Shards,
+
+		Regions:           s.Regions,
+		Version:           ampdk.Version(s.Version),
+		HeartbeatInterval: s.HeartbeatInterval,
+		HeartbeatMiss:     s.HeartbeatMiss,
+		JoinTimeout:       s.JoinTimeout,
+		KeepaliveInterval: s.KeepaliveInterval,
+		SilenceTimeout:    s.SilenceTimeout,
+		DeepPHY:           s.DeepPHY,
+	}, nil
+}
+
+// Serialized coordinator-action kinds (shardnet.Action.Kind). These are
+// part of the shard-worker protocol: a worker replays each one against
+// its replica at the fence the coordinator applied it, so the vocabulary
+// can only grow — changing a kind's meaning or payload needs a
+// shardnet.ProtoVersion bump.
+const (
+	// actPlanEvent applies one plan Event (JSON-encoded).
+	actPlanEvent uint8 = 1
+	// actBootAll schedules Boot on every node at the parked instant
+	// (empty payload).
+	actBootAll uint8 = 2
+	// actLoadStart starts a load from its loadSpec envelope.
+	actLoadStart uint8 = 3
+	// actLoadQuiesce quiesces the cluster's n-th started load (u32
+	// little-endian index).
+	actLoadQuiesce uint8 = 4
+)
+
+// loadSpec is the actLoadStart payload: the load's kind tag plus its
+// plain-data JSON form.
+type loadSpec struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// loadFromSpec rebuilds a load from its serialized form.
+func loadFromSpec(kind string, js []byte) (Load, error) {
+	var l Load
+	switch kind {
+	case "pubsub":
+		l = &PubSubLoad{}
+	case "cache-churn":
+		l = &CacheChurn{}
+	default:
+		return nil, fmt.Errorf("core: load kind %q cannot be rebuilt in a shard worker", kind)
+	}
+	if err := json.Unmarshal(js, l); err != nil {
+		return nil, fmt.Errorf("core: %s load spec: %w", kind, err)
+	}
+	return l, nil
+}
+
+// applyAction replays one serialized coordinator action against this
+// replica. It runs on a shard worker with every kernel parked on the
+// fence instant — mirroring exactly what the coordinator's closure did
+// to its own replica.
+func (c *Cluster) applyAction(a shardnet.Action) error {
+	switch a.Kind {
+	case actPlanEvent:
+		var e Event
+		if err := json.Unmarshal(a.Data, &e); err != nil {
+			return fmt.Errorf("core: plan-event action: %w", err)
+		}
+		c.apply(e)
+	case actBootAll:
+		c.booted = true
+		for _, nd := range c.Nodes {
+			nd := nd
+			nd.K.After(0, func() { nd.Boot() })
+		}
+	case actLoadStart:
+		var ls loadSpec
+		if err := json.Unmarshal(a.Data, &ls); err != nil {
+			return fmt.Errorf("core: load-start action: %w", err)
+		}
+		l, err := loadFromSpec(ls.Kind, ls.Spec)
+		if err != nil {
+			return err
+		}
+		if err := l.check(c); err != nil {
+			return err
+		}
+		c.startLoad(l)
+	case actLoadQuiesce:
+		if len(a.Data) != 4 {
+			return fmt.Errorf("core: load-quiesce action: payload is %d bytes, want 4", len(a.Data))
+		}
+		idx := int(binary.LittleEndian.Uint32(a.Data))
+		if idx < 0 || idx >= len(c.loads) {
+			return fmt.Errorf("core: load-quiesce action: load %d of %d", idx, len(c.loads))
+		}
+		c.loads[idx].Quiesce()
+	default:
+		return fmt.Errorf("core: unknown coordinator-action kind %d", a.Kind)
+	}
+	return nil
+}
+
+// mirror fences one serialized action to distributed shard workers; a
+// no-op on the serial engine and the in-process transport (where the
+// coordinator's replica is the only replica).
+func (c *Cluster) mirror(a shardnet.Action) error {
+	if c.par == nil || !c.par.e.Distributed() {
+		return nil
+	}
+	return c.par.e.DriverFence([]shardnet.Action{a})
+}

@@ -25,6 +25,11 @@ func (c *Cluster) stepUntil(pred func() bool, deadline, step sim.Time) bool {
 		return true
 	}
 	for c.eng.Now() < deadline {
+		// A failed engine refuses to advance; without this check the
+		// loop would spin on a clock that never moves.
+		if c.Err() != nil {
+			return false
+		}
 		next := c.eng.Now() + step
 		if next > deadline {
 			next = deadline
@@ -45,6 +50,9 @@ func (c *Cluster) stepUntil(pred func() bool, deadline, step sim.Time) bool {
 func (c *Cluster) WaitUntil(pred func() bool, within sim.Time) error {
 	if c.stepUntil(pred, c.Now()+within, waitStep) {
 		return nil
+	}
+	if err := c.Err(); err != nil {
+		return err
 	}
 	return fmt.Errorf("core: condition still false after %v (t=%v)", within, c.Now())
 }

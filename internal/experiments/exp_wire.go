@@ -21,18 +21,6 @@ func E15WireScale() *Table {
 	return E15WireScaleP(Params{})
 }
 
-// E15Tune slows the per-node liveness cadences to big-fabric values.
-// Deterministic per-node constants, identical on every engine; the
-// defaults are calibrated for room-sized rings and would drown a
-// thousand-node fabric in heartbeat and keepalive chatter.
-func E15Tune(c *core.Cluster) {
-	for _, nd := range c.Nodes {
-		nd.Cfg.JoinTimeout = 20 * sim.Millisecond
-		nd.Agent.KeepaliveInterval = 2 * sim.Millisecond
-		nd.Agent.SilenceTimeout = 10 * sim.Millisecond
-	}
-}
-
 // E15Scenario is one E15 run: an 8-ring sharded fabric (200 m
 // inter-shard trunks), a crash+reboot of the highest node, and a
 // Poisson pub-sub stream spanning the shards. It is exported so
@@ -46,8 +34,16 @@ func E15Scenario(nodes int, seed uint64, shards int) core.Scenario {
 	}
 	return core.Scenario{
 		Name: "e15-scale",
+		// The liveness cadences are slowed to big-fabric values: the
+		// defaults are calibrated for room-sized rings and would drown a
+		// thousand-node fabric in heartbeat and keepalive chatter. They
+		// are Options (not an OnCluster hook) so the spec serializer can
+		// ship them to socket-transport shard workers.
 		Opts: core.Options{Fabric: &topo, Seed: seed, Shards: shards,
-			HeartbeatInterval: 5 * sim.Millisecond},
+			HeartbeatInterval: 5 * sim.Millisecond,
+			JoinTimeout:       20 * sim.Millisecond,
+			KeepaliveInterval: 2 * sim.Millisecond,
+			SilenceTimeout:    10 * sim.Millisecond},
 		BootWindow: sim.Time(nodes) * 2 * sim.Millisecond,
 		// Off-grid plan instants (see DESIGN.md "determinism under
 		// parallelism"): coordinator actions colliding with the exact
@@ -65,8 +61,7 @@ func E15Scenario(nodes int, seed uint64, shards int) core.Scenario {
 		For: 12 * sim.Millisecond,
 		// Settle outlasts the post-reboot re-roster churn (~17 ms at
 		// 1024 nodes) plus join-retry margin; see the scale tests.
-		Settle:    20 * sim.Millisecond,
-		OnCluster: E15Tune,
+		Settle: 20 * sim.Millisecond,
 	}
 }
 

@@ -31,14 +31,22 @@
 // shared state (link light, switch crossbars, trunk views) may flip;
 // between barriers it is read-only, which is what makes the mid-window
 // reads of the rostering layer race-free.
+//
+// The barrier protocol itself — grants, capture batches, deferred
+// routes, action fences — lives behind shardnet.Transport. The default
+// in-process transport is the engine's historical channel machinery;
+// the socket transport runs every shard additionally in its own worker
+// process (cmd/ampshard), mirroring each coordinator action from its
+// serialized descriptor and byte-checking the workers' captures at
+// every barrier.
 package parsim
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"repro/internal/phys"
+	"repro/internal/shardnet"
 	"repro/internal/sim"
 )
 
@@ -56,108 +64,93 @@ type Stats struct {
 	Actions uint64
 }
 
-// pendingFrame is one captured cross-shard frame awaiting injection.
-type pendingFrame struct {
-	srcUID  uint32 // sending port identity: the wire tie-break key
-	dst     *phys.Port
-	f       phys.Frame
-	link    *phys.Link
-	epoch   uint64
-	arrival sim.Time
-	txAt    sim.Time // transmit start, for canonical ordering
-	src     int
-	seq     uint64
-}
-
 // action is one coordinator closure, run at `at` with all shards
 // parked on that instant. Same-instant actions keep registration
-// order (the sort below is stable).
+// order (the sort below is stable). desc is the action's serialized
+// descriptor for distributed transports; read marks an explicitly
+// read-only action that never needs mirroring.
 type action struct {
-	at sim.Time
-	fn func()
+	at   sim.Time
+	fn   func()
+	desc *shardnet.Action
+	read bool
 }
 
 // Engine coordinates the shard kernels of one parallel simulation.
-// It is driven from a single goroutine (the scenario driver); the
-// shard workers only ever run inside RunUntil.
+// It is driven from a single goroutine (the scenario driver); shard
+// context only ever runs inside RunUntil, behind the transport's
+// Grant.
 type Engine struct {
 	Kernels []*sim.Kernel
 	Nets    []*phys.Net
+
+	tr shardnet.Transport
 
 	lookahead sim.Time
 	now       sim.Time
 
 	actions []action
 
-	frames   [][]pendingFrame // per source shard, filled during windows
-	frameSeq []uint64
-	routes   [][]func() // per source shard
-
-	inject []pendingFrame // scratch for barrier drain
-
-	// Window hand-off: one target send and one done receive per worker
-	// per window. Workers park between windows, so driver read phases
-	// and single-core hosts cost nothing; on multicore the wakeups
-	// overlap and the per-window barrier stays in the low microseconds
-	// against window workloads hundreds of events deep.
-	work     []chan sim.Time
-	done     chan struct{}
-	shutdown sync.Once
+	failed error
 
 	Stats Stats
 }
 
-// New builds an engine over one kernel+Net pair per shard. lookahead
-// is the fabric's conservative window bound (phys.Lookahead); it must
-// be positive. The engine installs itself as every Net's
-// RemoteExchange and starts one worker goroutine per shard; call
-// Shutdown when the simulation is done.
+// New builds an engine over one kernel+Net pair per shard on the
+// default in-process transport. lookahead is the fabric's conservative
+// window bound (phys.Lookahead); it must be positive. Call Shutdown
+// when the simulation is done.
 func New(kernels []*sim.Kernel, nets []*phys.Net, lookahead sim.Time) (*Engine, error) {
+	return NewWithTransport(kernels, nets, lookahead, nil)
+}
+
+// NewWithTransport builds an engine over an explicit transport (nil
+// means the in-process default). The transport must have been built
+// over the same kernel+Net pairs.
+func NewWithTransport(kernels []*sim.Kernel, nets []*phys.Net, lookahead sim.Time, tr shardnet.Transport) (*Engine, error) {
 	if len(kernels) != len(nets) || len(kernels) == 0 {
 		return nil, fmt.Errorf("parsim: %d kernels vs %d nets", len(kernels), len(nets))
 	}
 	if lookahead <= 0 {
 		return nil, fmt.Errorf("parsim: non-positive lookahead %v", lookahead)
 	}
-	e := &Engine{
+	if tr == nil {
+		tr = shardnet.NewInproc(kernels, nets)
+	}
+	return &Engine{
 		Kernels:   kernels,
 		Nets:      nets,
+		tr:        tr,
 		lookahead: lookahead,
-		frames:    make([][]pendingFrame, len(kernels)),
-		frameSeq:  make([]uint64, len(kernels)),
-		routes:    make([][]func(), len(kernels)),
-	}
-	for i, n := range nets {
-		n.Shard = i
-		n.Remote = &shardExchange{e: e, shard: i}
-	}
-	if len(kernels) > 1 {
-		e.done = make(chan struct{}, len(kernels))
-		for i := range kernels {
-			ch := make(chan sim.Time)
-			e.work = append(e.work, ch)
-			go e.worker(i, ch)
-		}
-	}
-	return e, nil
+	}, nil
 }
 
-// Shutdown stops the worker goroutines. The engine must not be run
-// afterwards.
+// Shutdown closes the transport (stopping the shard workers, and on
+// the socket transport dismissing the worker processes). The engine
+// must not be run afterwards.
 func (e *Engine) Shutdown() {
-	e.shutdown.Do(func() {
-		for _, ch := range e.work {
-			close(ch)
-		}
-	})
+	if err := e.tr.Close(); err != nil {
+		e.fail(err)
+	}
 }
 
-// worker runs shard i's kernel window by window.
-func (e *Engine) worker(i int, ch chan sim.Time) {
-	k := e.Kernels[i]
-	for target := range ch {
-		k.RunUntil(target)
-		e.done <- struct{}{}
+// Transport exposes the engine's transport (for route binding and
+// stats).
+func (e *Engine) Transport() shardnet.Transport { return e.tr }
+
+// Distributed reports whether the shards also live in other processes,
+// in which case every mutating coordinator action must carry a
+// serialized descriptor.
+func (e *Engine) Distributed() bool { return e.tr.Distributed() }
+
+// Err returns the sticky engine failure, if any: a shard panic, a
+// worker-process death, or a replica divergence. Once set, RunUntil
+// refuses to advance.
+func (e *Engine) Err() error { return e.failed }
+
+func (e *Engine) fail(err error) {
+	if e.failed == nil && err != nil {
+		e.failed = err
 	}
 }
 
@@ -173,102 +166,92 @@ func (e *Engine) Lookahead() sim.Time { return e.lookahead }
 // event at t, with all shard kernels parked on t. Actions at the same
 // instant run in registration order. Scheduling in the past panics,
 // mirroring sim.Kernel.At.
+//
+// On a distributed transport an action registered this way fails the
+// run when it comes due — the coordinator cannot know how to mirror an
+// opaque closure. Use ScheduleAction (mutating, with a serialized
+// descriptor) or ScheduleRead (explicitly read-only) instead.
 func (e *Engine) ScheduleAt(t sim.Time, fn func()) {
+	e.schedule(t, fn, nil, false)
+}
+
+// ScheduleAction registers a mutating coordinator action together with
+// its serialized descriptor; distributed transports mirror the
+// descriptor to every shard worker at the fence.
+func (e *Engine) ScheduleAction(t sim.Time, fn func(), desc shardnet.Action) {
+	d := desc
+	e.schedule(t, fn, &d, false)
+}
+
+// ScheduleRead registers an explicitly read-only coordinator action
+// (condition probes, report sampling): it runs only on the
+// coordinator's replica and is never mirrored. A read action that
+// mutates model state diverges the replicas — which the socket
+// transport's capture cross-check then catches at the next barrier.
+func (e *Engine) ScheduleRead(t sim.Time, fn func()) {
+	e.schedule(t, fn, nil, true)
+}
+
+func (e *Engine) schedule(t sim.Time, fn func(), desc *shardnet.Action, read bool) {
 	if t < e.now {
 		panic(fmt.Sprintf("parsim: action at %v before now %v", t, e.now))
 	}
-	e.actions = append(e.actions, action{at: t, fn: fn})
+	e.actions = append(e.actions, action{at: t, fn: fn, desc: desc, read: read})
 	sort.SliceStable(e.actions, func(a, b int) bool { return e.actions[a].at < e.actions[b].at })
 }
 
-// shardExchange is the per-shard phys.RemoteExchange: it captures
-// cross-shard frames into the source shard's private queue. Only the
-// shard's own worker appends during a window, so no locking is needed.
-type shardExchange struct {
-	e     *Engine
-	shard int
+// DeferRoute forwards a barrier-deferred crossbar write from srcShard
+// to the transport's capture queue; wire it to phys.Cluster.RouteSink.
+func (e *Engine) DeferRoute(srcShard int, op phys.RouteOp) {
+	e.tr.DeferRoute(srcShard, op)
 }
 
-func (x *shardExchange) RemoteFrame(src, dst *phys.Port, f phys.Frame, link *phys.Link, epoch uint64, arrival sim.Time) {
-	e := x.e
-	e.frames[x.shard] = append(e.frames[x.shard], pendingFrame{
-		srcUID: src.UID(), dst: dst, f: f, link: link, epoch: epoch,
-		arrival: arrival, txAt: e.Kernels[x.shard].Now(),
-		src: x.shard, seq: e.frameSeq[x.shard],
+// drain collects everything captured since the last barrier and
+// delivers it: deferred crossbar writes (per source shard, FIFO), then
+// cross-shard frames in the canonical (arrival, transmit time, source
+// shard, sequence) order, each scheduled on its destination kernel at
+// its exact arrival time. Runs single-threaded with all kernels
+// parked.
+func (e *Engine) drain() error {
+	frames, routes, err := e.tr.Collect()
+	if err != nil {
+		return err
+	}
+	e.Stats.Routes += uint64(len(routes))
+	e.Stats.Frames += uint64(len(frames))
+	sort.Slice(frames, func(a, b int) bool {
+		pa, pb := &frames[a], &frames[b]
+		if pa.Arrival != pb.Arrival {
+			return pa.Arrival < pb.Arrival
+		}
+		// The wire key (transmit start, sending-port identity by way of
+		// source shard and capture sequence) slots each arrival into
+		// exactly the same same-instant order the serial engine would
+		// have used.
+		if pa.TxAt != pb.TxAt {
+			return pa.TxAt < pb.TxAt
+		}
+		if pa.Src != pb.Src {
+			return pa.Src < pb.Src
+		}
+		return pa.Seq < pb.Seq
 	})
-	e.frameSeq[x.shard]++
-}
-
-// DeferRoute queues a barrier-deferred crossbar write from srcShard;
-// wire it to phys.Cluster.RouteSink.
-func (e *Engine) DeferRoute(srcShard int, apply func()) {
-	e.routes[srcShard] = append(e.routes[srcShard], apply)
-}
-
-// drain applies everything captured since the last barrier: deferred
-// crossbar writes (per source shard, FIFO), then cross-shard frames in
-// the canonical (arrival, transmit time, source shard, sequence)
-// order, each scheduled on its destination kernel at its exact arrival
-// time. Runs single-threaded with all kernels parked.
-func (e *Engine) drain() {
-	for s := range e.routes {
-		for _, apply := range e.routes[s] {
-			apply()
-			e.Stats.Routes++
-		}
-		e.routes[s] = e.routes[s][:0]
-	}
-	e.inject = e.inject[:0]
-	for s := range e.frames {
-		e.inject = append(e.inject, e.frames[s]...)
-		e.frames[s] = e.frames[s][:0]
-	}
-	if len(e.inject) == 0 {
-		return
-	}
-	sort.Slice(e.inject, func(a, b int) bool {
-		pa, pb := &e.inject[a], &e.inject[b]
-		if pa.arrival != pb.arrival {
-			return pa.arrival < pb.arrival
-		}
-		if pa.txAt != pb.txAt {
-			return pa.txAt < pb.txAt
-		}
-		if pa.src != pb.src {
-			return pa.src < pb.src
-		}
-		return pa.seq < pb.seq
-	})
-	for i := range e.inject {
-		pf := e.inject[i]
-		dstK := pf.dst.Net().K
-		// The wire key (transmit start, sending-port identity) slots
-		// the arrival into exactly the same same-instant order the
-		// serial engine would have used.
-		dstK.AtPri(pf.arrival, pf.txAt, pf.srcUID, func() {
-			pf.dst.Net().CompleteDelivery(pf.dst, pf.f, pf.link, pf.epoch)
-		})
-		e.Stats.Frames++
-	}
+	return e.tr.Deliver(frames, routes)
 }
 
 // runWindow executes all shards in parallel up to target (inclusive),
 // then drains the barrier.
-func (e *Engine) runWindow(target sim.Time) {
-	if len(e.work) == 0 {
-		e.Kernels[0].RunUntil(target)
-	} else {
-		for _, ch := range e.work {
-			ch <- target
-		}
-		for range e.work {
-			<-e.done
-		}
+func (e *Engine) runWindow(target sim.Time) error {
+	if err := e.tr.Grant(target); err != nil {
+		return err
 	}
 	e.Stats.Windows++
 	e.Stats.Barriers++
-	e.drain()
+	if err := e.drain(); err != nil {
+		return err
+	}
 	e.now = target
+	return nil
 }
 
 // nextEvent returns the earliest pending event time across all shards.
@@ -285,38 +268,91 @@ func (e *Engine) nextEvent() (sim.Time, bool) {
 // runActionsAtNow executes every action due at the current instant.
 // Kernels must already be parked on e.now with no pending events
 // before it. Actions may send cross-shard traffic (a rebooted node
-// solicits immediately), so the barrier is drained afterwards.
-func (e *Engine) runActionsAtNow() {
+// solicits immediately), so the barrier is drained afterwards; on a
+// distributed transport the mutating actions' descriptors are fenced
+// to every shard worker first.
+func (e *Engine) runActionsAtNow() error {
 	ran := false
+	var descs []shardnet.Action
+	mirror := false
 	for len(e.actions) > 0 && e.actions[0].at == e.now {
-		fn := e.actions[0].fn
+		a := e.actions[0]
 		e.actions = e.actions[1:]
-		fn()
+		if !a.read {
+			if a.desc == nil && e.tr.Distributed() {
+				return fmt.Errorf("parsim: action at %v has no serialized descriptor and is not marked read-only; "+
+					"it cannot be mirrored to distributed shard workers", e.now)
+			}
+			if a.desc != nil {
+				descs = append(descs, *a.desc)
+			}
+			mirror = true
+		}
+		a.fn()
 		e.Stats.Actions++
 		ran = true
 	}
-	if ran {
-		e.drain()
-		e.Stats.Barriers++
+	if !ran {
+		return nil
 	}
+	if mirror {
+		if err := e.tr.Fence(e.now, descs); err != nil {
+			return err
+		}
+	}
+	if err := e.drain(); err != nil {
+		return err
+	}
+	e.Stats.Barriers++
+	return nil
+}
+
+// DriverFence mirrors out-of-band driver work (boot scheduling, load
+// starts, quiesce cuts — applied to the coordinator's replica by the
+// layer above) to distributed shard workers and drains the resulting
+// barrier. On the in-process transport it is a plain barrier drain.
+func (e *Engine) DriverFence(acts []shardnet.Action) error {
+	if e.failed != nil {
+		return e.failed
+	}
+	if err := e.tr.Fence(e.now, acts); err != nil {
+		e.fail(err)
+		return e.failed
+	}
+	if err := e.drain(); err != nil {
+		e.fail(err)
+		return e.failed
+	}
+	e.Stats.Barriers++
+	return nil
 }
 
 // RunUntil advances the whole simulation to deadline (inclusive),
 // window by window, and leaves every shard kernel parked exactly on
 // deadline — the same clock contract as sim.Kernel.RunUntil. The
 // driver may freely read cross-shard state after it returns.
+//
+// A transport failure — shard panic, worker death, replica divergence
+// — stops the run where it stands; the error is sticky and available
+// from Err.
 func (e *Engine) RunUntil(deadline sim.Time) sim.Time {
-	if deadline < e.now {
+	if e.failed != nil || deadline < e.now {
 		return e.now
 	}
 	for {
-		e.runActionsAtNow()
+		if err := e.runActionsAtNow(); err != nil {
+			e.fail(err)
+			return e.now
+		}
 		if e.now >= deadline {
 			// RunUntil is inclusive: model events at the deadline
 			// instant (including any the actions just scheduled) still
 			// run, exactly as the serial kernel would.
 			if m, any := e.nextEvent(); any && m <= deadline {
-				e.runWindow(deadline)
+				if err := e.runWindow(deadline); err != nil {
+					e.fail(err)
+					return e.now
+				}
 			}
 			break
 		}
@@ -329,10 +365,11 @@ func (e *Engine) RunUntil(deadline sim.Time) sim.Time {
 		}
 		if horizon > e.now {
 			m, any := e.nextEvent()
+			var err error
 			switch {
 			case !any || m > horizon:
 				// Dead time: nothing to execute before the horizon.
-				e.runWindow(horizon)
+				err = e.runWindow(horizon)
 			default:
 				start := m
 				if start < e.now {
@@ -345,7 +382,11 @@ func (e *Engine) RunUntil(deadline sim.Time) sim.Time {
 				if wEnd < e.now {
 					wEnd = e.now
 				}
-				e.runWindow(wEnd)
+				err = e.runWindow(wEnd)
+			}
+			if err != nil {
+				e.fail(err)
+				return e.now
 			}
 			continue
 		}
@@ -354,11 +395,15 @@ func (e *Engine) RunUntil(deadline sim.Time) sim.Time {
 		// scheduled zero-delay work), then advance every kernel onto
 		// the action's instant without executing anything there.
 		if m, any := e.nextEvent(); any && m <= e.now {
-			e.runWindow(e.now)
+			if err := e.runWindow(e.now); err != nil {
+				e.fail(err)
+				return e.now
+			}
 		}
 		at := e.actions[0].at
-		for _, k := range e.Kernels {
-			k.AdvanceTo(at)
+		if err := e.tr.Advance(at); err != nil {
+			e.fail(err)
+			return e.now
 		}
 		e.now = at
 	}

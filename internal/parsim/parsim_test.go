@@ -1,6 +1,7 @@
 package parsim
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/micropacket"
@@ -109,14 +110,15 @@ func TestActionsRunBeforeInstantEvents(t *testing.T) {
 	}
 }
 
-// TestDeferredRoutesApplyAtBarrier: DeferRoute closures run at the
+// TestDeferredRoutesApplyAtBarrier: deferred RouteOps apply at the
 // next barrier, in source-shard FIFO order.
 func TestDeferredRoutesApplyAtBarrier(t *testing.T) {
 	r := newRig(t)
 	var applied []int
+	r.e.Transport().BindRoutes(func(op phys.RouteOp) { applied = append(applied, op.In) })
 	r.k[0].At(100, func() {
-		r.e.DeferRoute(0, func() { applied = append(applied, 1) })
-		r.e.DeferRoute(0, func() { applied = append(applied, 2) })
+		r.e.DeferRoute(0, phys.RouteOp{Switch: 0, In: 1, Out: 7})
+		r.e.DeferRoute(0, phys.RouteOp{Switch: 0, In: 2, Out: 7})
 	})
 	r.e.RunUntil(10 * sim.Microsecond)
 	if len(applied) != 2 || applied[0] != 1 || applied[1] != 2 {
@@ -124,6 +126,29 @@ func TestDeferredRoutesApplyAtBarrier(t *testing.T) {
 	}
 	if r.e.Stats.Routes != 2 {
 		t.Fatalf("stats.Routes = %d, want 2", r.e.Stats.Routes)
+	}
+}
+
+// TestShardPanicPropagates: a model panic inside a shard worker must
+// surface as a sticky engine error naming the shard and window — never
+// a hang, never a torn-down process.
+func TestShardPanicPropagates(t *testing.T) {
+	r := newRig(t)
+	r.k[1].At(3000, func() { panic("injected model failure") })
+	r.e.RunUntil(10 * sim.Microsecond)
+	err := r.e.Err()
+	if err == nil {
+		t.Fatal("shard panic did not surface as an engine error")
+	}
+	for _, want := range []string{"shard 1", "injected model failure"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	// The engine is now stuck: further runs refuse to advance.
+	before := r.e.Now()
+	if r.e.RunUntil(20*sim.Microsecond) != before {
+		t.Fatal("engine advanced past a sticky failure")
 	}
 }
 

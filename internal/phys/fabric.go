@@ -2,6 +2,8 @@ package phys
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/wire"
 )
@@ -29,6 +31,14 @@ const MaxNodes = 65535
 type Topology struct {
 	// Name labels the fabric in reports ("uniform", "dualring", ...).
 	Name string
+	// Shape is the machine-readable constructor spec the topology was
+	// built from ("uniform", "dualring", "mesh", "sharded:4", ...),
+	// stamped by the named constructors and parsed back by
+	// FabricByName. It is what lets a fabric be reconstructed
+	// byte-identically in another process (the socket transport's shard
+	// workers); hand-rolled topologies have an empty Shape and cannot
+	// cross a process boundary.
+	Shape string
 	// Nodes and Switches size the fabric.
 	Nodes    int
 	Switches int
@@ -131,7 +141,7 @@ func (t *Topology) IsAttached(n, s int) bool {
 // one port to every switch, no trunks. With 2 switches the segment is
 // dual-redundant; with 4, quad-redundant.
 func Uniform(nodes, switches int, fiberM float64) Topology {
-	return Topology{Name: "uniform", Nodes: nodes, Switches: switches, FiberM: fiberM}
+	return Topology{Name: "uniform", Shape: "uniform", Nodes: nodes, Switches: switches, FiberM: fiberM}
 }
 
 // DualRing is a pair of counter-rotating rings: two switches, every
@@ -142,7 +152,7 @@ func Uniform(nodes, switches int, fiberM float64) Topology {
 // trunk.
 func DualRing(nodes int, fiberM float64) Topology {
 	return Topology{
-		Name: "dualring", Nodes: nodes, Switches: 2, FiberM: fiberM,
+		Name: "dualring", Shape: "dualring", Nodes: nodes, Switches: 2, FiberM: fiberM,
 		Trunks:          []TrunkSpec{{A: 0, B: 1}},
 		CounterRotating: true,
 	}
@@ -161,7 +171,7 @@ func Mesh(nodes, switches int, fiberM float64) Topology {
 		}
 	}
 	return Topology{
-		Name: "mesh", Nodes: nodes, Switches: switches, FiberM: fiberM,
+		Name: "mesh", Shape: "mesh", Nodes: nodes, Switches: switches, FiberM: fiberM,
 		Attached: func(n, sw int) bool { return sw == n%s || sw == (n+1)%s },
 		Trunks:   trunks,
 	}
@@ -189,7 +199,7 @@ func Sharded(shards, nodesPerShard, switchesPerShard int, fiberM float64) Topolo
 		}
 	}
 	return Topology{
-		Name:  "sharded",
+		Name: "sharded", Shape: fmt.Sprintf("sharded:%d", shards),
 		Nodes: shards * nodesPerShard, Switches: shards * sps, FiberM: fiberM,
 		Attached: func(n, sw int) bool { return sw/sps == n/nodesPerShard },
 		Trunks:   trunks,
@@ -202,9 +212,15 @@ func Sharded(shards, nodesPerShard, switchesPerShard int, fiberM float64) Topolo
 // drops or resizes what was asked for (a 9-node sharded request is an
 // error, not an 8-node cluster). The returned topology is validated,
 // so callers can hand it straight to a cluster builder.
+//
+// "sharded" takes an optional group count parameter, "sharded:4"; the
+// bare name keeps its historical meaning of two groups. The accepted
+// strings are exactly the Shape values the constructors stamp, so any
+// named topology round-trips through FabricByName(t.Shape, ...).
 func FabricByName(name string, nodes, switches int, fiberM float64) (Topology, error) {
 	var t Topology
-	switch name {
+	base, param, hasParam := strings.Cut(name, ":")
+	switch base {
 	case "", "uniform":
 		t = Uniform(nodes, switches, fiberM)
 	case "dualring":
@@ -217,15 +233,26 @@ func FabricByName(name string, nodes, switches int, fiberM float64) (Topology, e
 		}
 		t = Mesh(nodes, switches, fiberM)
 	case "sharded":
-		const shards = 2
-		if nodes%shards != 0 || switches%shards != 0 || switches == 0 {
+		shards := 2
+		if hasParam {
+			n, err := strconv.Atoi(param)
+			if err != nil || n < 1 {
+				return Topology{}, fmt.Errorf("phys: bad sharded group count %q (want sharded:N, N >= 1)", name)
+			}
+			shards = n
+		}
+		if switches == 0 || nodes%shards != 0 || switches%shards != 0 {
 			return Topology{}, fmt.Errorf(
 				"phys: sharded fabric splits nodes and switches across %d shards; %d nodes × %d switches does not divide evenly",
 				shards, nodes, switches)
 		}
 		t = Sharded(shards, nodes/shards, switches/shards, fiberM)
+		hasParam = false // the parameter is consumed, not an error
 	default:
-		return Topology{}, fmt.Errorf("phys: unknown fabric %q (want uniform, dualring, mesh or sharded)", name)
+		return Topology{}, fmt.Errorf("phys: unknown fabric %q (want uniform, dualring, mesh or sharded[:N])", name)
+	}
+	if hasParam {
+		return Topology{}, fmt.Errorf("phys: fabric %q takes no parameter", name)
 	}
 	if err := t.Validate(); err != nil {
 		return Topology{}, err

@@ -27,12 +27,36 @@ type Cluster struct {
 
 	// Assign is the shard assignment of a sharded fabric (nil when the
 	// whole fabric runs on one kernel). RouteSink, set by the parallel
-	// engine, receives crossbar programming aimed at a switch owned by
-	// another shard; it is applied at the next window barrier, which is
-	// always before any frame that needs the route can arrive (the
-	// frame has at least one full cross-shard flight ahead of it).
+	// engine's transport, receives crossbar programming aimed at a
+	// switch owned by another shard; it is applied at the next window
+	// barrier, which is always before any frame that needs the route
+	// can arrive (the frame has at least one full cross-shard flight
+	// ahead of it).
 	Assign    *Assignment
-	RouteSink func(srcShard int, apply func())
+	RouteSink func(srcShard int, op RouteOp)
+}
+
+// RouteOp is one crossbar write as a plain record: which switch, which
+// ingress, which egress, and — for trunk forwarding — which virtual
+// circuit. Keeping route programming as data rather than a closure is
+// what lets a barrier-deferred write cross a process boundary on the
+// socket transport byte-for-byte.
+type RouteOp struct {
+	Switch int
+	In     int
+	Out    int // < 0 clears the entry
+	VC     uint16
+	IsVC   bool
+}
+
+// Apply performs the write against the built fabric.
+func (op RouteOp) Apply(c *Cluster) {
+	sw := c.Switches[op.Switch]
+	if op.IsVC {
+		sw.SetVCRoute(op.In, op.VC, op.Out)
+		return
+	}
+	sw.SetRoute(op.In, op.Out)
 }
 
 // Trunk is one built switch-to-switch fiber.
@@ -149,19 +173,19 @@ func (c *Cluster) ShardOfNode(n int) int {
 	return c.Assign.NodeShard[n]
 }
 
-// Program applies a crossbar-programming closure aimed at switch sw on
-// behalf of shard srcShard. A local switch (or an unsharded fabric) is
+// Program applies a crossbar write aimed at op.Switch on behalf of
+// shard srcShard. A local switch (or an unsharded fabric) is
 // programmed immediately — the historical synchronous semantics. A
 // remote switch's programming is routed through RouteSink to the next
 // window barrier: conservative lookahead guarantees the first frame
 // that could need the route is still at least one cross-shard flight
 // away, so the deferral is invisible to the simulation.
-func (c *Cluster) Program(srcShard, sw int, apply func()) {
-	if c.Assign == nil || c.Assign.SwitchShard[sw] == srcShard || c.RouteSink == nil {
-		apply()
+func (c *Cluster) Program(srcShard int, op RouteOp) {
+	if c.Assign == nil || c.Assign.SwitchShard[op.Switch] == srcShard || c.RouteSink == nil {
+		op.Apply(c)
 		return
 	}
-	c.RouteSink(srcShard, apply)
+	c.RouteSink(srcShard, op)
 }
 
 // NumNodes returns the node count.

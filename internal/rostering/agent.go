@@ -339,13 +339,9 @@ func (a *Agent) adopt() {
 				}
 			}
 			if j == 0 {
-				a.Cluster.Program(a.Shard, sw, func() {
-					a.Cluster.Switches[sw].SetRoute(ingress, egress)
-				})
+				a.Cluster.Program(a.Shard, phys.RouteOp{Switch: sw, In: ingress, Out: egress})
 			} else {
-				a.Cluster.Program(a.Shard, sw, func() {
-					a.Cluster.Switches[sw].SetVCRoute(ingress, uint16(a.ID), egress)
-				})
+				a.Cluster.Program(a.Shard, phys.RouteOp{Switch: sw, In: ingress, Out: egress, VC: uint16(a.ID), IsVC: true})
 			}
 		}
 		a.Station.SetEgress(via)

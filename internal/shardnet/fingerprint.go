@@ -1,0 +1,77 @@
+package shardnet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Fingerprint hashes everything that must agree between the
+// coordinator's replica and a shard worker's for their kernels to stay
+// in lockstep: the built fabric (sizes, attach matrix, fiber lengths,
+// trunks, rotation, shard assignment, wire version), the run identity
+// (seed, lookahead) and the raw spec bytes the worker rebuilt from.
+// The worker echoes its own fingerprint in MsgReady; a mismatch —
+// version skew between binaries, a drifting constructor, a corrupted
+// spec — fails the handshake instead of producing a divergence
+// thousands of windows in.
+func Fingerprint(c *phys.Cluster, seed uint64, lookahead sim.Time, spec []byte) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	str(c.Topo.Shape)
+	u64(uint64(c.Topo.Nodes))
+	u64(uint64(c.Topo.Switches))
+	u64(uint64(c.Topo.Wire))
+	if c.Topo.CounterRotating {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	for n := range c.NodeLinks {
+		for s, l := range c.NodeLinks[n] {
+			if l == nil {
+				continue
+			}
+			u64(uint64(n))
+			u64(uint64(s))
+			f64(l.Meters)
+		}
+	}
+	u64(uint64(len(c.Trunks)))
+	for _, t := range c.Trunks {
+		u64(uint64(t.A))
+		u64(uint64(t.B))
+		u64(uint64(t.PortA))
+		u64(uint64(t.PortB))
+		f64(t.Link.Meters)
+	}
+	if c.Assign != nil {
+		u64(uint64(c.Assign.Shards))
+		for _, s := range c.Assign.SwitchShard {
+			u64(uint64(s))
+		}
+		for _, s := range c.Assign.NodeShard {
+			u64(uint64(s))
+		}
+	} else {
+		u64(0)
+	}
+	u64(seed)
+	u64(uint64(lookahead))
+	u64(uint64(len(spec)))
+	h.Write(spec)
+	return h.Sum64()
+}

@@ -1,0 +1,216 @@
+package shardnet
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// Inproc is the in-process transport: one worker goroutine per shard,
+// captures in per-shard slices, no serialization. It is the default
+// behavior of the parallel engine — bit-for-bit the channel-based
+// machinery the serial-equivalence batteries pin — plus one repair:
+// a shard that panics mid-window no longer strands the barrier; the
+// panic is recovered in the worker and surfaces as a Grant error
+// naming the shard and window.
+type Inproc struct {
+	kernels []*sim.Kernel
+	nets    []*phys.Net
+
+	frames   [][]FrameRec
+	frameSeq []uint64
+	routes   [][]RouteRec
+
+	applyRoute func(phys.RouteOp)
+
+	// Window hand-off: one target send and one done receive per worker
+	// per window. Workers park between windows, so driver read phases
+	// and single-core hosts cost nothing; on multicore the wakeups
+	// overlap and the per-window barrier stays in the low microseconds
+	// against window workloads hundreds of events deep.
+	work []chan sim.Time
+	done chan error
+
+	stats  []ShardStats
+	closed sync.Once
+}
+
+// NewInproc builds the in-process transport over one kernel+Net pair
+// per shard, installing itself as every Net's RemoteExchange. With
+// more than one shard it starts one worker goroutine per shard; call
+// Close when the simulation is done.
+func NewInproc(kernels []*sim.Kernel, nets []*phys.Net) *Inproc {
+	t := &Inproc{
+		kernels:  kernels,
+		nets:     nets,
+		frames:   make([][]FrameRec, len(kernels)),
+		frameSeq: make([]uint64, len(kernels)),
+		routes:   make([][]RouteRec, len(kernels)),
+		stats:    make([]ShardStats, len(kernels)),
+	}
+	for i, n := range nets {
+		n.Shard = i
+		n.Remote = &capture{t: t, shard: i}
+	}
+	if len(kernels) > 1 {
+		t.done = make(chan error, len(kernels))
+		for i := range kernels {
+			ch := make(chan sim.Time)
+			t.work = append(t.work, ch)
+			go t.worker(i, ch)
+		}
+	}
+	return t
+}
+
+// capture is the per-shard phys.RemoteExchange: it appends cross-shard
+// frames to the source shard's private queue. Only the shard's own
+// worker appends during a window, so no locking is needed.
+type capture struct {
+	t     *Inproc
+	shard int
+}
+
+// RemoteFrame is the sanctioned frame-capture path (see the ampvet
+// shardshare analyzer): the only place shard context may write
+// transport state.
+func (x *capture) RemoteFrame(src, dst *phys.Port, f phys.Frame, link *phys.Link, epoch uint64, arrival sim.Time) {
+	t := x.t
+	t.frames[x.shard] = append(t.frames[x.shard], FrameRec{
+		SrcUID: src.UID(), DstUID: dst.UID(), Dst: dst, F: f, Link: link, Epoch: epoch,
+		Arrival: arrival, TxAt: t.kernels[x.shard].Now(),
+		Src: x.shard, Seq: t.frameSeq[x.shard],
+	})
+	t.frameSeq[x.shard]++
+}
+
+// DeferRoute is the sanctioned route-capture path, called (via
+// phys.Cluster.RouteSink) from shard context for crossbar writes aimed
+// at a remote switch.
+func (t *Inproc) DeferRoute(srcShard int, op phys.RouteOp) {
+	t.routes[srcShard] = append(t.routes[srcShard], RouteRec{Src: srcShard, Op: op})
+}
+
+// BindRoutes sets the RouteOp applier used by Deliver.
+func (t *Inproc) BindRoutes(apply func(phys.RouteOp)) { t.applyRoute = apply }
+
+// worker runs shard i's kernel window by window.
+func (t *Inproc) worker(i int, ch chan sim.Time) {
+	for target := range ch {
+		t.done <- t.runShard(i, target)
+	}
+}
+
+// runShard executes one shard's window, converting a model panic into
+// an error that names the shard and window instead of tearing the
+// process down (or, worse, stranding the other shards at the barrier).
+func (t *Inproc) runShard(i int, target sim.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("shardnet: shard %d panicked in window ending %v: %v\n%s", i, target, r, debug.Stack())
+		}
+	}()
+	t.kernels[i].RunUntil(target)
+	return nil
+}
+
+// Grant runs every shard to target and waits for all of them.
+func (t *Inproc) Grant(target sim.Time) error {
+	for i := range t.stats {
+		t.stats[i].Windows++
+	}
+	if len(t.work) == 0 {
+		// Single shard: run directly; a panic propagates as it would
+		// on the serial engine.
+		t.kernels[0].RunUntil(target)
+		return nil
+	}
+	for _, ch := range t.work {
+		ch <- target
+	}
+	var firstErr error
+	for range t.work {
+		if err := <-t.done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Advance moves every shard's clock to t without executing events.
+func (t *Inproc) Advance(at sim.Time) error {
+	for _, k := range t.kernels {
+		k.AdvanceTo(at)
+	}
+	return nil
+}
+
+// Fence is a no-op in process: the coordinator's closures have already
+// run against the one and only replica.
+func (t *Inproc) Fence(now sim.Time, acts []Action) error { return nil }
+
+// Collect drains the capture queues: frames concatenated per source
+// shard in capture order, routes in source-shard FIFO order. The
+// per-shard capture sequence restarts at every Collect: Seq is only a
+// same-instant tie-break within one barrier's batch, and a per-barrier
+// sequence is reproducible by a mirrored replica that captures a
+// different subset of barriers per shard (a shard worker sees only its
+// own shard's windows, but every fence).
+func (t *Inproc) Collect() ([]FrameRec, []RouteRec, error) {
+	var frames []FrameRec
+	var routes []RouteRec
+	for s := range t.frames {
+		t.stats[s].Frames += uint64(len(t.frames[s]))
+		t.stats[s].Routes += uint64(len(t.routes[s]))
+		frames = append(frames, t.frames[s]...)
+		routes = append(routes, t.routes[s]...)
+		t.frames[s] = t.frames[s][:0]
+		t.routes[s] = t.routes[s][:0]
+		t.frameSeq[s] = 0
+	}
+	return frames, routes, nil
+}
+
+// Deliver applies a barrier batch: routes first (the engine preserves
+// source-shard FIFO order), then frames in the engine's canonical
+// order, each scheduled on its destination kernel at its exact arrival
+// time with the wire priority key (transmit start, sending-port
+// identity) that slots it into the same same-instant order the serial
+// engine would have used.
+func (t *Inproc) Deliver(frames []FrameRec, routes []RouteRec) error {
+	for _, r := range routes {
+		t.applyRoute(r.Op)
+	}
+	for i := range frames {
+		pf := frames[i]
+		dstK := pf.Dst.Net().K
+		dstK.AtPri(pf.Arrival, pf.TxAt, pf.SrcUID, func() {
+			pf.Dst.Net().CompleteDelivery(pf.Dst, pf.F, pf.Link, pf.Epoch)
+		})
+	}
+	return nil
+}
+
+// ShardStats returns the per-shard counters.
+func (t *Inproc) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(t.stats))
+	copy(out, t.stats)
+	return out
+}
+
+// Distributed reports false: every shard lives in this process.
+func (t *Inproc) Distributed() bool { return false }
+
+// Close stops the worker goroutines. The transport must not be used
+// afterwards.
+func (t *Inproc) Close() error {
+	t.closed.Do(func() {
+		for _, ch := range t.work {
+			close(ch)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,369 @@
+package shardnet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// The socket transport's message vocabulary: one byte of message type
+// inside the wire.ControlV1 envelope. Payload layouts are defined
+// below; every multi-byte field is little-endian via encoding/binary,
+// and cross-shard frames embed real v2 MicroPackets produced by the
+// internal/wire codec registry.
+const (
+	// MsgHello is the worker's opener: shard id and protocol version.
+	MsgHello = 0x01
+	// MsgSpec carries the serialized cluster spec (opaque JSON owned by
+	// internal/core) from coordinator to worker.
+	MsgSpec = 0x02
+	// MsgReady is the worker's handshake close: shard id, wire-format
+	// version, seed, topology fingerprint and lookahead, all verified
+	// against the coordinator's own values.
+	MsgReady = 0x03
+	// MsgRun grants a window: run the worker's shard to the target.
+	MsgRun = 0x04
+	// MsgDone answers MsgRun with the window's capture block.
+	MsgDone = 0x05
+	// MsgAdvance moves the worker's shard clock without executing.
+	MsgAdvance = 0x06
+	// MsgAdvanced acknowledges MsgAdvance.
+	MsgAdvanced = 0x07
+	// MsgApply fences serialized coordinator actions at the parked
+	// instant.
+	MsgApply = 0x08
+	// MsgApplied answers MsgApply with the actions' capture block.
+	MsgApplied = 0x09
+	// MsgDeliver ships a barrier batch (routes + frames for the
+	// worker's shard); it needs no acknowledgement — the stream is
+	// ordered, so the batch lands before the next grant.
+	MsgDeliver = 0x0A
+	// MsgBye dismisses the worker.
+	MsgBye = 0x0B
+	// MsgError reports a worker-side failure as text; the run fails.
+	MsgError = 0x0C
+)
+
+// ProtoVersion is the shard-worker protocol version carried in
+// MsgHello; coordinator and worker must agree exactly.
+const ProtoVersion = 1
+
+// Worker launch environment: the coordinator passes the connect
+// address and shard id to cmd/ampshard through these variables.
+const (
+	EnvAddr  = "AMPSHARD_ADDR"
+	EnvShard = "AMPSHARD_SHARD"
+)
+
+// TransportWire is the wire-format version cross-shard frames travel
+// as on the socket transport, regardless of the fabric's own version:
+// v2's 16-bit addresses cover every buildable fabric.
+const TransportWire = wire.V2
+
+// Ready is the decoded MsgReady handshake close.
+type Ready struct {
+	Shard     int
+	Wire      wire.Version
+	Seed      uint64
+	TopoHash  uint64
+	Lookahead sim.Time
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// cursor is a bounds-checked little-endian reader over one payload.
+type cursor struct {
+	buf []byte
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if len(c.buf) < n {
+		c.err = fmt.Errorf("shardnet: truncated message payload")
+		return nil
+	}
+	out := c.buf[:n]
+	c.buf = c.buf[n:]
+	return out
+}
+
+func (c *cursor) u8() uint8 {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) time() sim.Time { return sim.Time(c.u64()) }
+
+func (c *cursor) close() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.buf) != 0 {
+		return fmt.Errorf("shardnet: %d trailing bytes in message payload", len(c.buf))
+	}
+	return nil
+}
+
+// EncodeHello frames a MsgHello payload.
+func EncodeHello(shard int) []byte {
+	var b []byte
+	b = appendU16(b, uint16(shard))
+	b = appendU16(b, ProtoVersion)
+	return b
+}
+
+// DecodeHello parses a MsgHello payload.
+func DecodeHello(p []byte) (shard, proto int, err error) {
+	c := &cursor{buf: p}
+	shard = int(c.u16())
+	proto = int(c.u16())
+	return shard, proto, c.close()
+}
+
+// EncodeReady frames a MsgReady payload.
+func EncodeReady(r Ready) []byte {
+	var b []byte
+	b = appendU16(b, uint16(r.Shard))
+	b = append(b, byte(r.Wire))
+	b = appendU64(b, r.Seed)
+	b = appendU64(b, r.TopoHash)
+	b = appendU64(b, uint64(r.Lookahead))
+	return b
+}
+
+// DecodeReady parses a MsgReady payload.
+func DecodeReady(p []byte) (Ready, error) {
+	c := &cursor{buf: p}
+	r := Ready{
+		Shard:     int(c.u16()),
+		Wire:      wire.Version(c.u8()),
+		Seed:      c.u64(),
+		TopoHash:  c.u64(),
+		Lookahead: sim.Time(c.u64()),
+	}
+	return r, c.close()
+}
+
+// EncodeTime frames the single-timestamp payload shared by MsgRun,
+// MsgAdvance and MsgAdvanced.
+func EncodeTime(t sim.Time) []byte { return appendU64(nil, uint64(t)) }
+
+// DecodeTime parses a single-timestamp payload.
+func DecodeTime(p []byte) (sim.Time, error) {
+	c := &cursor{buf: p}
+	t := c.time()
+	return t, c.close()
+}
+
+// EncodeDone frames a MsgDone payload: the granted target, the
+// shard kernel's cumulative event count, and the capture block.
+func EncodeDone(target sim.Time, fired uint64, capture []byte) []byte {
+	var b []byte
+	b = appendU64(b, uint64(target))
+	b = appendU64(b, fired)
+	return append(b, capture...)
+}
+
+// DecodeDone parses a MsgDone payload. The capture block aliases p.
+func DecodeDone(p []byte) (target sim.Time, fired uint64, capture []byte, err error) {
+	c := &cursor{buf: p}
+	target = c.time()
+	fired = c.u64()
+	if c.err != nil {
+		return 0, 0, nil, c.err
+	}
+	return target, fired, c.buf, nil
+}
+
+// EncodeApply frames a MsgApply payload: the fence instant and the
+// serialized actions in application order.
+func EncodeApply(now sim.Time, acts []Action) []byte {
+	var b []byte
+	b = appendU64(b, uint64(now))
+	b = appendU16(b, uint16(len(acts)))
+	for _, a := range acts {
+		b = append(b, a.Kind)
+		b = appendU32(b, uint32(len(a.Data)))
+		b = append(b, a.Data...)
+	}
+	return b
+}
+
+// DecodeApply parses a MsgApply payload.
+func DecodeApply(p []byte) (sim.Time, []Action, error) {
+	c := &cursor{buf: p}
+	now := c.time()
+	n := int(c.u16())
+	acts := make([]Action, 0, n)
+	for i := 0; i < n; i++ {
+		kind := c.u8()
+		data := c.take(int(c.u32()))
+		acts = append(acts, Action{Kind: kind, Data: data})
+	}
+	return now, acts, c.close()
+}
+
+// EncodeApplied frames a MsgApplied payload: the fence instant and the
+// capture block of the actions' synchronous transmissions.
+func EncodeApplied(now sim.Time, capture []byte) []byte {
+	return append(appendU64(nil, uint64(now)), capture...)
+}
+
+// DecodeApplied parses a MsgApplied payload. The capture block aliases
+// p.
+func DecodeApplied(p []byte) (sim.Time, []byte, error) {
+	c := &cursor{buf: p}
+	now := c.time()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	return now, c.buf, nil
+}
+
+// EncodeCapture serializes one capture block — the frames and routes
+// of one barrier, in capture order. Frames embed their packets as
+// TransportWire (v2) MicroPackets via the wire codec registry; this is
+// also the byte representation the coordinator compares across
+// processes, so it must be canonical (and wire.Encode is).
+//
+// Layout: nframes u32, frames..., nroutes u32, routes...; one frame is
+//
+//	srcUID u32 | dstUID u32 | arrival u64 | txAt u64 | epoch u64 |
+//	seq u64 | src u16 | hops u16 | vc u16 | prio u8 | wire u16 |
+//	pktLen u16 | pkt bytes
+//
+// and one route is
+//
+//	src u16 | switch u16 | in u16 | out u32 (two's complement) |
+//	vc u16 | isvc u8
+func EncodeCapture(frames []FrameRec, routes []RouteRec) ([]byte, error) {
+	var b []byte
+	b = appendU32(b, uint32(len(frames)))
+	for i := range frames {
+		f := &frames[i]
+		pkt, err := wire.Encode(TransportWire, f.F.Pkt)
+		if err != nil {
+			return nil, fmt.Errorf("shardnet: frame %d of capture: %w", i, err)
+		}
+		b = appendU32(b, f.SrcUID)
+		b = appendU32(b, f.DstUID)
+		b = appendU64(b, uint64(f.Arrival))
+		b = appendU64(b, uint64(f.TxAt))
+		b = appendU64(b, f.Epoch)
+		b = appendU64(b, f.Seq)
+		b = appendU16(b, uint16(f.Src))
+		b = appendU16(b, f.F.Hops)
+		b = appendU16(b, f.F.VC)
+		if f.F.Prio {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendU16(b, uint16(f.F.Wire))
+		b = appendU16(b, uint16(len(pkt)))
+		b = append(b, pkt...)
+	}
+	b = appendU32(b, uint32(len(routes)))
+	for _, r := range routes {
+		b = appendU16(b, uint16(r.Src))
+		b = appendU16(b, uint16(r.Op.Switch))
+		b = appendU16(b, uint16(r.Op.In))
+		b = appendU32(b, uint32(int32(r.Op.Out)))
+		b = appendU16(b, r.Op.VC)
+		if r.Op.IsVC {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b, nil
+}
+
+// DecodeCapture parses a capture block. Frames come back with Dst and
+// Link nil — the receiving process resolves them from DstUID against
+// its own replica.
+func DecodeCapture(p []byte) ([]FrameRec, []RouteRec, error) {
+	c := &cursor{buf: p}
+	nf := int(c.u32())
+	var frames []FrameRec
+	for i := 0; i < nf && c.err == nil; i++ {
+		var f FrameRec
+		f.SrcUID = c.u32()
+		f.DstUID = c.u32()
+		f.Arrival = c.time()
+		f.TxAt = c.time()
+		f.Epoch = c.u64()
+		f.Seq = c.u64()
+		f.Src = int(c.u16())
+		f.F.Hops = c.u16()
+		f.F.VC = c.u16()
+		f.F.Prio = c.u8() != 0
+		f.F.Wire = int(c.u16())
+		pkt := c.take(int(c.u16()))
+		if c.err != nil {
+			break
+		}
+		p, v, err := wire.Decode(pkt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shardnet: frame %d of capture: %w", i, err)
+		}
+		if v != TransportWire {
+			return nil, nil, fmt.Errorf("shardnet: frame %d of capture is wire %v, want %v", i, v, TransportWire)
+		}
+		f.F.Pkt = p
+		frames = append(frames, f)
+	}
+	nr := int(c.u32())
+	var routes []RouteRec
+	for i := 0; i < nr && c.err == nil; i++ {
+		var r RouteRec
+		r.Src = int(c.u16())
+		r.Op.Switch = int(c.u16())
+		r.Op.In = int(c.u16())
+		r.Op.Out = int(int32(c.u32()))
+		r.Op.VC = c.u16()
+		r.Op.IsVC = c.u8() != 0
+		routes = append(routes, r)
+	}
+	if err := c.close(); err != nil {
+		return nil, nil, err
+	}
+	return frames, routes, nil
+}
+
+// EncodeError frames a MsgError payload.
+func EncodeError(err error) []byte { return []byte(err.Error()) }

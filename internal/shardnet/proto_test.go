@@ -1,0 +1,188 @@
+package shardnet
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/micropacket"
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Payload-layout goldens: these pin the shard-worker message bodies the
+// same way internal/wire's controlGoldens pin the envelope. A change
+// here breaks every deployed cmd/ampshard mid-handshake, so it must
+// come with a ProtoVersion bump, not an edit.
+func TestProtoGoldenVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		got  []byte
+		hex  string
+	}{
+		{"hello", EncodeHello(3), "03000100"},
+		{"time", EncodeTime(1000), "e803000000000000"},
+		{"ready", EncodeReady(Ready{
+			Shard: 2, Wire: wire.V2,
+			Seed: 0x1122334455667788, TopoHash: 0xDEADBEEFCAFEF00D, Lookahead: 250,
+		}), "0200" + "02" + "8877665544332211" + "0df0fecaefbeadde" + "fa00000000000000"},
+		{"apply", EncodeApply(7, []Action{{Kind: 0x02, Data: []byte("x")}}),
+			"0700000000000000" + "0100" + "02" + "01000000" + "78"},
+		{"done", EncodeDone(9, 5, []byte{0xAA}),
+			"0900000000000000" + "0500000000000000" + "aa"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := hex.EncodeToString(tc.got); got != tc.hex {
+				t.Fatalf("encode = %s, want %s", got, tc.hex)
+			}
+		})
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	shard, proto, err := DecodeHello(EncodeHello(7))
+	if err != nil || shard != 7 || proto != ProtoVersion {
+		t.Fatalf("hello = (%d, %d, %v)", shard, proto, err)
+	}
+	want := Ready{Shard: 3, Wire: wire.V2, Seed: 42, TopoHash: 0xABCD, Lookahead: 250}
+	got, err := DecodeReady(EncodeReady(want))
+	if err != nil || got != want {
+		t.Fatalf("ready = (%+v, %v), want %+v", got, err, want)
+	}
+	if _, err := DecodeReady(EncodeReady(want)[:10]); err == nil {
+		t.Fatal("truncated ready decoded")
+	}
+	if _, _, err := DecodeHello(append(EncodeHello(1), 0)); err == nil {
+		t.Fatal("hello with trailing byte decoded")
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	prop := func(now uint32, kinds []uint8, blob []byte) bool {
+		if len(kinds) > 64 {
+			kinds = kinds[:64]
+		}
+		acts := make([]Action, len(kinds))
+		for i, k := range kinds {
+			var data []byte
+			if len(blob) > 0 {
+				data = blob[:(i*7)%len(blob)]
+			}
+			acts[i] = Action{Kind: k, Data: data}
+		}
+		enc := EncodeApply(sim.Time(now), acts)
+		gotNow, gotActs, err := DecodeApply(enc)
+		if err != nil || gotNow != sim.Time(now) || len(gotActs) != len(acts) {
+			return false
+		}
+		for i := range acts {
+			if gotActs[i].Kind != acts[i].Kind || !bytes.Equal(gotActs[i].Data, acts[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testCapture builds a capture block from hand-made records around real
+// MicroPackets.
+func testCapture(t *testing.T) ([]FrameRec, []RouteRec) {
+	t.Helper()
+	pkt := &micropacket.Packet{Type: micropacket.TypeData, Src: 3, Dst: 300, Tag: 9}
+	pkt2 := &micropacket.Packet{Type: micropacket.TypeRostering, Src: 300, Dst: 3, Tag: 1}
+	frames := []FrameRec{
+		{SrcUID: 11, DstUID: 22, F: phys.Frame{Pkt: pkt, Wire: 30, Hops: 2, VC: 5, Prio: true},
+			Epoch: 7, Arrival: 1234, TxAt: 1200, Src: 0, Seq: 0},
+		{SrcUID: 33, DstUID: 44, F: phys.Frame{Pkt: pkt2, Wire: 18},
+			Epoch: 1, Arrival: 999, TxAt: 990, Src: 1, Seq: 4},
+	}
+	routes := []RouteRec{
+		{Src: 0, Op: phys.RouteOp{Switch: 2, In: 3, Out: 4}},
+		{Src: 1, Op: phys.RouteOp{Switch: 1, In: 0, Out: -1, VC: 7, IsVC: true}},
+	}
+	return frames, routes
+}
+
+// TestCaptureRoundTrip proves the capture block is lossless for
+// everything a worker needs (Dst and Link come back nil, resolved from
+// the UIDs against the worker's replica) and canonical: decoding and
+// re-encoding reproduces the bytes exactly — the property the socket
+// transport's cross-process byte-comparison rests on.
+func TestCaptureRoundTrip(t *testing.T) {
+	frames, routes := testCapture(t)
+	enc, err := EncodeCapture(frames, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF, gotR, err := DecodeCapture(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotF) != len(frames) || len(gotR) != len(routes) {
+		t.Fatalf("decoded %d frames, %d routes; want %d, %d", len(gotF), len(gotR), len(frames), len(routes))
+	}
+	for i, f := range gotF {
+		want := frames[i]
+		if f.Dst != nil || f.Link != nil {
+			t.Fatalf("frame %d: Dst/Link must decode nil", i)
+		}
+		if f.SrcUID != want.SrcUID || f.DstUID != want.DstUID || f.Epoch != want.Epoch ||
+			f.Arrival != want.Arrival || f.TxAt != want.TxAt || f.Src != want.Src || f.Seq != want.Seq ||
+			f.F.Wire != want.F.Wire || f.F.Hops != want.F.Hops || f.F.VC != want.F.VC || f.F.Prio != want.F.Prio {
+			t.Fatalf("frame %d = %+v, want %+v", i, f, want)
+		}
+		wantPkt, _ := wire.Encode(TransportWire, want.F.Pkt)
+		gotPkt, _ := wire.Encode(TransportWire, f.F.Pkt)
+		if !bytes.Equal(gotPkt, wantPkt) {
+			t.Fatalf("frame %d packet = %+v, want %+v", i, f.F.Pkt, want.F.Pkt)
+		}
+	}
+	for i, r := range gotR {
+		if r != routes[i] {
+			t.Fatalf("route %d = %+v, want %+v", i, r, routes[i])
+		}
+	}
+	reenc, err := EncodeCapture(gotF, gotR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc, enc) {
+		t.Fatalf("capture re-encode is not canonical:\n in  %x\n out %x", enc, reenc)
+	}
+}
+
+func TestCaptureEmpty(t *testing.T) {
+	enc, err := EncodeCapture(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hex.EncodeToString(enc) != "0000000000000000" {
+		t.Fatalf("empty capture = %x", enc)
+	}
+	f, r, err := DecodeCapture(enc)
+	if err != nil || f != nil || r != nil {
+		t.Fatalf("empty capture decode = (%v, %v, %v)", f, r, err)
+	}
+}
+
+func TestCaptureDecodeTruncated(t *testing.T) {
+	frames, routes := testCapture(t)
+	enc, err := EncodeCapture(frames, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 5, 20, len(enc) - 1} {
+		if _, _, err := DecodeCapture(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	if _, _, err := DecodeCapture(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte decoded")
+	}
+}

@@ -1,0 +1,140 @@
+// Package shardnet is the transport layer of the parallel sharded
+// engine (internal/parsim): the full coordinator⇄shard conversation —
+// window grants, remote-frame batches, deferred-route capture,
+// coordinator-action fences, per-shard stats and shutdown — behind one
+// Transport interface, so the same barrier protocol can run over
+// in-process channels or across OS processes.
+//
+// Two implementations ship:
+//
+//   - Inproc is today's engine: one goroutine per shard, captures in
+//     per-shard slices, zero serialization. It is the default and is
+//     bit-for-bit the behavior the serial-equivalence batteries pin.
+//
+//   - Socket runs every shard additionally in its own worker process
+//     (cmd/ampshard) on loopback TCP. Cross-shard phys.Frames travel
+//     as real v2 MicroPackets through the internal/wire codec
+//     registry, wrapped — like every control message — in the
+//     versioned control envelope wire.ControlV1. The coordinator keeps
+//     a full local replica of the fabric (driver probes and loads are
+//     arbitrary Go closures over cluster state, which cannot cross a
+//     process boundary), and every worker holds the same replica but
+//     advances only its own shard's kernel; at each barrier the
+//     coordinator byte-compares the workers' wire-encoded captures
+//     against its own, so any divergence between the replicas — a
+//     decode bug, version skew, nondeterminism — fails the run at the
+//     exact window it appears instead of silently corrupting the
+//     Report.
+//
+// The determinism discipline that makes the protocol this small is the
+// one ampvet machine-checks: shard context only ever writes through
+// the sanctioned capture surface (RemoteFrame, DeferRoute), and
+// everything else happens with every kernel parked on one instant.
+package shardnet
+
+import (
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// FrameRec is one captured cross-shard frame: the phys.Frame plus
+// everything needed to inject it on the destination kernel in the
+// canonical barrier order (arrival, transmit start, source shard,
+// capture sequence) — and, for the socket transport, to reconstruct
+// the injection in another process (the port UIDs; Dst and Link are
+// local pointers, resolved from DstUID on the worker side).
+type FrameRec struct {
+	SrcUID  uint32
+	DstUID  uint32
+	Dst     *phys.Port
+	F       phys.Frame
+	Link    *phys.Link
+	Epoch   uint64
+	Arrival sim.Time
+	TxAt    sim.Time
+	Src     int
+	Seq     uint64
+}
+
+// RouteRec is one barrier-deferred crossbar write with its source
+// shard (the capture queue it came from; application order is
+// source-shard FIFO).
+type RouteRec struct {
+	Src int
+	Op  phys.RouteOp
+}
+
+// Action is one serialized coordinator action, mirrored to every shard
+// worker at a fence. The kind/payload vocabulary belongs to the layer
+// driving the engine (internal/core); the transport only moves the
+// bytes.
+type Action struct {
+	Kind uint8
+	Data []byte
+}
+
+// ShardStats counts one shard's transport work.
+type ShardStats struct {
+	// Windows is the number of grants the shard executed; Frames and
+	// Routes the captures it produced.
+	Windows uint64
+	Frames  uint64
+	Routes  uint64
+	// BytesOut and BytesIn count control-envelope traffic to and from
+	// the shard's worker process (zero on the inproc transport).
+	BytesOut uint64
+	BytesIn  uint64
+}
+
+// Transport is the full coordinator⇄shard conversation of the barrier
+// protocol. All methods are driver-side: they run single-threaded on
+// the coordinator between windows, never from shard context.
+type Transport interface {
+	// BindRoutes sets how collected RouteOps are applied at Deliver
+	// (the parallel engine binds them to the built phys.Cluster).
+	BindRoutes(apply func(phys.RouteOp))
+
+	// DeferRoute captures a crossbar write aimed at a remote switch;
+	// wire it to phys.Cluster.RouteSink. It is the only Transport
+	// method shard context may call.
+	DeferRoute(srcShard int, op phys.RouteOp)
+
+	// Grant runs every shard to target (inclusive) and returns when
+	// all are parked there. A shard that panics or disconnects turns
+	// into an error naming it — never a hang.
+	Grant(target sim.Time) error
+
+	// Advance moves every shard's clock to t without executing events
+	// (the engine's dead-time hop onto a coordinator action's instant).
+	Advance(t sim.Time) error
+
+	// Fence mirrors coordinator actions to every shard at the parked
+	// instant now. The coordinator has already applied them locally;
+	// workers apply their serialized forms, and their synchronous
+	// captures are checked by the following Collect.
+	Fence(now sim.Time, acts []Action) error
+
+	// Collect drains everything captured since the last barrier:
+	// frames in per-source-shard capture order (the engine sorts them
+	// canonically) and routes in source-shard FIFO order. On the
+	// socket transport this is also the verification point: the
+	// workers' wire-encoded captures must byte-match the local ones.
+	Collect() ([]FrameRec, []RouteRec, error)
+
+	// Deliver applies a barrier batch: routes first, then frames in
+	// the engine's canonical order, each scheduled on its destination
+	// kernel at its exact arrival time.
+	Deliver(frames []FrameRec, routes []RouteRec) error
+
+	// ShardStats returns per-shard transport counters.
+	ShardStats() []ShardStats
+
+	// Distributed reports whether shards live in other processes — in
+	// which case every coordinator action must carry a serialized
+	// descriptor.
+	Distributed() bool
+
+	// Close shuts the transport down: inproc stops the shard workers;
+	// socket additionally dismisses and reaps the worker processes.
+	Close() error
+}

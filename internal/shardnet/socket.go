@@ -1,0 +1,517 @@
+package shardnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// SocketConfig configures the socket transport: how to launch one
+// worker per shard and what the handshake must agree on.
+type SocketConfig struct {
+	// Cmd is the worker argv (typically the cmd/ampshard binary, or the
+	// test binary itself). The connect address and shard id travel in
+	// the EnvAddr/EnvShard environment variables.
+	Cmd []string
+	// Spec is the serialized cluster spec (opaque to this package; the
+	// layer driving the engine owns the format) sent to every worker in
+	// MsgSpec.
+	Spec []byte
+	// Seed, Wire, Lookahead and Fingerprint are the coordinator's run
+	// identity; every worker's MsgReady must echo them exactly.
+	Seed        uint64
+	Wire        wire.Version
+	Lookahead   sim.Time
+	Fingerprint uint64
+	// HandshakeTimeout bounds worker launch, dial and replica build
+	// (default 2 minutes: a worker rebuilds the full fabric before
+	// answering MsgReady). IOTimeout bounds every per-barrier read and
+	// write afterwards (default 2 minutes). Both are wall-clock budgets
+	// on real I/O, not simulation time.
+	HandshakeTimeout time.Duration
+	IOTimeout        time.Duration
+	// Stderr receives the workers' stderr (default os.Stderr).
+	Stderr io.Writer
+}
+
+// Socket runs every shard additionally in its own worker process over
+// loopback TCP. It embeds Inproc: the coordinator keeps the full local
+// replica (driver probes and loads are closures over cluster state) and
+// the workers mirror it, each advancing only its own shard's kernel;
+// Collect byte-compares the workers' wire-encoded captures against the
+// local ones every barrier. Workers launch lazily on the first
+// transport operation, so a launch failure surfaces as that operation's
+// error and flows down the engine's normal failure path.
+type Socket struct {
+	*Inproc
+	cfg SocketConfig
+
+	started bool
+	dead    error // sticky: set on launch, handshake or barrier failure
+
+	ln    net.Listener
+	peers []*peer
+	procs []*exec.Cmd
+
+	// window counts grants, fence counts fences — both only so that a
+	// divergence error can name the exact barrier it appeared at.
+	window uint64
+	fence  uint64
+
+	// remote[w] is worker w's capture block from the last MsgDone or
+	// MsgApplied — the shard-w slice of the barrier's capture, the part
+	// worker w's replica state is authoritative for — pending
+	// byte-comparison against the local shard-w slice at the next
+	// Collect. barrier names the barrier for divergence errors.
+	remote     [][]byte
+	remoteLive bool
+	barrier    string
+}
+
+// NewSocket builds the socket transport over one kernel+Net pair per
+// shard. No worker is launched until the first transport operation.
+func NewSocket(kernels []*sim.Kernel, nets []*phys.Net, cfg SocketConfig) *Socket {
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 2 * time.Minute
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 2 * time.Minute
+	}
+	if cfg.Stderr == nil {
+		cfg.Stderr = os.Stderr
+	}
+	return &Socket{Inproc: NewInproc(kernels, nets), cfg: cfg}
+}
+
+// SetFingerprint installs the coordinator's topology fingerprint after
+// construction. The fingerprint hashes the built fabric, which the
+// caller typically assembles after creating the transport; workers
+// launch lazily on the first transport operation, so setting it any
+// time before then is safe.
+func (s *Socket) SetFingerprint(fp uint64) { s.cfg.Fingerprint = fp }
+
+// peer is one connected shard worker.
+type peer struct {
+	shard int
+	conn  net.Conn
+	s     *Socket
+}
+
+// send frames one control message to the worker under the I/O timeout.
+func (p *peer) send(typ uint8, payload []byte) error {
+	buf, err := wire.EncodeControl(wire.ControlV1, typ, payload)
+	if err != nil {
+		return fmt.Errorf("shardnet: shard %d: encode %#02x: %w", p.shard, typ, err)
+	}
+	// The deadline is a wall-clock budget on real socket I/O — a wedged
+	// or dead worker must fail the run, never hang it. It cannot touch
+	// simulation state: every kernel is parked on the barrier here.
+	//ampvet:allow walltime socket write deadline bounds real I/O, kernels are parked
+	if err := p.conn.SetWriteDeadline(time.Now().Add(p.s.cfg.IOTimeout)); err != nil {
+		return fmt.Errorf("shardnet: shard %d: %w", p.shard, err)
+	}
+	if _, err := p.conn.Write(buf); err != nil {
+		return fmt.Errorf("shardnet: shard %d worker unreachable: %w", p.shard, err)
+	}
+	if p.shard >= 0 { // still -1 before the hello names the shard
+		p.s.stats[p.shard].BytesOut += uint64(len(buf))
+	}
+	return nil
+}
+
+// recv reads one control message, requiring type want. A worker-side
+// MsgError becomes this coordinator-side error; a disconnect or timeout
+// fails the run rather than hanging it.
+func (p *peer) recv(want uint8, timeout time.Duration) ([]byte, error) {
+	// Same wall-clock discipline as send: the deadline bounds real I/O
+	// while every kernel is parked.
+	//ampvet:allow walltime socket read deadline bounds real I/O, kernels are parked
+	if err := p.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("shardnet: shard %d: %w", p.shard, err)
+	}
+	typ, payload, err := wire.ReadControl(p.conn)
+	if err != nil {
+		return nil, fmt.Errorf("shardnet: shard %d worker lost: %w", p.shard, err)
+	}
+	if p.shard >= 0 { // still -1 before the hello names the shard
+		p.s.stats[p.shard].BytesIn += uint64(len(payload) + 12)
+	}
+	if typ == MsgError {
+		return nil, fmt.Errorf("shardnet: shard %d worker failed: %s", p.shard, payload)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("shardnet: shard %d: got message %#02x, want %#02x", p.shard, typ, want)
+	}
+	return payload, nil
+}
+
+// fail records the first barrier failure; every later operation returns
+// it without touching the (possibly half-dead) worker fleet.
+func (s *Socket) fail(err error) error {
+	if s.dead == nil {
+		s.dead = err
+	}
+	return err
+}
+
+// ensureStarted lazily launches, connects and handshakes the worker
+// fleet on the first transport operation.
+func (s *Socket) ensureStarted() error {
+	if s.dead != nil {
+		return s.dead
+	}
+	if s.started {
+		return nil
+	}
+	if err := s.start(); err != nil {
+		s.teardown()
+		return s.fail(err)
+	}
+	s.started = true
+	return nil
+}
+
+func (s *Socket) start() error {
+	n := len(s.kernels)
+	if len(s.cfg.Cmd) == 0 {
+		return fmt.Errorf("shardnet: socket transport needs a worker command")
+	}
+	if len(s.cfg.Spec) == 0 {
+		return fmt.Errorf("shardnet: socket transport needs a serialized cluster spec")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("shardnet: listen: %w", err)
+	}
+	s.ln = ln
+	addr := ln.Addr().String()
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(s.cfg.Cmd[0], s.cfg.Cmd[1:]...)
+		cmd.Env = append(os.Environ(),
+			EnvAddr+"="+addr,
+			EnvShard+"="+strconv.Itoa(i),
+		)
+		cmd.Stdout = s.cfg.Stderr
+		cmd.Stderr = s.cfg.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("shardnet: launch worker %d: %w", i, err)
+		}
+		s.procs = append(s.procs, cmd)
+	}
+	// Bound the whole accept+hello phase: a worker that dies before
+	// dialing must fail the handshake, not park the coordinator.
+	//ampvet:allow walltime accept deadline bounds worker launch, nothing is simulating yet
+	deadline := time.Now().Add(s.cfg.HandshakeTimeout)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		if err := tl.SetDeadline(deadline); err != nil {
+			return fmt.Errorf("shardnet: listener deadline: %w", err)
+		}
+	}
+	s.peers = make([]*peer, n)
+	for i := 0; i < n; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("shardnet: waiting for %d of %d workers to dial: %w", n-i, n, err)
+		}
+		p := &peer{shard: -1, conn: conn, s: s}
+		hello, err := p.recv(MsgHello, s.cfg.HandshakeTimeout)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("shardnet: handshake: %w", err)
+		}
+		shard, proto, err := DecodeHello(hello)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("shardnet: handshake: %w", err)
+		}
+		if proto != ProtoVersion {
+			conn.Close()
+			return fmt.Errorf("shardnet: worker speaks protocol %d, coordinator %d", proto, ProtoVersion)
+		}
+		if shard < 0 || shard >= n || s.peers[shard] != nil {
+			conn.Close()
+			return fmt.Errorf("shardnet: worker announced invalid or duplicate shard %d", shard)
+		}
+		p.shard = shard
+		s.peers[shard] = p
+		// Ship the spec immediately so replica builds overlap across
+		// workers while the remaining ones dial.
+		if err := p.send(MsgSpec, s.cfg.Spec); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.peers {
+		payload, err := p.recv(MsgReady, s.cfg.HandshakeTimeout)
+		if err != nil {
+			return err
+		}
+		r, err := DecodeReady(payload)
+		if err != nil {
+			return fmt.Errorf("shardnet: shard %d ready: %w", p.shard, err)
+		}
+		switch {
+		case r.Shard != p.shard:
+			return fmt.Errorf("shardnet: shard %d worker answered ready for shard %d", p.shard, r.Shard)
+		case r.Wire != s.cfg.Wire:
+			return fmt.Errorf("shardnet: shard %d worker built wire %v, coordinator %v", p.shard, r.Wire, s.cfg.Wire)
+		case r.Seed != s.cfg.Seed:
+			return fmt.Errorf("shardnet: shard %d worker seeded %d, coordinator %d", p.shard, r.Seed, s.cfg.Seed)
+		case r.Lookahead != s.cfg.Lookahead:
+			return fmt.Errorf("shardnet: shard %d worker lookahead %v, coordinator %v", p.shard, r.Lookahead, s.cfg.Lookahead)
+		case r.TopoHash != s.cfg.Fingerprint:
+			return fmt.Errorf("shardnet: shard %d worker replica fingerprint %016x, coordinator %016x "+
+				"(binary or spec skew: the worker did not rebuild the coordinator's cluster)",
+				p.shard, r.TopoHash, s.cfg.Fingerprint)
+		}
+	}
+	s.remote = make([][]byte, n)
+	return nil
+}
+
+// Grant runs the window locally and on every worker, then cross-checks
+// each worker's event count and stores its capture block for the next
+// Collect.
+func (s *Socket) Grant(target sim.Time) error {
+	if err := s.ensureStarted(); err != nil {
+		return err
+	}
+	msg := EncodeTime(target)
+	for _, p := range s.peers {
+		if err := p.send(MsgRun, msg); err != nil {
+			return s.fail(err)
+		}
+	}
+	s.window++
+	if err := s.Inproc.Grant(target); err != nil {
+		return s.fail(err)
+	}
+	for _, p := range s.peers {
+		payload, err := p.recv(MsgDone, s.cfg.IOTimeout)
+		if err != nil {
+			return s.fail(fmt.Errorf("%w (window %d)", err, s.window))
+		}
+		done, fired, capture, err := DecodeDone(payload)
+		if err != nil {
+			return s.fail(fmt.Errorf("shardnet: shard %d done: %w", p.shard, err))
+		}
+		if done != target {
+			return s.fail(fmt.Errorf("shardnet: shard %d finished window %v, granted %v", p.shard, done, target))
+		}
+		if fired != s.kernels[p.shard].Fired {
+			return s.fail(fmt.Errorf(
+				"shardnet: replica divergence at window %d: shard %d worker fired %d events, coordinator %d",
+				s.window, p.shard, fired, s.kernels[p.shard].Fired))
+		}
+		s.remote[p.shard] = capture
+	}
+	s.remoteLive, s.barrier = true, fmt.Sprintf("window %d", s.window)
+	return nil
+}
+
+// Advance hops every shard's clock — local and remote — over dead time.
+func (s *Socket) Advance(at sim.Time) error {
+	if err := s.ensureStarted(); err != nil {
+		return err
+	}
+	msg := EncodeTime(at)
+	for _, p := range s.peers {
+		if err := p.send(MsgAdvance, msg); err != nil {
+			return s.fail(err)
+		}
+	}
+	if err := s.Inproc.Advance(at); err != nil {
+		return s.fail(err)
+	}
+	for _, p := range s.peers {
+		payload, err := p.recv(MsgAdvanced, s.cfg.IOTimeout)
+		if err != nil {
+			return s.fail(err)
+		}
+		got, err := DecodeTime(payload)
+		if err != nil || got != at {
+			return s.fail(fmt.Errorf("shardnet: shard %d advanced to %v, want %v (err %v)", p.shard, got, at, err))
+		}
+	}
+	return nil
+}
+
+// Fence mirrors the coordinator's actions (already applied locally by
+// the engine) to every worker and stores their capture blocks for the
+// next Collect.
+func (s *Socket) Fence(now sim.Time, acts []Action) error {
+	if err := s.ensureStarted(); err != nil {
+		return err
+	}
+	msg := EncodeApply(now, acts)
+	for _, p := range s.peers {
+		if err := p.send(MsgApply, msg); err != nil {
+			return s.fail(err)
+		}
+	}
+	s.fence++
+	for _, p := range s.peers {
+		payload, err := p.recv(MsgApplied, s.cfg.IOTimeout)
+		if err != nil {
+			return s.fail(fmt.Errorf("%w (fence %d)", err, s.fence))
+		}
+		got, capture, err := DecodeApplied(payload)
+		if err != nil {
+			return s.fail(fmt.Errorf("shardnet: shard %d applied: %w", p.shard, err))
+		}
+		if got != now {
+			return s.fail(fmt.Errorf("shardnet: shard %d fenced at %v, want %v", p.shard, got, now))
+		}
+		s.remote[p.shard] = capture
+	}
+	s.remoteLive, s.barrier = true, fmt.Sprintf("fence %d", s.fence)
+	return nil
+}
+
+// Collect drains the local capture queues and byte-compares every
+// worker's pending capture block against the local shard slice it is
+// authoritative for: after a grant worker w ran shard w's window, and
+// after a fence worker w applied the actions against its live shard-w
+// state — either way its block must equal the local capture filtered
+// to source shard w. (Fence frames sourced by other shards are
+// verified by those shards' own workers; a worker's replica of a
+// remote shard is construction context with stale in-window state, so
+// its bytes for them are junk by design.) Any mismatch is a replica
+// divergence and names the shard and barrier.
+func (s *Socket) Collect() ([]FrameRec, []RouteRec, error) {
+	frames, routes, err := s.Inproc.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !s.remoteLive {
+		return frames, routes, nil
+	}
+	s.remoteLive = false
+	for _, p := range s.peers {
+		local, err := EncodeCapture(shardFrames(frames, p.shard), shardRoutes(routes, p.shard))
+		if err != nil {
+			return nil, nil, s.fail(fmt.Errorf("shardnet: encoding local capture: %w", err))
+		}
+		if !bytes.Equal(local, s.remote[p.shard]) {
+			return nil, nil, s.fail(fmt.Errorf(
+				"shardnet: replica divergence at %s: shard %d worker capture is %d bytes, coordinator %d; first difference at byte %d",
+				s.barrier, p.shard, len(s.remote[p.shard]), len(local), diffAt(local, s.remote[p.shard])))
+		}
+		s.remote[p.shard] = nil
+	}
+	return frames, routes, nil
+}
+
+// Deliver applies the barrier batch locally, then mirrors it to the
+// workers: every worker receives all routes (its replica's crossbars
+// must track the whole fabric) but only the frames destined to its own
+// shard. The stream is ordered, so no acknowledgement is needed — the
+// batch lands before the next grant.
+func (s *Socket) Deliver(frames []FrameRec, routes []RouteRec) error {
+	if err := s.Inproc.Deliver(frames, routes); err != nil {
+		return err
+	}
+	if !s.started || (len(frames) == 0 && len(routes) == 0) {
+		return nil
+	}
+	for _, p := range s.peers {
+		var mine []FrameRec
+		for _, f := range frames {
+			if f.Dst.Net().Shard == p.shard {
+				mine = append(mine, f)
+			}
+		}
+		if len(mine) == 0 && len(routes) == 0 {
+			continue
+		}
+		block, err := EncodeCapture(mine, routes)
+		if err != nil {
+			return s.fail(fmt.Errorf("shardnet: encoding deliver batch: %w", err))
+		}
+		if err := p.send(MsgDeliver, block); err != nil {
+			return s.fail(err)
+		}
+	}
+	return nil
+}
+
+// Distributed reports true: coordinator actions must carry serialized
+// descriptors so the workers can mirror them.
+func (s *Socket) Distributed() bool { return true }
+
+// Close dismisses the workers, reaps their processes and stops the
+// local shard goroutines.
+func (s *Socket) Close() error {
+	if s.started && s.dead == nil {
+		for _, p := range s.peers {
+			_ = p.send(MsgBye, nil)
+		}
+	}
+	s.teardown()
+	return s.Inproc.Close()
+}
+
+// teardown closes connections and reaps worker processes, killing any
+// that outlive a short grace period.
+func (s *Socket) teardown() {
+	for _, p := range s.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	s.peers = nil
+	if s.ln != nil {
+		s.ln.Close()
+		s.ln = nil
+	}
+	for _, cmd := range s.procs {
+		// A worker that ignores its closed connection must not wedge
+		// shutdown: give it a wall-clock grace period, then kill it.
+		//ampvet:allow walltime process-reap grace period, the simulation is already over
+		watchdog := time.AfterFunc(5*time.Second, func() { _ = cmd.Process.Kill() })
+		_ = cmd.Wait()
+		watchdog.Stop()
+	}
+	s.procs = nil
+}
+
+func shardFrames(frames []FrameRec, shard int) []FrameRec {
+	var out []FrameRec
+	for _, f := range frames {
+		if f.Src == shard {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func shardRoutes(routes []RouteRec, shard int) []RouteRec {
+	var out []RouteRec
+	for _, r := range routes {
+		if r.Src == shard {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func diffAt(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Control-message framing: the envelope the distributed parsim
+// transport (internal/shardnet) speaks between the coordinator and its
+// shard worker processes. Data plane traffic — cross-shard
+// phys.Frames — travels as real MicroPackets through the packet codec
+// registry above; the control plane (window grants, capture batches,
+// coordinator-action fences, handshakes) needs its own tiny envelope,
+// registered alongside the packet codecs and pinned by golden vectors
+// exactly like them.
+//
+// ControlV1 layout (all multi-byte fields little-endian):
+//
+//	offset size  field
+//	0      1     magic 0xA9
+//	1      1     magic 0x53
+//	2      1     envelope version (0x01)
+//	3      1     message type (opaque to this package)
+//	4      4     payload length N
+//	8      N     payload
+//	8+N    4     CRC-32C over bytes [2, 8+N)
+//
+// The encoding is canonical: for every valid frame, re-encoding the
+// decoded (version, type, payload) triple reproduces the input bytes
+// exactly — the invariant FuzzControlDecode enforces.
+
+// ControlVersion identifies a control-envelope layout, mirroring
+// Version for packet codecs.
+type ControlVersion uint8
+
+// ControlV1 is the first (and so far only) control-envelope version.
+const ControlV1 ControlVersion = 1
+
+const (
+	controlMagic0  = 0xA9
+	controlMagic1  = 0x53
+	controlHdrLen  = 8
+	controlCRCLen  = 4
+	controlMinWire = controlHdrLen + controlCRCLen
+)
+
+// MaxControlPayload bounds a control payload; a length field beyond it
+// is rejected before any allocation, so a corrupt or hostile header
+// cannot demand gigabytes.
+const MaxControlPayload = 1 << 26
+
+// Control-envelope decode errors, mirroring the packet codec's error
+// taxonomy.
+var (
+	ErrControlTruncated = fmt.Errorf("wire: truncated control frame")
+	ErrControlMagic     = fmt.Errorf("wire: bad control magic")
+	ErrControlVersion   = fmt.Errorf("wire: unknown control version")
+	ErrControlLength    = fmt.Errorf("wire: control payload length out of range")
+	ErrControlCRC       = fmt.Errorf("wire: control CRC mismatch")
+	ErrControlTrailing  = fmt.Errorf("wire: trailing bytes after control frame")
+)
+
+// controlCodec encodes and decodes one control-envelope version.
+type controlCodec interface {
+	ControlVersion() ControlVersion
+	EncodeControl(typ uint8, payload []byte) []byte
+	// decodeControl parses buf, which must hold exactly one frame.
+	DecodeControl(buf []byte) (typ uint8, payload []byte, err error)
+}
+
+// controlRegistry mirrors the packet-codec registry: one entry per
+// envelope version, written only at init.
+var controlRegistry = map[ControlVersion]controlCodec{
+	ControlV1: controlV1{},
+}
+
+type controlV1 struct{}
+
+func (controlV1) ControlVersion() ControlVersion { return ControlV1 }
+
+func (controlV1) EncodeControl(typ uint8, payload []byte) []byte {
+	buf := make([]byte, controlMinWire+len(payload))
+	buf[0] = controlMagic0
+	buf[1] = controlMagic1
+	buf[2] = byte(ControlV1)
+	buf[3] = typ
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	copy(buf[controlHdrLen:], payload)
+	crc := crc32.Checksum(buf[2:controlHdrLen+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(buf[controlHdrLen+len(payload):], crc)
+	return buf
+}
+
+func (controlV1) DecodeControl(buf []byte) (uint8, []byte, error) {
+	if len(buf) < controlMinWire {
+		return 0, nil, ErrControlTruncated
+	}
+	n := binary.LittleEndian.Uint32(buf[4:8])
+	if n > MaxControlPayload {
+		return 0, nil, ErrControlLength
+	}
+	end := controlMinWire + int(n)
+	if len(buf) < end {
+		return 0, nil, ErrControlTruncated
+	}
+	if len(buf) > end {
+		return 0, nil, ErrControlTrailing
+	}
+	wantCRC := binary.LittleEndian.Uint32(buf[end-controlCRCLen:])
+	if crc32.Checksum(buf[2:end-controlCRCLen], castagnoli) != wantCRC {
+		return 0, nil, ErrControlCRC
+	}
+	return buf[3], buf[controlHdrLen : end-controlCRCLen], nil
+}
+
+// EncodeControl frames one control message under the given envelope
+// version.
+func EncodeControl(v ControlVersion, typ uint8, payload []byte) ([]byte, error) {
+	c, ok := controlRegistry[v]
+	if !ok {
+		return nil, ErrControlVersion
+	}
+	if len(payload) > MaxControlPayload {
+		return nil, ErrControlLength
+	}
+	return c.EncodeControl(typ, payload), nil
+}
+
+// DecodeControl parses buf, which must hold exactly one control frame,
+// and returns its envelope version, message type and payload. The
+// payload aliases buf.
+func DecodeControl(buf []byte) (ControlVersion, uint8, []byte, error) {
+	if len(buf) < controlHdrLen {
+		return 0, 0, nil, ErrControlTruncated
+	}
+	if buf[0] != controlMagic0 || buf[1] != controlMagic1 {
+		return 0, 0, nil, ErrControlMagic
+	}
+	v := ControlVersion(buf[2])
+	c, ok := controlRegistry[v]
+	if !ok {
+		return 0, 0, nil, ErrControlVersion
+	}
+	typ, payload, err := c.DecodeControl(buf)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return v, typ, payload, nil
+}
+
+// WriteControl frames one ControlV1 message onto w.
+func WriteControl(w io.Writer, typ uint8, payload []byte) error {
+	buf, err := EncodeControl(ControlV1, typ, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadControl reads exactly one control frame from r and returns its
+// message type and payload. It reads the fixed header first, then the
+// declared payload and CRC, so it composes with stream transports
+// (TCP) without any out-of-band length prefix.
+func ReadControl(r io.Reader) (uint8, []byte, error) {
+	hdr := make([]byte, controlHdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != controlMagic0 || hdr[1] != controlMagic1 {
+		return 0, nil, ErrControlMagic
+	}
+	if ControlVersion(hdr[2]) != ControlV1 {
+		return 0, nil, ErrControlVersion
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > MaxControlPayload {
+		return 0, nil, ErrControlLength
+	}
+	rest := make([]byte, int(n)+controlCRCLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return 0, nil, err
+	}
+	buf := append(hdr, rest...)
+	_, typ, payload, err := DecodeControl(buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}

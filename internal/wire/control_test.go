@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+	"testing/quick"
+)
+
+// controlGoldens pins the ControlV1 envelope layout byte-for-byte.
+// These vectors are the control-plane analogue of the packet codec's
+// testdata hex files: if any of them changes, the shard-worker
+// handshake of every deployed cmd/ampshard breaks, so a change here
+// must come with a new ControlVersion, not an edit.
+var controlGoldens = []struct {
+	name    string
+	typ     uint8
+	payload []byte
+	hex     string
+}{
+	{"empty", 0x01, nil, "a9530101000000003f780b80"},
+	{"short", 0x02, []byte{0xDE, 0xAD, 0xBE, 0xEF}, "a953010204000000deadbeef8befbc5d"},
+	{"text", 0x7F, []byte("ampshard"), "a953017f08000000616d70736861726447eac5b9"},
+}
+
+func TestControlGoldenVectors(t *testing.T) {
+	for _, g := range controlGoldens {
+		t.Run(g.name, func(t *testing.T) {
+			enc, err := EncodeControl(ControlV1, g.typ, g.payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hex.EncodeToString(enc); got != g.hex {
+				t.Fatalf("encode = %s, want %s", got, g.hex)
+			}
+			want, err := hex.DecodeString(g.hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, typ, payload, err := DecodeControl(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != ControlV1 || typ != g.typ || !bytes.Equal(payload, g.payload) {
+				t.Fatalf("decode = (%v, %#02x, %x), want (%v, %#02x, %x)",
+					v, typ, payload, ControlV1, g.typ, g.payload)
+			}
+		})
+	}
+}
+
+func TestControlDecodeErrors(t *testing.T) {
+	good, _ := EncodeControl(ControlV1, 0x02, []byte{1, 2, 3, 4})
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrControlTruncated},
+		{"short header", good[:6], ErrControlTruncated},
+		{"bad magic", append([]byte{0x00}, good[1:]...), ErrControlMagic},
+		{"unknown version", func() []byte {
+			b := append([]byte(nil), good...)
+			b[2] = 0x7E
+			return b
+		}(), ErrControlVersion},
+		{"truncated payload", good[:len(good)-2], ErrControlTruncated},
+		{"trailing byte", append(append([]byte(nil), good...), 0x00), ErrControlTrailing},
+		{"flipped payload bit", func() []byte {
+			b := append([]byte(nil), good...)
+			b[9] ^= 0x40
+			return b
+		}(), ErrControlCRC},
+		{"oversize length", func() []byte {
+			b := append([]byte(nil), good...)
+			b[7] = 0xFF // length 0xFF00000N > MaxControlPayload
+			return b
+		}(), ErrControlLength},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, payload, err := DecodeControl(tc.buf)
+			if err != tc.want {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if payload != nil {
+				t.Fatalf("payload = %x on error", payload)
+			}
+		})
+	}
+}
+
+// TestControlRoundTrip is the property-test twin of the fuzzer: any
+// (type, payload) pair survives encode → decode unchanged, and the
+// stream reader agrees with the buffer decoder.
+func TestControlRoundTrip(t *testing.T) {
+	prop := func(typ uint8, payload []byte) bool {
+		enc, err := EncodeControl(ControlV1, typ, payload)
+		if err != nil {
+			return false
+		}
+		v, gotTyp, gotPayload, err := DecodeControl(enc)
+		if err != nil || v != ControlV1 || gotTyp != typ || !bytes.Equal(gotPayload, payload) {
+			return false
+		}
+		rdTyp, rdPayload, err := ReadControl(bytes.NewReader(enc))
+		return err == nil && rdTyp == typ && bytes.Equal(rdPayload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControlDecodeArbitraryBytesNeverPanics mirrors the packet
+// codec's guarantee for the control envelope.
+func TestControlDecodeArbitraryBytesNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, payload, err := DecodeControl(data)
+		return err == nil || payload == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzControlDecode holds the canonical re-encode invariant: every
+// buffer DecodeControl accepts must be exactly the bytes EncodeControl
+// produces for the decoded triple — no non-canonical frame (slack
+// length, trailing garbage, alternative CRC) may pass.
+func FuzzControlDecode(f *testing.F) {
+	for _, g := range controlGoldens {
+		b, _ := hex.DecodeString(g.hex)
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{controlMagic0, controlMagic1, 0x01, 0x00})
+	f.Add([]byte{controlMagic0, controlMagic1, 0x02, 0x00, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, typ, payload, err := DecodeControl(data)
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("payload %x returned alongside error %v", payload, err)
+			}
+			return
+		}
+		enc, err := EncodeControl(v, typ, payload)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("non-canonical control frame accepted:\n in  %x\n out %x", data, enc)
+		}
+	})
+}
