@@ -297,6 +297,56 @@ func BenchmarkE14ParsimSharded128(b *testing.B) { benchParsim(b, 128, 8) }
 func BenchmarkE14ParsimSerial248(b *testing.B)  { benchParsim(b, 248, 1) }
 func BenchmarkE14ParsimSharded248(b *testing.B) { benchParsim(b, 248, 8) }
 
+// --- E16: scaling efficiency (cut-aware partition, internal/phys) ---
+
+// benchE16Scaling times the sharded-shape scenario of the E16 table —
+// 96 nodes over 8 shard groups joined by 200 m trunks, a mid-run
+// switch failure + restore under pub-sub load — at one shard count.
+// This is the fabric where the cut-aware partitioner earns its keep
+// (cut of N links at 1 µs lookahead instead of hundreds at 250 ns),
+// so Serial vs ShardedN ratios here are the machine's scaling curve.
+// Light enough for the CI bench guard, unlike the E14-248/E15 pairs.
+func benchE16Scaling(b *testing.B, shards int) {
+	const nodes, switches = 96, 8
+	topo := phys.Sharded(switches, nodes/switches, 1, 50)
+	for i := range topo.Trunks {
+		topo.Trunks[i].FiberM = 200
+	}
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cl *core.Cluster
+		rep, err := core.Scenario{
+			Name: "bench-e16",
+			Opts: core.Options{Fabric: &topo, Seed: 1, Shards: shards,
+				HeartbeatInterval: 1 * sim.Millisecond},
+			BootWindow: 100 * sim.Millisecond,
+			Plan:       core.Plan{core.FailSwitch(6*sim.Millisecond, switches-1), core.RestoreSwitch(12*sim.Millisecond, switches-1)},
+			Loads: []core.Load{&core.PubSubLoad{
+				Publisher: 0, Topic: 1, Every: 100 * sim.Microsecond,
+				Subscribers: []int{1, nodes / 2, nodes - 2},
+			}},
+			For:       18 * sim.Millisecond,
+			OnCluster: func(c *core.Cluster) { cl = c },
+		}.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Drops), "drops")
+		events = cl.EventsFired()
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+		b.ReportMetric(float64(events), "events")
+	}
+}
+
+func BenchmarkE16ScalingSerial(b *testing.B)   { benchE16Scaling(b, 1) }
+func BenchmarkE16ScalingSharded2(b *testing.B) { benchE16Scaling(b, 2) }
+func BenchmarkE16ScalingSharded4(b *testing.B) { benchE16Scaling(b, 4) }
+func BenchmarkE16ScalingSharded8(b *testing.B) { benchE16Scaling(b, 8) }
+
 // --- E15: scaling past 255 nodes (wire v2, internal/wire) ---
 
 // benchWireScale is the E15 economics benchmark: it times exactly

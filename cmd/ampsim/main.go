@@ -162,7 +162,15 @@ func main() {
 	fmt.Printf("  frames delivered    %d\n", rep.Delivered)
 	fmt.Printf("  events executed     %d\n", c.EventsFired())
 	if st := c.ParStats(); st != nil {
-		fmt.Printf("  parallel engine     %d shards, lookahead %v\n", c.Opts.Shards, c.Lookahead())
+		la := fmt.Sprint(c.Lookahead())
+		if c.Lookahead() == sim.MaxTime {
+			la = "unbounded (shards fully decoupled)"
+		}
+		fmt.Printf("  parallel engine     %d shards, lookahead %s\n", c.Opts.Shards, la)
+		if c.Assign != nil {
+			fmt.Printf("    partition         [%s], cut %d links (min fiber %.0f m)\n",
+				c.Assign.Partition(), c.Assign.CutLinks, c.Assign.MinCutFiberM)
+		}
 		fmt.Printf("    windows           %d (%.0f events/window/shard)\n", st.Windows,
 			float64(c.EventsFired())/float64(max(st.Windows, 1))/float64(c.Opts.Shards))
 		fmt.Printf("    barrier exchange  %d frames, %d deferred routes, %d plan actions\n",

@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$)' . | go run ./cmd/benchguard -baseline BENCH_baseline.json
-//	go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$)' . | go run ./cmd/benchguard -baseline BENCH_baseline.json -update
+//	go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$|16Scaling)' . | go run ./cmd/benchguard -baseline BENCH_baseline.json
+//	go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$|16Scaling)' . | go run ./cmd/benchguard -baseline BENCH_baseline.json -update
 //
 // Host benchmarks are noisy, so the guard compares only ns/op with a
 // generous default tolerance (25%) and reports improvements without
@@ -17,6 +17,15 @@
 // baseline also stores on-demand entries the CI guard never runs (the
 // 248-node E14 pair, the E15 trio); pass the `-bench` pattern again as
 // -only so those don't count as missing.
+//
+// -speedup asserts parallel-scaling floors against the baseline itself:
+// each "NUM/DEN:FLOOR" spec fails the guard unless the baseline ns/op
+// of NUM is at least FLOOR times that of DEN. Because it reads the
+// committed baseline rather than the current run, it gates heavyweight
+// pairs CI never re-times (the E15 512-node trio): a baseline regen
+// that loses the parallel speedup cannot land quietly.
+//
+//	... | go run ./cmd/benchguard -speedup 'BenchmarkE15WireScaleSerial512/BenchmarkE15WireScaleSharded512:1.1'
 package main
 
 import (
@@ -26,6 +35,8 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"strconv"
+	"strings"
 
 	"repro/internal/benchparse"
 	"repro/internal/detmap"
@@ -42,6 +53,8 @@ func main() {
 	prune := flag.Bool("prune", false, "with -update: drop baseline entries missing from this run")
 	only := flag.String("only", "",
 		"regexp restricting which baseline entries are guarded when comparing (pass the same pattern as -bench, so on-demand entries like the E15 trio don't count as missing); empty = all")
+	speedup := flag.String("speedup", "",
+		"comma-separated speedup floors \"NUM/DEN:FLOOR\" checked against the baseline when comparing: fail unless baseline ns/op of NUM is at least FLOOR × that of DEN (e.g. 'BenchmarkE15WireScaleSerial512/BenchmarkE15WireScaleSharded512:1.1')")
 	flag.Parse()
 	toleranceSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -77,7 +90,7 @@ func main() {
 		// replace-everything behavior.
 		fresh := len(results)
 		merged := results
-		note := "ns/op baseline for the guarded hot paths (E1–E7 experiments, E14 parsim at 64/128 nodes); regenerate with: go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$)' . | go run ./cmd/benchguard -update"
+		note := "ns/op baseline for the guarded hot paths (E1–E7 experiments, E14 parsim at 64/128 nodes, E16 scaling at 96 nodes); regenerate with: go test -run '^$' -bench '^BenchmarkE([1-7][A-Z]|14Parsim(Serial|Sharded)(64|128)$|16Scaling)' . | go run ./cmd/benchguard -update"
 		tol := *tolerance
 		if prev, err := benchparse.ReadBaseline(*baselinePath); err == nil {
 			// The stored tolerance survives a regeneration unless the
@@ -142,8 +155,64 @@ func main() {
 			failed++
 		}
 	}
+	// Speedup floors read the full baseline, not the -only subset: the
+	// pairs they gate are exactly the heavyweight ones CI excludes.
+	for _, spec := range splitSpecs(*speedup) {
+		num, den, floor, err := parseSpeedup(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nb, ok := base.Benchmarks[num]
+		if !ok {
+			log.Fatalf("-speedup: %s not in baseline", num)
+		}
+		db, ok := base.Benchmarks[den]
+		if !ok {
+			log.Fatalf("-speedup: %s not in baseline", den)
+		}
+		if db.NsPerOp <= 0 {
+			log.Fatalf("-speedup: %s has non-positive ns/op in baseline", den)
+		}
+		ratio := nb.NsPerOp / db.NsPerOp
+		if ratio < floor {
+			fmt.Printf("SPEEDUP FAIL  %s / %s = %.2f× (floor %.2f×)\n", num, den, ratio, floor)
+			failed++
+		} else {
+			fmt.Printf("speedup ok    %s / %s = %.2f× (floor %.2f×)\n", num, den, ratio, floor)
+		}
+	}
 	if failed > 0 {
-		log.Fatalf("%d of %d guarded benchmarks regressed beyond %.0f%%", failed, len(verdicts), tol*100)
+		log.Fatalf("%d guard checks failed (%d benchmarks compared, tolerance %.0f%%)", failed, len(verdicts), tol*100)
 	}
 	fmt.Printf("benchguard: %d guarded benchmarks within %.0f%% of baseline\n", len(verdicts), tol*100)
+}
+
+// splitSpecs splits a comma-separated -speedup value, dropping empties.
+func splitSpecs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseSpeedup parses one "NUM/DEN:FLOOR" assertion. Benchmark names
+// here never contain ':' or '/' (the guarded families are flat, not
+// sub-benchmarks), so the last ':' and the only '/' are unambiguous.
+func parseSpeedup(spec string) (num, den string, floor float64, err error) {
+	i := strings.LastIndex(spec, ":")
+	if i < 0 {
+		return "", "", 0, fmt.Errorf("-speedup %q: want NUM/DEN:FLOOR", spec)
+	}
+	floor, err = strconv.ParseFloat(spec[i+1:], 64)
+	if err != nil || floor <= 0 {
+		return "", "", 0, fmt.Errorf("-speedup %q: bad floor %q", spec, spec[i+1:])
+	}
+	num, den, ok := strings.Cut(spec[:i], "/")
+	if !ok || num == "" || den == "" {
+		return "", "", 0, fmt.Errorf("-speedup %q: want NUM/DEN:FLOOR", spec)
+	}
+	return num, den, floor, nil
 }

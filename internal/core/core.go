@@ -175,6 +175,9 @@ type Cluster struct {
 	Net  *phys.Net
 	Nets []*phys.Net
 	Phys *phys.Cluster
+	// Assign is the shard assignment the parallel engine runs under
+	// (nil on the serial engine) — observability for reports and tools.
+	Assign *phys.Assignment
 
 	// eng abstracts serial vs parallel time control; par is non-nil
 	// only under the parallel engine.

@@ -31,8 +31,15 @@ func (s serialEngine) Now() sim.Time                    { return s.k.Now() }
 func (s serialEngine) RunUntil(t sim.Time) sim.Time     { return s.k.RunUntil(t) }
 func (s serialEngine) ScheduleAt(t sim.Time, fn func()) { s.k.At(t, fn) }
 func (s serialEngine) ScheduleAction(t sim.Time, fn func(), _ *shardnet.Action) {
-	// One process, one replica: the descriptor has nowhere to go.
-	s.k.At(t, fn)
+	// One process, one replica: the descriptor has nowhere to go. The
+	// priority key is load-bearing: the parallel engine fires actions at
+	// a window fence, before ANY model event at the same instant, so the
+	// serial twin must sort them the same way. Model events carry
+	// priT ≥ 0 (their transmit/schedule time); priT = -1 puts actions
+	// ahead of all of them at the shared instant, with installation
+	// order (seq) breaking action-vs-action ties exactly like the
+	// fence's schedule order does.
+	s.k.AtPri(t, -1, 0, fn)
 }
 
 // parsimEngine adapts parsim.Engine to the core engine interface.
@@ -167,6 +174,7 @@ func newParallel(opts Options) *Cluster {
 	c.Phys = ph
 	c.Net = nets[0]
 	c.Nets = nets
+	c.Assign = assign
 	c.par = &parsimEngine{eng}
 	c.eng = c.par
 	c.buildNodes(func(n int) *sim.Kernel { return kernels[assign.NodeShard[n]] })

@@ -85,6 +85,101 @@ func TestEquivalenceBattery(t *testing.T) {
 	}
 }
 
+// TestOnGridFaultEquivalence pins the same-instant plan-action ordering
+// contract: a fault scheduled at the exact instant of a model event
+// (here, the fleet-wide keepalive tick, armed before boot) must still
+// produce byte-identical serial and parallel reports. The parallel
+// engine fires plan actions at a window fence before any model event at
+// that instant; the serial engine must sort them the same way (see
+// serialEngine.ScheduleAction). Historically scenarios dodged this by
+// skewing fault instants off the timer grid; this test aims dead-on.
+func TestOnGridFaultEquivalence(t *testing.T) {
+	topo := phys.Sharded(2, 4, 2, 50)
+	const keepalive = 2 * sim.Millisecond
+	build := func(shards int, plan Plan) Scenario {
+		return Scenario{
+			Name: "ongrid",
+			Opts: Options{Fabric: &topo, Seed: 7, Shards: shards,
+				KeepaliveInterval: keepalive},
+			Plan:  plan,
+			Loads: []Load{&PubSubLoad{Publisher: 0, Topic: 1, Every: 50 * sim.Microsecond}},
+			For:   12 * sim.Millisecond,
+		}
+	}
+	// Probe run: learn when boot ends, so the fault offset can land the
+	// absolute fault instant exactly on the next keepalive grid point
+	// (keepalive loops are armed at t=0, before boot completes).
+	probe, err := build(1, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := sim.Time(probe.BootNS)
+	crashAt := keepalive - boot%keepalive // boot + crashAt ≡ 0 mod keepalive
+	plan := Plan{
+		CrashNode(crashAt, topo.Nodes-1),
+		RebootNode(crashAt+2*keepalive, topo.Nodes-1),
+	}
+	serialRep, err := build(1, plan).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.Time(serialRep.BootNS); got != boot {
+		t.Fatalf("probe boot %v vs plan-run boot %v: fault no longer on-grid", boot, got)
+	}
+	parRep, err := build(2, plan).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial, par := serialRep.JSON(), parRep.JSON(); !bytes.Equal(serial, par) {
+		t.Errorf("on-grid fault at boot+%v diverged serial vs 2 shards\n--- serial ---\n%s--- parallel ---\n%s",
+			crashAt, serial, par)
+	}
+}
+
+// TestDecoupledPartitionRuns pins the sim.MaxTime lookahead sentinel:
+// a zero-trunk fabric whose shards share nothing gives
+// phys.Lookahead = sim.MaxTime ("any window is safe"), and the engine's
+// window arithmetic (start + lookahead) must clamp instead of
+// overflowing sim.Time. The run must terminate, report the sentinel,
+// and still be byte-identical to serial.
+func TestDecoupledPartitionRuns(t *testing.T) {
+	// Two isolated 3-node islands: no trunks, nodes attached only to
+	// their island's switch. Nothing ever crosses shards.
+	topo := phys.Topology{
+		Name: "islands", Nodes: 6, Switches: 2, FiberM: 50,
+		Attached: func(n, s int) bool { return n/3 == s },
+	}
+	run := func(shards int) *Report {
+		rep, err := Scenario{
+			Name: "decoupled",
+			Opts: Options{Fabric: &topo, Seed: 5, Shards: shards},
+			For:  8 * sim.Millisecond,
+		}.Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return rep
+	}
+	serial := run(1)
+	par := run(2)
+	if !bytes.Equal(serial.JSON(), par.JSON()) {
+		t.Errorf("decoupled run diverged serial vs 2 shards\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.JSON(), par.JSON())
+	}
+	if par.LookaheadNS != int64(sim.MaxTime) {
+		t.Fatalf("decoupled lookahead = %d, want sim.MaxTime sentinel", par.LookaheadNS)
+	}
+	if par.Shards != 2 || par.Partition == "" {
+		t.Fatalf("partition observability missing: shards=%d partition=%q", par.Shards, par.Partition)
+	}
+	if !strings.Contains(par.Summary(), "fully decoupled") {
+		t.Fatalf("Summary does not surface the decoupled partition:\n%s", par.Summary())
+	}
+	if strings.Contains(serial.Summary(), "shards") {
+		t.Fatalf("serial Summary grew a shard line:\n%s", serial.Summary())
+	}
+}
+
 // TestParallelRejectsUnsupportedLoads pins the engine's stated limits:
 // loads whose drivers span shards, and BER injection, fail up front
 // with actionable errors instead of racing mid-run.

@@ -92,6 +92,17 @@ type Report struct {
 	Events []EventReport `json:"events,omitempty"`
 	// Loads are the per-load delivery reports.
 	Loads []LoadReport `json:"loads,omitempty"`
+
+	// Partition observability (parallel engine only; zero values on
+	// serial). Excluded from the JSON on purpose: the defining
+	// equivalence property is that serial and sharded reports are
+	// byte-identical, so anything engine-specific may only surface in
+	// Summary.
+	Shards       int     `json:"-"` // shard count the run used
+	Partition    string  `json:"-"` // switch→shard map, "0,0,1,1"
+	LookaheadNS  int64   `json:"-"` // window bound; sim.MaxTime = decoupled
+	CutLinks     int     `json:"-"` // links crossing shards
+	MinCutFiberM float64 `json:"-"` // shortest cross-shard fiber, meters
 }
 
 // JSON renders the report as indented JSON with a trailing newline.
@@ -119,6 +130,14 @@ func (r *Report) Summary() string {
 	}
 	fmt.Fprintf(&b, "%s: %d nodes × %d switches%s, seed %d\n", name, r.Nodes, r.Switches, fabric, r.Seed)
 	fmt.Fprintf(&b, "  online after %v\n", sim.Time(r.BootNS))
+	if r.Shards > 1 {
+		la := "unbounded (shards fully decoupled)"
+		if r.LookaheadNS != int64(sim.MaxTime) {
+			la = sim.Time(r.LookaheadNS).String()
+		}
+		fmt.Fprintf(&b, "  %d shards: partition [%s], cut %d links (min fiber %.0f m), lookahead %s\n",
+			r.Shards, r.Partition, r.CutLinks, r.MinCutFiberM, la)
+	}
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "  t=%-12v %s", sim.Time(e.AtNS), e.Event)
 		if e.HealNS > 0 {
@@ -270,6 +289,13 @@ func (s Scenario) Run() (*Report, error) {
 		Drops:     c.Drops(),
 		Lost:      c.Lost(),
 		Delivered: c.Delivered(),
+	}
+	if c.Assign != nil {
+		rep.Shards = c.Assign.Shards
+		rep.Partition = c.Assign.Partition()
+		rep.LookaheadNS = int64(c.Lookahead())
+		rep.CutLinks = c.Assign.CutLinks
+		rep.MinCutFiberM = c.Assign.MinCutFiberM
 	}
 	applied := c.Applied()
 	for i, ae := range applied {

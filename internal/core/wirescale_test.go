@@ -45,16 +45,13 @@ func hugeScenario(nodes int, seed uint64, shards int) Scenario {
 		Opts: Options{Fabric: &topo, Seed: seed, Shards: shards,
 			HeartbeatInterval: 5 * sim.Millisecond},
 		BootWindow: sim.Time(nodes) * 2 * sim.Millisecond,
-		// Off-grid plan instants: the parallel engine runs coordinator
-		// actions before every model event at the same instant, while
-		// the serial kernel orders them by install time — equal unless
-		// a periodic model timer fires at exactly the plan instant.
-		// Odd nanosecond offsets keep plan events off the timer grid,
-		// which is also the honest model: real faults do not strike on
-		// round milliseconds.
+		// On-grid plan instants: plan actions carry their own canonical
+		// priority (before every model event at their instant, on both
+		// engines — see serialEngine.ScheduleAction), so faults may
+		// land dead-on the periodic timer grid without skew.
 		Plan: Plan{
-			CrashNode(2*sim.Millisecond+137, nodes-1),
-			RebootNode(4*sim.Millisecond+251, nodes-1),
+			CrashNode(2*sim.Millisecond, nodes-1),
+			RebootNode(4*sim.Millisecond, nodes-1),
 		},
 		Loads: []Load{&PubSubLoad{
 			Publisher: 0, Topic: 1, Every: 200 * sim.Microsecond, Poisson: true,

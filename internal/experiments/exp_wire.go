@@ -45,14 +45,9 @@ func E15Scenario(nodes int, seed uint64, shards int) core.Scenario {
 			KeepaliveInterval: 2 * sim.Millisecond,
 			SilenceTimeout:    10 * sim.Millisecond},
 		BootWindow: sim.Time(nodes) * 2 * sim.Millisecond,
-		// Off-grid plan instants (see DESIGN.md "determinism under
-		// parallelism"): coordinator actions colliding with the exact
-		// nanosecond of an earlier-armed periodic timer may order
-		// differently across engines, so faults strike at odd offsets —
-		// as they would in reality.
 		Plan: core.Plan{
-			core.CrashNode(2*sim.Millisecond+137, nodes-1),
-			core.RebootNode(4*sim.Millisecond+251, nodes-1),
+			core.CrashNode(2*sim.Millisecond, nodes-1),
+			core.RebootNode(4*sim.Millisecond, nodes-1),
 		},
 		Loads: []core.Load{&core.PubSubLoad{
 			Publisher: 0, Topic: 1, Every: 200 * sim.Microsecond, Poisson: true,

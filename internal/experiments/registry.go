@@ -151,6 +151,11 @@ func All() []Spec {
 			Variants: []Params{{Nodes: 320}},
 			Sharded:  true,
 			Run:      E15WireScaleP},
+		{ID: "e16", Short: "scaling efficiency: cut-aware partition, lookahead and barrier economics vs shards",
+			Defaults: Params{Nodes: 96, Switches: 8},
+			Variants: []Params{{Nodes: 96, Switches: 8}},
+			Sharded:  true,
+			Run:      E16ScalingEfficiencyP},
 	}
 }
 

@@ -43,6 +43,7 @@ package parsim
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/phys"
@@ -219,22 +220,38 @@ func (e *Engine) drain() error {
 	}
 	e.Stats.Routes += uint64(len(routes))
 	e.Stats.Frames += uint64(len(frames))
-	sort.Slice(frames, func(a, b int) bool {
-		pa, pb := &frames[a], &frames[b]
-		if pa.Arrival != pb.Arrival {
-			return pa.Arrival < pb.Arrival
+	if len(frames) == 0 && len(routes) == 0 {
+		// Nothing crossed this barrier — common during decoupled
+		// phases; skip the sort and the transport's delivery pass.
+		return nil
+	}
+	// Canonical batch order: arrival, then the wire key (transmit
+	// start, sending-port identity by way of source shard and capture
+	// sequence) — slotting each arrival into exactly the same
+	// same-instant order the serial engine would have used.
+	// slices.SortFunc, unlike sort.Slice, needs no reflection-based
+	// swapper allocation per barrier.
+	slices.SortFunc(frames, func(pa, pb shardnet.FrameRec) int {
+		switch {
+		case pa.Arrival != pb.Arrival:
+			if pa.Arrival < pb.Arrival {
+				return -1
+			}
+			return 1
+		case pa.TxAt != pb.TxAt:
+			if pa.TxAt < pb.TxAt {
+				return -1
+			}
+			return 1
+		case pa.Src != pb.Src:
+			return pa.Src - pb.Src
+		case pa.Seq != pb.Seq:
+			if pa.Seq < pb.Seq {
+				return -1
+			}
+			return 1
 		}
-		// The wire key (transmit start, sending-port identity by way of
-		// source shard and capture sequence) slots each arrival into
-		// exactly the same same-instant order the serial engine would
-		// have used.
-		if pa.TxAt != pb.TxAt {
-			return pa.TxAt < pb.TxAt
-		}
-		if pa.Src != pb.Src {
-			return pa.Src < pb.Src
-		}
-		return pa.Seq < pb.Seq
+		return 0
 	})
 	return e.tr.Deliver(frames, routes)
 }
@@ -376,7 +393,13 @@ func (e *Engine) RunUntil(deadline sim.Time) sim.Time {
 					start = e.now
 				}
 				wEnd := horizon
-				if e.lookahead < sim.MaxTime && start+e.lookahead-1 < wEnd {
+				// Overflow-proof window clamp: compare the window span
+				// (lookahead-1) against the distance to the horizon
+				// instead of computing start+lookahead, which wraps for
+				// the sim.MaxTime "fully decoupled" sentinel — and for
+				// any near-MaxTime lookahead a sparse topology can
+				// legitimately produce.
+				if e.lookahead-1 < horizon-start {
 					wEnd = start + e.lookahead - 1
 				}
 				if wEnd < e.now {

@@ -1,0 +1,176 @@
+package phys
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// partitionFabrics is the five-battery shape set (mirroring the core
+// equivalence battery) the partition properties are pinned on.
+func partitionFabrics() []Topology {
+	return []Topology{
+		Uniform(6, 4, 50),
+		Uniform(5, 2, 50),
+		DualRing(6, 50),
+		Mesh(6, 3, 50),
+		Sharded(2, 3, 2, 50),
+	}
+}
+
+func TestAssignShardsRejectsBadShardCounts(t *testing.T) {
+	topo := Uniform(6, 4, 50)
+	if _, err := AssignShards(&topo, 0); err == nil {
+		t.Fatal("AssignShards(0 shards) succeeded, want error")
+	}
+	if _, err := AssignShards(&topo, 5); err == nil {
+		t.Fatal("AssignShards(5 shards over 4 switches) succeeded, want error")
+	}
+	if _, err := BlockAssign(&topo, 5); err == nil {
+		t.Fatal("BlockAssign(5 shards over 4 switches) succeeded, want error")
+	}
+}
+
+func TestAssignShardsRejectsUnattachedNode(t *testing.T) {
+	// Node 2 has no switch: the block-only predecessor silently sent it
+	// down the node-index block path; now it must be an error.
+	topo := Topology{
+		Nodes: 3, Switches: 2, FiberM: 50,
+		Attached: func(n, s int) bool { return n != 2 },
+		Trunks:   []TrunkSpec{{A: 0, B: 1}},
+	}
+	if _, err := AssignShards(&topo, 2); err == nil {
+		t.Fatal("AssignShards with an unattached node succeeded, want error")
+	}
+	if _, err := BlockAssign(&topo, 2); err == nil {
+		t.Fatal("BlockAssign with an unattached node succeeded, want error")
+	}
+}
+
+func TestAssignShardsDeterministic(t *testing.T) {
+	for _, topo := range partitionFabrics() {
+		for shards := 1; shards <= topo.Switches; shards++ {
+			a1, err := AssignShards(&topo, shards)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", topo.Name, shards, err)
+			}
+			a2, err := AssignShards(&topo, shards)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", topo.Name, shards, err)
+			}
+			if !reflect.DeepEqual(a1, a2) {
+				t.Fatalf("%s/%d: two AssignShards runs disagree:\n%+v\n%+v", topo.Name, shards, a1, a2)
+			}
+		}
+	}
+}
+
+// TestAssignShardsBijectionStaysBlock pins the forced-bijection case
+// (one switch per shard, the E15 wire-scale shape): every swap is a
+// pure shard relabel, never a strict improvement, so the assignment is
+// exactly the block partition and existing goldens are untouched.
+func TestAssignShardsBijectionStaysBlock(t *testing.T) {
+	topo := Sharded(8, 4, 1, 50)
+	got, err := AssignShards(&topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := BlockAssign(&topo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Refined {
+		t.Fatal("bijection partition reported Refined=true, want block fallback")
+	}
+	if !reflect.DeepEqual(got.SwitchShard, want.SwitchShard) || !reflect.DeepEqual(got.NodeShard, want.NodeShard) {
+		t.Fatalf("bijection partition diverged from block:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestAssignShardsImprovesShortCut builds a 4-switch ring whose block
+// partition cuts a 10 m trunk (50 ns of lookahead) while the rotated
+// partition cuts only 50 m trunks (250 ns): refinement must find the
+// rotation.
+func TestAssignShardsImprovesShortCut(t *testing.T) {
+	topo := Topology{
+		Nodes: 4, Switches: 4, FiberM: 50,
+		Attached: func(n, s int) bool { return n == s },
+		Trunks: []TrunkSpec{
+			{A: 0, B: 1, FiberM: 50},
+			{A: 2, B: 3, FiberM: 50},
+			{A: 1, B: 2, FiberM: 10},
+			{A: 0, B: 3, FiberM: 10},
+		},
+	}
+	block, err := BlockAssign(&topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockL, err := Lookahead(&topo, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := AssignShards(&topo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutL, err := Lookahead(&topo, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.Refined {
+		t.Fatalf("refinement did not fire: %+v", cut)
+	}
+	// The first accepted swap relabels shards, so the rotation comes out
+	// as [1 0 0 1] — the same bipartition as {0,3}|{1,2}.
+	if want := []int{1, 0, 0, 1}; !reflect.DeepEqual(cut.SwitchShard, want) {
+		t.Fatalf("SwitchShard = %v, want %v", cut.SwitchShard, want)
+	}
+	if cutL <= blockL {
+		t.Fatalf("cut-aware lookahead %v not better than block %v", cutL, blockL)
+	}
+	if cut.CutLinks != 2 || cut.MinCutFiberM != 50 {
+		t.Fatalf("cut observability = {links %d, minFiber %.0f m}, want {2, 50 m}",
+			cut.CutLinks, cut.MinCutFiberM)
+	}
+	// Nodes follow their only switch.
+	if want := []int{1, 0, 0, 1}; !reflect.DeepEqual(cut.NodeShard, want) {
+		t.Fatalf("NodeShard = %v, want %v", cut.NodeShard, want)
+	}
+}
+
+// TestCutAwareNeverWorseThanBlock is the partition property the parallel
+// engine leans on: over the five battery fabric shapes, at every viable
+// shard count, the cut-aware assignment never yields a smaller
+// lookahead window than the block partition it starts from.
+func TestCutAwareNeverWorseThanBlock(t *testing.T) {
+	for _, topo := range partitionFabrics() {
+		for shards := 1; shards <= topo.Switches; shards++ {
+			block, err := BlockAssign(&topo, shards)
+			if err != nil {
+				t.Fatalf("%s/%d: block: %v", topo.Name, shards, err)
+			}
+			cut, err := AssignShards(&topo, shards)
+			if err != nil {
+				t.Fatalf("%s/%d: cut-aware: %v", topo.Name, shards, err)
+			}
+			blockL, blockErr := Lookahead(&topo, block)
+			cutL, cutErr := Lookahead(&topo, cut)
+			if blockErr != nil || cutErr != nil {
+				t.Fatalf("%s/%d: lookahead errors: block %v, cut %v", topo.Name, shards, blockErr, cutErr)
+			}
+			if cutL < blockL {
+				t.Fatalf("%s/%d: cut-aware lookahead %v < block %v (partition %q)",
+					topo.Name, shards, cutL, blockL, cut.Partition())
+			}
+			if cut.CutLinks > block.CutLinks && cutL == blockL {
+				t.Fatalf("%s/%d: refinement grew the cut (%d > %d) without growing lookahead",
+					topo.Name, shards, cut.CutLinks, block.CutLinks)
+			}
+			if shards == 1 && cutL != sim.MaxTime {
+				t.Fatalf("%s/1: single-shard lookahead = %v, want MaxTime sentinel", topo.Name, cutL)
+			}
+		}
+	}
+}

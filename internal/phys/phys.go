@@ -153,6 +153,12 @@ type Net struct {
 
 	ports []*Port
 	links []*Link
+
+	// Hot-path event pools (see pool.go). Per-Net and therefore
+	// per-shard: only ever touched from this Net's kernel context.
+	delFree []*delivery
+	txFree  []*txDone
+	swFree  []*swForward
 }
 
 // NewNet creates a physical network on kernel k with default parameters.
@@ -174,9 +180,15 @@ type Port struct {
 	onStatus StatusHandler
 	onTxDone func()
 
-	fifo   []Frame
-	cap    int
-	txBusy bool
+	// The egress FIFO is a slice plus a head index: popping advances
+	// head instead of reslicing from the front, so the backing array's
+	// capacity is reused instead of being abandoned one slot per frame
+	// (re-slicing with fifo[1:] made every steady-state Send reallocate
+	// — the single largest allocation site in the simulator).
+	fifo     []Frame
+	fifoHead int
+	cap      int
+	txBusy   bool
 	// Sent and Received count frames for diagnostics.
 	Sent     uint64
 	Received uint64
@@ -239,7 +251,28 @@ func (p *Port) Peer() *Port {
 
 // QueueLen returns the number of frames waiting in the egress FIFO
 // (including the frame currently being serialized).
-func (p *Port) QueueLen() int { return len(p.fifo) }
+func (p *Port) QueueLen() int { return len(p.fifo) - p.fifoHead }
+
+// popFrame removes the head-of-line frame, reusing the backing array:
+// the vacated slot is zeroed (dropping the packet reference) and the
+// slice is rewound to full capacity once it empties.
+func (p *Port) popFrame() {
+	p.fifo[p.fifoHead] = Frame{}
+	p.fifoHead++
+	if p.fifoHead == len(p.fifo) {
+		p.fifo = p.fifo[:0]
+		p.fifoHead = 0
+	} else if p.fifoHead >= 32 && p.fifoHead*2 >= len(p.fifo) {
+		// A queue that never fully drains would otherwise march the
+		// head through an ever-growing array; compact once the dead
+		// prefix dominates.
+		n := copy(p.fifo, p.fifo[p.fifoHead:])
+		for i := n; i < len(p.fifo); i++ {
+			p.fifo[i] = Frame{}
+		}
+		p.fifo, p.fifoHead = p.fifo[:n], 0
+	}
+}
 
 // Capacity returns the egress FIFO capacity.
 func (p *Port) Capacity() int { return p.cap }
@@ -256,7 +289,7 @@ func (p *Port) Send(f Frame) bool {
 		p.net.Lost.Inc()
 		return false
 	}
-	if len(p.fifo) >= p.cap {
+	if p.QueueLen() >= p.cap {
 		p.net.Drops.Inc()
 		return false
 	}
@@ -278,10 +311,10 @@ func (p *Port) SendPriority(f Frame) bool {
 		return false
 	}
 	f.Prio = true
-	if p.txBusy && len(p.fifo) > 0 {
+	if p.txBusy && p.QueueLen() > 0 {
 		// Insert behind the frame being serialized and behind any
 		// earlier priority frames (priority is FIFO among itself).
-		pos := 1
+		pos := p.fifoHead + 1
 		for pos < len(p.fifo) && p.fifo[pos].Prio {
 			pos++
 		}
@@ -299,12 +332,12 @@ func (p *Port) SendPriority(f Frame) bool {
 
 // startTx begins serializing the head-of-line frame.
 func (p *Port) startTx() {
-	if len(p.fifo) == 0 {
+	if p.QueueLen() == 0 {
 		p.txBusy = false
 		return
 	}
 	p.txBusy = true
-	f := p.fifo[0]
+	f := p.fifo[p.fifoHead]
 	ser := SerTime(f.Wire + p.net.IFG)
 	link := p.link
 	epoch := link.epoch
@@ -323,23 +356,16 @@ func (p *Port) startTx() {
 		// Delivery at tx end + propagation, if the link survives. The
 		// event carries the wire key (transmit start, port identity):
 		// same-instant arrivals order by when their bits hit the fiber
-		// on every engine, not by scheduler bookkeeping.
-		p.net.K.AtPri(txAt+ser+link.prop, txAt, p.uid, func() { dst.net.CompleteDelivery(dst, f, link, epoch) })
+		// on every engine, not by scheduler bookkeeping. The record is
+		// pooled and the scheduling Timer-free (see pool.go): the
+		// steady-state frame hop does not allocate.
+		p.net.ScheduleDelivery(txAt+ser+link.prop, txAt, p.uid, dst, f, link, epoch)
 	}
 	// Transmitter frees at tx end, under the same wire key. A link
 	// failure bumps the epoch and clears the FIFO, so a stale
 	// completion must not pop the new queue.
-	p.net.K.AtPri(txAt+ser, txAt, p.uid, func() {
-		if link.epoch != epoch {
-			return
-		}
-		p.Sent++
-		p.fifo = p.fifo[1:]
-		p.startTx()
-		if p.onTxDone != nil {
-			p.onTxDone()
-		}
-	})
+	td := p.net.newTxDone(p, link, epoch)
+	p.net.K.DoPri(txAt+ser, txAt, p.uid, td.run)
 }
 
 // CompleteDelivery is the receive side of a frame's flight: it runs at
@@ -457,7 +483,10 @@ func (l *Link) Fail() {
 	l.up = false
 	l.epoch++
 	for _, p := range l.ports {
-		p.fifo = nil
+		for i := p.fifoHead; i < len(p.fifo); i++ {
+			p.fifo[i] = Frame{}
+		}
+		p.fifo, p.fifoHead = p.fifo[:0], 0
 		p.txBusy = false
 	}
 	l.notify(false)
@@ -473,7 +502,7 @@ func (l *Link) Fail() {
 func (l *Link) notify(up bool) {
 	for _, p := range l.ports {
 		p := p
-		p.net.K.After(p.net.Detect, func() {
+		p.net.K.Do(p.net.K.Now()+p.net.Detect, func() {
 			if p.onStatus != nil {
 				p.onStatus(p, up)
 			}
@@ -481,7 +510,7 @@ func (l *Link) notify(up bool) {
 	}
 	for _, w := range l.watchers {
 		w := w
-		w.k.After(l.net.Detect, func() { w.fn(up) })
+		w.k.Do(w.k.Now()+l.net.Detect, func() { w.fn(up) })
 	}
 }
 

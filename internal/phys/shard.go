@@ -12,54 +12,25 @@ import (
 // the topology and the shard count, so two runs (and two machines)
 // always shard identically — a prerequisite for reproducible parallel
 // results.
+// AssignShards (partition.go) builds it: the block partition refined by
+// deterministic cut-aware switch swaps. The observability fields record
+// what the partitioner settled on; they feed report summaries, never
+// the simulation itself.
 type Assignment struct {
 	Shards      int
 	SwitchShard []int // switch id → owning shard
 	NodeShard   []int // node id → owning shard
-}
 
-// AssignShards computes the canonical shard assignment for topo:
-// switches are block-partitioned in index order (shard i owns switches
-// [i·S/K, (i+1)·S/K)); a node whose attachments all land on one shard
-// belongs to that shard (the sharded multi-ring case — a node lives
-// with its switch), and a node attached across shards (the paper's
-// uniform segment, where every node sees every switch) is
-// block-partitioned by node index.
-func AssignShards(topo *Topology, shards int) (*Assignment, error) {
-	if shards < 1 {
-		return nil, fmt.Errorf("phys: %d shards; need at least 1", shards)
-	}
-	if shards > topo.Switches {
-		return nil, fmt.Errorf("phys: %d shards over %d switches; a shard must own at least one switch",
-			shards, topo.Switches)
-	}
-	a := &Assignment{
-		Shards:      shards,
-		SwitchShard: make([]int, topo.Switches),
-		NodeShard:   make([]int, topo.Nodes),
-	}
-	for s := 0; s < topo.Switches; s++ {
-		a.SwitchShard[s] = s * shards / topo.Switches
-	}
-	for n := 0; n < topo.Nodes; n++ {
-		home, uniform := -1, true
-		for s := 0; s < topo.Switches; s++ {
-			if !topo.IsAttached(n, s) {
-				continue
-			}
-			if home < 0 {
-				home = a.SwitchShard[s]
-			} else if a.SwitchShard[s] != home {
-				uniform = false
-			}
-		}
-		if uniform && home >= 0 {
-			a.NodeShard[n] = home
-		} else {
-			a.NodeShard[n] = n * shards / topo.Nodes
-		}
-	}
-	return a, nil
+	// CutLinks counts the links (node fibers + trunks) whose endpoints
+	// land on different shards — the barrier-exchange surface.
+	CutLinks int
+	// MinCutFiberM is the shortest cross-shard fiber in meters — the
+	// one that bounds Lookahead. Zero when nothing crosses shards.
+	MinCutFiberM float64
+	// Refined reports whether cut-aware refinement improved on the
+	// block partition (false = the block partition was already optimal
+	// under the scan, or refinement was not applicable).
+	Refined bool
 }
 
 // Lookahead returns the fabric's conservative lookahead under assign:

@@ -34,7 +34,7 @@ type Switch struct {
 	net       *Net
 	ports     []*Port
 	nodePorts int
-	xbar      map[int]int    // node-port ingress → egress port index
+	xbar      []int32        // node-port ingress → egress port index, -1 unrouted
 	vcRoutes  map[uint32]int // trunk ingress<<16|vc → egress port index
 	latency   sim.Time
 	failed    bool
@@ -69,7 +69,7 @@ const MaxFloodHops = 32
 func (n *Net) NewSwitch(name string, nPorts int) *Switch {
 	s := &Switch{
 		Name: name, net: n, nodePorts: nPorts,
-		xbar: map[int]int{}, vcRoutes: map[uint32]int{},
+		xbar: newXbar(nPorts), vcRoutes: map[uint32]int{},
 		latency: DefaultSwitchLatency,
 	}
 	for i := 0; i < nPorts; i++ {
@@ -103,15 +103,30 @@ func (s *Switch) NumNodePorts() int { return s.nodePorts }
 // SetLatency overrides the cut-through latency.
 func (s *Switch) SetLatency(d sim.Time) { s.latency = d }
 
+// newXbar builds an all-unrouted crossbar for n ingress ports. The
+// crossbar is a dense slice, not a map: data forwarding hits it once
+// per frame per switch, and an indexed load beats a map probe on that
+// path by an order of magnitude.
+func newXbar(n int) []int32 {
+	x := make([]int32, n)
+	for i := range x {
+		x[i] = -1
+	}
+	return x
+}
+
 // SetRoute programs the crossbar: frames entering node port in exit at
 // port out (a node port or a trunk end). Pass out < 0 to clear the
 // route.
 func (s *Switch) SetRoute(in, out int) {
+	for in >= len(s.xbar) {
+		s.xbar = append(s.xbar, -1)
+	}
 	if out < 0 {
-		delete(s.xbar, in)
+		s.xbar[in] = -1
 		return
 	}
-	s.xbar[in] = out
+	s.xbar[in] = int32(out)
 }
 
 // SetVCRoute programs trunk forwarding: frames arriving on trunk port
@@ -130,7 +145,9 @@ func (s *Switch) SetVCRoute(in int, vc uint16, out int) {
 // ClearRoutes empties the crossbar and the trunk VC table (done at the
 // start of rostering).
 func (s *Switch) ClearRoutes() {
-	s.xbar = map[int]int{}
+	for i := range s.xbar {
+		s.xbar[i] = -1
+	}
 	s.vcRoutes = map[uint32]int{}
 }
 
@@ -198,57 +215,68 @@ func (s *Switch) floodAdmit(f Frame) bool {
 	return true
 }
 
+// receiveFlood handles a rostering flood frame arriving on port index
+// in: hop-expire, wave-dedup, then flood to every other live port
+// after the cut-through delay. Floods are a rostering-transition
+// burst, not the data hot path; the closure is fine, but Do skips the
+// Timer.
+func (s *Switch) receiveFlood(in int, f Frame) {
+	if f.Hops >= MaxFloodHops {
+		s.FloodExpired++
+		return
+	}
+	if !s.floodAdmit(f) {
+		s.FloodDeduped++
+		return
+	}
+	f.Hops++
+	s.net.K.Do(s.net.K.Now()+s.latency, func() {
+		if s.failed {
+			return
+		}
+		for i, p := range s.ports {
+			if i == in || !p.Up() {
+				continue
+			}
+			s.Flooded++
+			p.SendPriority(f)
+		}
+	})
+}
+
 // receive handles a frame arriving on port index in.
 func (s *Switch) receive(in int, f Frame) {
 	if s.failed {
 		return
 	}
 	if f.Pkt.Type == micropacket.TypeRostering {
-		if f.Hops >= MaxFloodHops {
-			s.FloodExpired++
-			return
-		}
-		if !s.floodAdmit(f) {
-			s.FloodDeduped++
-			return
-		}
-		f.Hops++
-		// Flood to every other live port after the cut-through delay.
-		s.net.K.After(s.latency, func() {
-			if s.failed {
-				return
-			}
-			for i, p := range s.ports {
-				if i == in || !p.Up() {
-					continue
-				}
-				s.Flooded++
-				p.SendPriority(f)
-			}
-		})
+		// Kept out of line: the flood closure captures f, and a
+		// captured parameter heap-escapes at function entry on every
+		// call — including the data-path calls that never flood.
+		s.receiveFlood(in, f)
 		return
 	}
 	var out int
-	var ok bool
 	if in < s.nodePorts {
 		// Node ingress: stamp the hop's virtual circuit (the source
 		// node's id) and consult the crossbar.
 		f.VC = uint16(in)
-		out, ok = s.xbar[in]
-	} else {
-		out, ok = s.vcRoutes[uint32(in)<<16|uint32(f.VC)]
-	}
-	if !ok {
-		s.Unrouted++
-		return
-	}
-	s.net.K.After(s.latency, func() {
-		if s.failed {
+		if in >= len(s.xbar) || s.xbar[in] < 0 {
+			s.Unrouted++
 			return
 		}
-		if out < len(s.ports) && s.ports[out].Up() {
-			s.Forwarded++
-			s.ports[out].Send(f)
+		out = int(s.xbar[in])
+	} else {
+		o, ok := s.vcRoutes[uint32(in)<<16|uint32(f.VC)]
+		if !ok {
+			s.Unrouted++
+			return
 		}
-	})
+		out = o
+	}
+	// Cut-through forward after the switch latency, via a pooled
+	// record (the per-frame closure + Timer here used to be one of the
+	// hottest allocation sites in the simulator).
+	w := s.net.newSwForward(s, out, f)
+	s.net.K.Do(s.net.K.Now()+s.latency, w.run)
 }

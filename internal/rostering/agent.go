@@ -53,13 +53,17 @@ type Agent struct {
 	// OnAdopt is called after this agent adopts a new roster.
 	OnAdopt func(*Roster)
 
-	epoch     uint32
-	seq       uint8
-	lsdb      map[int]Announcement
-	settle    *sim.Timer
-	current   *Roster
-	adoptedAt sim.Time
-	stopped   bool
+	epoch  uint32
+	seq    uint8
+	lsdb   map[int]Announcement
+	settle *sim.Timer
+	// keepaliveFn/watchdogFn are the loop method values, bound once in
+	// Start so periodic re-arming does not allocate.
+	keepaliveFn func()
+	watchdogFn  func()
+	current     *Roster
+	adoptedAt   sim.Time
+	stopped     bool
 
 	// Adoptions counts rosters adopted; Announced counts own floods.
 	Adoptions uint64
@@ -133,6 +137,13 @@ func (a *Agent) Epoch() uint32 { return a.epoch }
 // the keepalive and silence-watchdog loops.
 func (a *Agent) Start() {
 	a.stopped = false
+	// Bind the loop method values once: re-arming with a fresh method
+	// value every tick allocated a closure (and a Timer) per node per
+	// interval, a top allocation site at fabric scale.
+	if a.keepaliveFn == nil {
+		a.keepaliveFn = a.keepaliveLoop
+		a.watchdogFn = a.watchdogLoop
+	}
 	a.Trigger()
 	a.keepaliveLoop()
 	a.watchdogLoop()
@@ -152,7 +163,7 @@ func (a *Agent) keepaliveLoop() {
 			}
 		}
 	}
-	a.K.After(a.KeepaliveInterval, a.keepaliveLoop)
+	a.K.Do(a.K.Now()+a.KeepaliveInterval, a.keepaliveFn)
 }
 
 // watchdogLoop detects upstream silence: if the node sits on a ring but
@@ -170,7 +181,7 @@ func (a *Agent) watchdogLoop() {
 		now-a.adoptedAt > grace {
 		a.Trigger()
 	}
-	a.K.After(a.SilenceTimeout/2, a.watchdogLoop)
+	a.K.Do(a.K.Now()+a.SilenceTimeout/2, a.watchdogFn)
 }
 
 // Trigger starts a new rostering round: failure detected, light

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -59,11 +58,12 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Millis returns t as a floating-point number of milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
-// event is a scheduled callback. Ties at the same instant are broken
-// by the priority key (priT, priH) and then FIFO by seq, so two events
-// scheduled for the same instant fire in a deterministic order.
+// entry is a scheduled callback, stored inline in the kernel's heap
+// slice. Ties at the same instant are broken by the priority key
+// (priT, priH) and then FIFO by seq, so two events scheduled for the
+// same instant fire in a deterministic order.
 //
-// Plain At/After events key priT with their scheduling time, which
+// Plain At/After/Do events key priT with their scheduling time, which
 // makes (at, priT, seq) order identical to the historical (at, seq)
 // FIFO order — sequence numbers are assigned in scheduling order. The
 // key exists for the physical layer: frame deliveries carry their
@@ -74,63 +74,52 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 // cross-shard frames are scheduled at window barriers (with late local
 // sequence numbers) but with their true wire keys.
 //
-// Events are recycled through the kernel's free list once they fire or
-// are cancelled; gen is bumped on every recycle so that a stale Timer
-// handle can never mistake a reused event for its own.
-type event struct {
+// Entries live in the heap slice itself: the slice is the per-shard
+// event pool (it subsumes the earlier pointer-based free list), so the
+// steady-state hot path — Do/DoPri scheduling and event pop — does not
+// allocate. Only At/AtPri/After allocate, one Timer handle each, and
+// only because they hand out a cancellation handle.
+type entry struct {
 	at   Time
-	priT Time   // primary tie-break: transmit start (0 for plain events)
-	priH uint32 // secondary tie-break: stable port identity hash
+	priT Time // primary tie-break: transmit start (scheduling time for plain events)
 	seq  uint64
 	fn   func()
-	idx  int    // heap index, maintained by eventHeap; -1 once off the heap
-	gen  uint64 // reuse generation, matched against Timer.gen
+	tm   *Timer // cancellation handle, nil for Do/DoPri events
+	priH uint32 // secondary tie-break: stable port identity hash
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// entryLess is the kernel's total event order: (at, priT, priH, seq).
+// seq is unique per kernel, so the order is strict — heap pop order is
+// a pure function of the scheduled keys, independent of heap layout.
+func entryLess(a, b *entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if h[i].priT != h[j].priT {
-		return h[i].priT < h[j].priT
+	if a.priT != b.priT {
+		return a.priT < b.priT
 	}
-	if h[i].priH != h[j].priH {
-		return h[i].priH < h[j].priH
+	if a.priH != b.priH {
+		return a.priH < b.priH
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Kernel is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; all model code runs inside event callbacks on the
 // kernel's (single) logical thread, which is the standard DES discipline
 // and what makes the simulation deterministic.
+//
+// The event queue is a hand-rolled 4-ary heap over inline entries: no
+// container/heap interface dispatch, no per-event heap node allocation,
+// and sift comparisons walk contiguous memory instead of chasing event
+// pointers. The 4-ary shape halves tree depth against a binary heap,
+// which is where the simulator spends its time at scale (pop is the
+// hot operation; a wider node trades cheap sequential compares for
+// fewer cache-missing levels).
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
-	free    []*event // recycled events, reused by schedule
+	events  []entry
 	rng     *RNG
 	stopped bool
 
@@ -154,39 +143,129 @@ func (k *Kernel) RNG() *RNG { return k.rng }
 // removed from the heap eagerly, so this is an O(1) live count.
 func (k *Kernel) Pending() int { return len(k.events) }
 
-// schedule queues fn at absolute time t with tie-break key (priT,
-// priH), reusing a recycled event when one is available.
-func (k *Kernel) schedule(t Time, priT Time, priH uint32, fn func()) *event {
+// push queues fn at absolute time t with tie-break key (priT, priH)
+// and optional Timer handle tm. The entry is placed by siftUp, which
+// also records the final heap index in tm.
+func (k *Kernel) push(t, priT Time, priH uint32, fn func(), tm *Timer) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 	}
-	var e *event
-	if n := len(k.free); n > 0 {
-		e = k.free[n-1]
-		k.free[n-1] = nil
-		k.free = k.free[:n-1]
-		e.at, e.priT, e.priH, e.seq, e.fn = t, priT, priH, k.seq, fn
-	} else {
-		e = &event{at: t, priT: priT, priH: priH, seq: k.seq, fn: fn}
-	}
+	k.events = append(k.events, entry{at: t, priT: priT, priH: priH, seq: k.seq, fn: fn, tm: tm})
 	k.seq++
-	heap.Push(&k.events, e)
-	return e
+	k.siftUp(len(k.events) - 1)
 }
 
-// recycle returns an event to the free list and invalidates any Timer
-// handles still pointing at it.
-func (k *Kernel) recycle(e *event) {
-	e.fn = nil
-	e.gen++
-	k.free = append(k.free, e)
+// siftUp restores the heap property for a (possibly too-small) entry at
+// index j, updating Timer indices along the move path.
+func (k *Kernel) siftUp(j int) {
+	ev := k.events
+	e := ev[j]
+	for j > 0 {
+		p := (j - 1) >> 2
+		if !entryLess(&e, &ev[p]) {
+			break
+		}
+		ev[j] = ev[p]
+		if tm := ev[j].tm; tm != nil {
+			tm.idx = j
+		}
+		j = p
+	}
+	ev[j] = e
+	if e.tm != nil {
+		e.tm.idx = j
+	}
+}
+
+// siftDown restores the heap property for a (possibly too-large) entry
+// at index j. It reports whether the entry moved, which Remove-style
+// callers use to decide whether a siftUp is still needed.
+func (k *Kernel) siftDown(j int) bool {
+	ev := k.events
+	n := len(ev)
+	j0 := j
+	e := ev[j]
+	for {
+		c := j<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for i := c + 1; i < end; i++ {
+			if entryLess(&ev[i], &ev[m]) {
+				m = i
+			}
+		}
+		if !entryLess(&ev[m], &e) {
+			break
+		}
+		ev[j] = ev[m]
+		if tm := ev[j].tm; tm != nil {
+			tm.idx = j
+		}
+		j = m
+	}
+	ev[j] = e
+	if e.tm != nil {
+		e.tm.idx = j
+	}
+	return j > j0
+}
+
+// takeRoot removes and returns the earliest entry. The vacated tail
+// slot is zeroed so the slice does not retain closure references.
+func (k *Kernel) takeRoot() (Time, func()) {
+	ev := k.events
+	at, fn := ev[0].at, ev[0].fn
+	if tm := ev[0].tm; tm != nil {
+		tm.idx = -1
+	}
+	n := len(ev) - 1
+	if n > 0 {
+		ev[0] = ev[n]
+	}
+	ev[n] = entry{}
+	k.events = ev[:n]
+	if n > 1 {
+		k.siftDown(0)
+	} else if n == 1 {
+		if tm := k.events[0].tm; tm != nil {
+			tm.idx = 0
+		}
+	}
+	return at, fn
+}
+
+// removeAt deletes the entry at heap index i (Timer cancellation).
+func (k *Kernel) removeAt(i int) {
+	ev := k.events
+	if tm := ev[i].tm; tm != nil {
+		tm.idx = -1
+	}
+	n := len(ev) - 1
+	if i != n {
+		ev[i] = ev[n]
+		ev[n] = entry{}
+		k.events = ev[:n]
+		if !k.siftDown(i) {
+			k.siftUp(i)
+		}
+	} else {
+		ev[n] = entry{}
+		k.events = ev[:n]
+	}
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: it indicates a model bug that would break causality.
 func (k *Kernel) At(t Time, fn func()) *Timer {
-	e := k.schedule(t, k.now, 0, fn)
-	return &Timer{k: k, e: e, gen: e.gen, fn: fn}
+	tm := &Timer{k: k, idx: -1, fn: fn}
+	k.push(t, k.now, 0, fn, tm)
+	return tm
 }
 
 // AtPri schedules fn at absolute time t with an explicit same-instant
@@ -197,8 +276,9 @@ func (k *Kernel) At(t Time, fn func()) *Timer {
 // key frame deliveries by transmit start and port identity, keeping
 // the order engine-independent.
 func (k *Kernel) AtPri(t, priT Time, priH uint32, fn func()) *Timer {
-	e := k.schedule(t, priT, priH, fn)
-	return &Timer{k: k, e: e, gen: e.gen, fn: fn}
+	tm := &Timer{k: k, idx: -1, fn: fn}
+	k.push(t, priT, priH, fn, tm)
+	return tm
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -208,6 +288,16 @@ func (k *Kernel) After(d Time, fn func()) *Timer {
 	}
 	return k.At(k.now+d, fn)
 }
+
+// Do schedules fn at absolute time t without issuing a Timer handle.
+// It is the allocation-free fast path for fire-and-forget events (the
+// physical layer's per-frame scheduling): same ordering semantics as
+// At, no way to cancel.
+func (k *Kernel) Do(t Time, fn func()) { k.push(t, k.now, 0, fn, nil) }
+
+// DoPri schedules fn at absolute time t with an explicit same-instant
+// key, without issuing a Timer handle. It is to AtPri what Do is to At.
+func (k *Kernel) DoPri(t, priT Time, priH uint32, fn func()) { k.push(t, priT, priH, fn, nil) }
 
 // Stop makes Run return after the current event completes. Pending
 // events remain queued; Run can be called again to resume.
@@ -223,18 +313,15 @@ func (k *Kernel) Run() Time { return k.RunUntil(MaxTime) }
 func (k *Kernel) RunUntil(deadline Time) Time {
 	k.stopped = false
 	for len(k.events) > 0 && !k.stopped {
-		e := k.events[0]
-		if e.at > deadline {
+		if k.events[0].at > deadline {
 			break
 		}
-		heap.Pop(&k.events)
-		if e.at < k.now {
+		at, fn := k.takeRoot()
+		if at < k.now {
 			panic("sim: time went backwards")
 		}
-		k.now = e.at
+		k.now = at
 		k.Fired++
-		fn := e.fn
-		k.recycle(e)
 		fn()
 	}
 	if k.now < deadline && deadline != MaxTime {
@@ -289,11 +376,9 @@ func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(*event)
-	k.now = e.at
+	at, fn := k.takeRoot()
+	k.now = at
 	k.Fired++
-	fn := e.fn
-	k.recycle(e)
 	fn()
 	return true
 }
@@ -301,10 +386,13 @@ func (k *Kernel) Step() bool {
 // Timer is a handle to a scheduled event that can be cancelled or
 // rescheduled. The zero Timer and the nil *Timer are inert: Cancel,
 // Active and Reset are all safe no-ops on them.
+//
+// idx is the event's current heap index, maintained by the heap on
+// every move and set to -1 the moment the event fires or is cancelled
+// — so a handle can never touch an entry that is no longer its own.
 type Timer struct {
 	k   *Kernel
-	e   *event
-	gen uint64 // generation of e when this handle was issued
+	idx int    // heap index while scheduled; -1 once fired or cancelled
 	fn  func() // retained so Reset can re-arm after the event fired
 }
 
@@ -313,21 +401,15 @@ type Timer struct {
 // cancel-heavy workloads). It is safe to call more than once and after
 // the event has fired.
 func (t *Timer) Cancel() {
-	if t == nil || t.e == nil || t.k == nil {
+	if t == nil || t.k == nil || t.idx < 0 {
 		return
 	}
-	e := t.e
-	t.e = nil
-	if e.gen != t.gen || e.idx < 0 {
-		return // already fired, cancelled, or recycled
-	}
-	heap.Remove(&t.k.events, e.idx)
-	t.k.recycle(e)
+	t.k.removeAt(t.idx)
 }
 
 // Active reports whether the callback is still scheduled to run.
 func (t *Timer) Active() bool {
-	return t != nil && t.e != nil && t.e.gen == t.gen && t.e.idx >= 0
+	return t != nil && t.k != nil && t.idx >= 0
 }
 
 // Reset cancels the timer (if still pending) and reschedules its
@@ -341,6 +423,5 @@ func (t *Timer) Reset(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	e := t.k.schedule(t.k.now+d, t.k.now, 0, t.fn)
-	t.e, t.gen = e, e.gen
+	t.k.push(t.k.now+d, t.k.now, 0, t.fn, t)
 }
