@@ -277,6 +277,10 @@ func benchParsim(b *testing.B, nodes, shards int) {
 		// model outcome (identical on both engines), not a bench
 		// failure; surface them instead.
 		b.ReportMetric(float64(rep.Drops), "drops")
+		// An unconserved ledger means the run timed garbage.
+		if rep.Frames == nil || !rep.Frames.Conserved {
+			b.Fatalf("frame ledger not conserved: %+v", rep.Frames)
+		}
 		events = cl.EventsFired()
 	}
 	b.StopTimer()
@@ -286,8 +290,17 @@ func benchParsim(b *testing.B, nodes, shards int) {
 	}
 }
 
-func BenchmarkE14ParsimSerial64(b *testing.B)   { benchParsim(b, 64, 1) }
-func BenchmarkE14ParsimSharded64(b *testing.B)  { benchParsim(b, 64, 8) }
+func BenchmarkE14ParsimSerial64(b *testing.B)  { benchParsim(b, 64, 1) }
+func BenchmarkE14ParsimSharded64(b *testing.B) { benchParsim(b, 64, 8) }
+
+// BenchmarkE14Parsim64 is the frame-accounting overhead guard: the
+// same 8-shard 64-node scenario, but its baseline was captured with
+// the conservation ledger threaded through every frame create/destroy
+// site, and CI holds this entry to a tighter 25% gate (its own
+// benchguard invocation) than the fleet's shared tolerance. Accounting
+// is always on, so any future growth of the ledger's hot-path cost —
+// new counters, heavier cause classification — lands here first.
+func BenchmarkE14Parsim64(b *testing.B)         { benchParsim(b, 64, 8) }
 func BenchmarkE14ParsimSerial128(b *testing.B)  { benchParsim(b, 128, 1) }
 func BenchmarkE14ParsimSharded128(b *testing.B) { benchParsim(b, 128, 8) }
 

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	ampnet "repro"
+	"repro/internal/detmap"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -175,6 +176,34 @@ func main() {
 			float64(c.EventsFired())/float64(max(st.Windows, 1))/float64(c.Opts.Shards))
 		fmt.Printf("    barrier exchange  %d frames, %d deferred routes, %d plan actions\n",
 			st.Frames, st.Routes, st.Actions)
+	}
+	if fr := rep.Frames; fr != nil {
+		status := "conserved"
+		if !fr.Conserved {
+			status = "NOT CONSERVED — a frame died in an uncounted sink"
+		}
+		fmt.Printf("\nframe accounting (%s):\n", status)
+		fmt.Printf("  origins             %d (+%d switch/transit relaunches)\n", fr.Origins, fr.Relaunched)
+		fmt.Printf("  wire-delivered      %d\n", fr.WireDelivered)
+		if fr.HostCopies > 0 {
+			fmt.Printf("  host copies         %d (broadcast deliveries; outside conservation)\n", fr.HostCopies)
+		}
+		for _, k := range detmap.SortedKeys(fr.Consumed) {
+			fmt.Printf("  consumed %-15s %d\n", k, fr.Consumed[k])
+		}
+		for _, k := range detmap.SortedKeys(fr.Losses) {
+			fmt.Printf("  lost     %-15s %d\n", k, fr.Losses[k])
+		}
+		if fr.InFifo != 0 || fr.InFlight != 0 || fr.InDevice != 0 {
+			fmt.Printf("  residual            %d in-fifo, %d in-flight, %d in-device\n",
+				fr.InFifo, fr.InFlight, fr.InDevice)
+		}
+		for _, k := range detmap.SortedKeys(fr.NodeLosses) {
+			fmt.Printf("    %-22s %d\n", k, fr.NodeLosses[k])
+		}
+		for _, k := range detmap.SortedKeys(fr.SwitchLosses) {
+			fmt.Printf("    %-22s %d\n", k, fr.SwitchLosses[k])
+		}
 	}
 	for _, e := range rep.Events {
 		heal := ""

@@ -20,6 +20,7 @@
 //	detmap     — no unordered map iteration; use detmap.SortedKeys
 //	wireenc    — no hand-rolled wire byte layout outside internal/wire
 //	shardshare — no shard-goroutine writes to coordinator state
+//	framesink  — no uncounted frame sinks in phys/insertion/rostering
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/detmap"
+	"repro/internal/analysis/framesink"
 	"repro/internal/analysis/rawrand"
 	"repro/internal/analysis/shardshare"
 	"repro/internal/analysis/walltime"
@@ -42,6 +44,7 @@ var suite = []*analysis.Analyzer{
 	detmap.Analyzer,
 	wireenc.Analyzer,
 	shardshare.Analyzer,
+	framesink.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,12 @@
+package framesink_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/framesink"
+)
+
+func TestFramesink(t *testing.T) {
+	analysistest.Run(t, "testdata", framesink.Analyzer, "phys", "other")
+}

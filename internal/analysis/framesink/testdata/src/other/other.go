@@ -1,0 +1,19 @@
+// Fixture for the framesink analyzer: a package outside the governed
+// set (phys/insertion/rostering). Even a blatant silent drop is not
+// this analyzer's business here — other packages do not own ledgered
+// frames.
+package other
+
+type Frame struct{ Hops int }
+
+type Host struct {
+	up      bool
+	handler func(Frame)
+}
+
+func (h *Host) silentDropElsewhere(f Frame) {
+	if !h.up {
+		return // not governed: no diagnostic
+	}
+	h.handler(f)
+}

@@ -1,0 +1,136 @@
+// Fixture for the framesink analyzer: a miniature of the real phys
+// package's frame-handling shapes. The package is named "phys" so the
+// analyzer's package scoping governs it.
+package phys
+
+type Packet struct{ Dst int }
+
+// Frame is the fixture stand-in for phys.Frame (matched by name).
+type Frame struct {
+	Pkt  *Packet
+	Hops int
+}
+
+// Acct is the fixture stand-in for frameacct.Acct (matched by name).
+type Acct struct{ Lost int }
+
+func (a *Acct) Lose(cause int)    { a.Lost++ }
+func (a *Acct) Consume(cause int) { a.Lost++ }
+
+type Port struct {
+	acct    *Acct
+	up      bool
+	stored  Frame
+	fifo    []Frame
+	out     chan Frame
+	handler func(Frame)
+}
+
+func (p *Port) deliver(f Frame) bool { p.handler(f); return true }
+
+// silentDrop returns with a live frame and no disposition: the exact
+// bug class the analyzer exists for.
+func (p *Port) silentDrop(f Frame) {
+	if !p.up {
+		return // want `uncounted frame sink`
+	}
+	p.handler(f)
+}
+
+// countedDrop accounts the death before returning: fine.
+func (p *Port) countedDrop(f Frame) {
+	if !p.up {
+		p.acct.Lose(1)
+		return
+	}
+	p.handler(f)
+}
+
+// handedOff passes the frame on before the guard: the return no longer
+// owns it.
+func (p *Port) handedOff(f Frame) {
+	p.handler(f)
+	if !p.up {
+		return
+	}
+}
+
+// condHandoff disposes of the frame inside the if condition itself.
+func (p *Port) condHandoff(f Frame) {
+	if p.deliver(f) {
+		return
+	}
+}
+
+// storedAway parks the frame in a field; ownership moved.
+func (p *Port) storedAway(f Frame) {
+	p.stored = f
+	if !p.up {
+		return
+	}
+}
+
+func (p *Port) queued(f Frame) {
+	p.fifo = append(p.fifo, f)
+	if !p.up {
+		return
+	}
+}
+
+func (p *Port) channeled(f Frame) {
+	p.out <- f
+	if !p.up {
+		return
+	}
+}
+
+// predicate returns a value: the caller still owns the frame, so its
+// early returns are exempt.
+func (p *Port) predicate(f Frame) bool {
+	if f.Hops > 4 {
+		return false
+	}
+	return true
+}
+
+// boundLocal binds a frame mid-function; returns before the binding
+// are fine, returns after it without disposition are not.
+func (p *Port) boundLocal() {
+	if !p.up {
+		return // no frame live yet: fine
+	}
+	f := p.stored
+	if f.Hops > 4 {
+		return // want `uncounted frame sink`
+	}
+	p.handler(f)
+}
+
+// closureHandoff hands the frame to a deferred closure; the call
+// carrying the closure counts as the disposition.
+func (p *Port) closureHandoff(f Frame, do func(func())) {
+	do(func() { p.handler(f) })
+	if !p.up {
+		return
+	}
+}
+
+// insideClosure: a void closure with its own frame parameter is
+// checked as its own function.
+func (p *Port) insideClosure() {
+	p.handler = func(f Frame) {
+		if !p.up {
+			return // want `uncounted frame sink`
+		}
+		p.fifo = append(p.fifo, f)
+	}
+}
+
+// waived: the escape hatch for a frame owned elsewhere.
+func (p *Port) waived(f Frame) {
+	if !p.up {
+		//ampvet:allow framesink fixture exercising the escape hatch
+		return
+	}
+	p.handler(f)
+}

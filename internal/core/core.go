@@ -14,6 +14,7 @@ import (
 	"repro/internal/ampip"
 	"repro/internal/enc8b10b"
 	"repro/internal/failover"
+	"repro/internal/frameacct"
 	"repro/internal/phys"
 	"repro/internal/shardnet"
 	"repro/internal/sim"
@@ -435,4 +436,17 @@ func (c *Cluster) Delivered() uint64 {
 		n += net.Delivered.N
 	}
 	return n
+}
+
+// FrameAcct returns the fabric-wide frame-lifecycle ledger: the sum of
+// every shard Net's Acct. Per-Net ledgers of a sharded fabric do not
+// balance alone (a cross-shard frame launches on one Net and arrives on
+// another); the sum satisfies the conservation invariant at any parked
+// instant — see frameacct.Acct.Violations.
+func (c *Cluster) FrameAcct() frameacct.Acct {
+	var sum frameacct.Acct
+	for _, net := range c.Nets {
+		sum.Add(&net.Acct)
+	}
+	return sum
 }

@@ -113,11 +113,19 @@ func (c *Cluster) Healed() bool {
 //     pins the adopted ring to the largest ring the algorithm can
 //     build, which may legitimately orphan bridge-isolated nodes
 //   - every arc crosses live hardware (links, switches and trunks)
+//
+// In addition to the roster invariants, the fabric-wide frame ledger
+// must conserve: every frame ever offered to a port is wire-delivered,
+// counted as a typed loss, or still resident in a FIFO / fiber /
+// device latency stage (see internal/frameacct). An imbalance means a
+// frame died in an uncounted sink.
 func (c *Cluster) InvariantViolations() []string {
 	var out []string
+	acct := c.FrameAcct()
+	out = append(out, acct.Violations()...)
 	comps := c.liveComponents()
 	if len(comps) == 0 {
-		return []string{"no reachable nodes in any partition"}
+		return append(out, "no reachable nodes in any partition")
 	}
 	for _, comp := range comps {
 		if v := c.componentViolation(comp); v != "" {

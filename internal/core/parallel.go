@@ -167,7 +167,24 @@ func newParallel(opts Options) *Cluster {
 		panic(err)
 	}
 	ph.RouteSink = eng.DeferRoute
-	eng.Transport().BindRoutes(func(op phys.RouteOp) { op.Apply(ph) })
+	eng.Transport().BindRoutes(func(at sim.Time, op phys.RouteOp) {
+		// A zero timestamp is the historical apply-on-receipt write.
+		// A timestamped write lands at its exact instant on the owning
+		// shard's kernel — the same instant the serial engine applies
+		// it — ahead of any model event there (priority -1, like plan
+		// actions). Program's flight arithmetic guarantees at is still
+		// in the owning kernel's future at the barrier.
+		if at == 0 {
+			op.Apply(ph)
+			return
+		}
+		k := kernels[assign.SwitchShard[op.Switch]]
+		if at <= k.Now() {
+			op.Apply(ph)
+			return
+		}
+		k.AtPri(at, -1, 0, func() { op.Apply(ph) })
+	})
 	if sock != nil {
 		sock.SetFingerprint(shardnet.Fingerprint(ph, opts.Seed, lookahead, spec))
 	}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/phys"
+	"repro/internal/sim"
+)
+
+// TestCrashNodeRouteRaceEquivalence is the regression test for the
+// crash-node divergence the frame-conservation ledger root-caused at 96
+// nodes (and which the seed batteries never hit at 48): when the ring
+// heals around a crashed node under live broadcast traffic, the healing
+// node rewrites a VC route on a switch owned by another shard while one
+// of its own frames is already in flight across the trunk toward that
+// switch. The sharded engine used to apply the write at the next window
+// barrier — after the frame's mid-window receive — so the frame was
+// steered to the crashed node's dark port and died (one extra
+// egress_dark, one fewer broadcast_strip than serial). Trunk-crossing
+// writes now land as timestamped circuit-setup cells at the same
+// virtual instant on every engine (phys.Cluster.Program), and the
+// in-flight frame keeps the stale route in serial and sharded runs
+// alike.
+//
+// The scenario is the minimal replayable plan distilled from the E16
+// scaling experiment: publisher 0's hop crosses the trunk into the
+// crashed node's switch, the 200 m trunks leave a 1 µs flight for a
+// publish to be airborne when node 0 adopts the healed ring, and the
+// 100 µs publish cadence makes that overlap certain rather than lucky.
+func TestCrashNodeRouteRaceEquivalence(t *testing.T) {
+	run := func(nodes, shards int) *Report {
+		t.Helper()
+		topo := phys.Sharded(8, nodes/8, 1, 50)
+		for i := range topo.Trunks {
+			topo.Trunks[i].FiberM = 200
+		}
+		rep, err := Scenario{
+			Name: "route-race",
+			Opts: Options{Fabric: &topo, Seed: 1, Shards: shards,
+				HeartbeatInterval: 1 * sim.Millisecond},
+			BootWindow: 100 * sim.Millisecond,
+			Plan:       Plan{CrashNode(6*sim.Millisecond, nodes-1)},
+			Loads: []Load{&PubSubLoad{
+				Publisher: 0, Topic: 1, Every: 100 * sim.Microsecond,
+				Subscribers: []int{1, nodes / 2, nodes - 2},
+			}},
+			For: 18 * sim.Millisecond,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	for _, nodes := range []int{48, 96} {
+		nodes := nodes
+		t.Run(fmt.Sprintf("%dnodes", nodes), func(t *testing.T) {
+			serial := run(nodes, 1)
+			sharded := run(nodes, 8)
+			if !bytes.Equal(serial.JSON(), sharded.JSON()) {
+				t.Errorf("serial vs 8-shard report diverged\n--- serial ---\n%s--- sharded ---\n%s",
+					serial.JSON(), sharded.JSON())
+			}
+			if fr := serial.Frames; fr == nil || !fr.Conserved {
+				t.Fatalf("frame ledger not conserved: %+v", fr)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/detmap"
 	"repro/internal/rostering"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -88,6 +89,11 @@ type Report struct {
 	Drops     uint64 `json:"congestion_drops"`
 	Lost      uint64 `json:"failure_losses"`
 	Delivered uint64 `json:"frames_delivered"`
+	// Frames is the frame-lifecycle ledger: where every frame the run
+	// created ended up, by typed cause (see internal/frameacct). Like
+	// the counters above it is a fabric-wide sum, so it is part of the
+	// serial/sharded byte-identical surface.
+	Frames *FrameReport `json:"frame_accounting,omitempty"`
 	// Events are the fired plan events with their heal windows.
 	Events []EventReport `json:"events,omitempty"`
 	// Loads are the per-load delivery reports.
@@ -103,6 +109,78 @@ type Report struct {
 	LookaheadNS  int64   `json:"-"` // window bound; sim.MaxTime = decoupled
 	CutLinks     int     `json:"-"` // links crossing shards
 	MinCutFiberM float64 `json:"-"` // shortest cross-shard fiber, meters
+}
+
+// FrameReport is the Report's frame-accounting section: the fabric-wide
+// conservation ledger plus per-device loss detail. Maps hold only
+// nonzero counters, keyed by the stable frameacct cause/kind names
+// (encoding/json sorts map keys, so the section is deterministic).
+type FrameReport struct {
+	// Origins is fresh traffic put on a wire (offers minus transit
+	// relaunches); Offered counts every Send including relaunches.
+	Origins    uint64 `json:"origins"`
+	Offered    uint64 `json:"offered"`
+	Relaunched uint64 `json:"relaunched,omitempty"`
+	// WireDelivered counts frames that survived their flight and
+	// reached a receiving handler.
+	WireDelivered uint64 `json:"wire_delivered"`
+	// Consumed counts legitimate frame ends by kind; Losses counts
+	// typed deaths by cause.
+	Consumed map[string]uint64 `json:"consumed,omitempty"`
+	Losses   map[string]uint64 `json:"losses,omitempty"`
+	// HostCopies counts broadcast copies observed by transit hosts
+	// (the frame itself continued its tour).
+	HostCopies uint64 `json:"host_copies,omitempty"`
+	// Residual gauges: frames still in FIFOs, on fibers, or inside
+	// device latency stages when the report was taken.
+	InFifo   int64 `json:"in_fifo,omitempty"`
+	InFlight int64 `json:"in_flight,omitempty"`
+	InDevice int64 `json:"in_device,omitempty"`
+	// Conserved is the machine-checked invariant: origins all end as
+	// consumption, a typed loss, or a residual.
+	Conserved bool `json:"conserved"`
+	// NodeLosses / SwitchLosses break MAC and switch losses down per
+	// device ("n3/unrouted_transit", "sw1/unrouted"), from the per-device
+	// diagnostic counters (engine-independent, like everything above).
+	NodeLosses   map[string]uint64 `json:"node_losses,omitempty"`
+	SwitchLosses map[string]uint64 `json:"switch_losses,omitempty"`
+}
+
+// frameReport builds the Report section from the cluster's ledger.
+func frameReport(c *Cluster) *FrameReport {
+	a := c.FrameAcct()
+	fr := &FrameReport{
+		Origins:       a.Origins(),
+		Offered:       a.Offered,
+		Relaunched:    a.Relaunched,
+		WireDelivered: a.WireDelivered,
+		Consumed:      a.ConsumeMap(),
+		Losses:        a.LossMap(),
+		HostCopies:    a.HostCopies,
+		InFifo:        a.InFifo,
+		InFlight:      a.InFlight,
+		InDevice:      a.InDevice,
+		Conserved:     a.Conserved(),
+	}
+	add := func(m *map[string]uint64, key string, v uint64) {
+		if v == 0 {
+			return
+		}
+		if *m == nil {
+			*m = map[string]uint64{}
+		}
+		(*m)[key] = v
+	}
+	for i, nd := range c.Nodes {
+		add(&fr.NodeLosses, fmt.Sprintf("n%d/unrouted_transit", i), nd.Station.Unrouted)
+		add(&fr.NodeLosses, fmt.Sprintf("n%d/hop_expired", i), nd.Station.Expired)
+	}
+	for s, sw := range c.Phys.Switches {
+		add(&fr.SwitchLosses, fmt.Sprintf("sw%d/unrouted", s), sw.Unrouted)
+		add(&fr.SwitchLosses, fmt.Sprintf("sw%d/flood_expired", s), sw.FloodExpired)
+		add(&fr.SwitchLosses, fmt.Sprintf("sw%d/flood_deduped", s), sw.FloodDeduped)
+	}
+	return fr
 }
 
 // JSON renders the report as indented JSON with a trailing newline.
@@ -165,6 +243,36 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  final ring %s (size %d, %s)\n", r.Roster, r.RingSize, healed)
 	fmt.Fprintf(&b, "  congestion drops %d, failure losses %d, frames delivered %d\n",
 		r.Drops, r.Lost, r.Delivered)
+	if fr := r.Frames; fr != nil {
+		conserved := "conserved"
+		if !fr.Conserved {
+			conserved = "NOT CONSERVED"
+		}
+		fmt.Fprintf(&b, "  frames: %d origins (+%d relaunches), %d wire-delivered, %s\n",
+			fr.Origins, fr.Relaunched, fr.WireDelivered, conserved)
+		if line := countLine(fr.Consumed); line != "" {
+			fmt.Fprintf(&b, "    consumed  %s\n", line)
+		}
+		if line := countLine(fr.Losses); line != "" {
+			fmt.Fprintf(&b, "    losses    %s\n", line)
+		}
+		if fr.InFifo != 0 || fr.InFlight != 0 || fr.InDevice != 0 {
+			fmt.Fprintf(&b, "    residual  in-fifo %d, in-flight %d, in-device %d\n",
+				fr.InFifo, fr.InFlight, fr.InDevice)
+		}
+	}
+	return b.String()
+}
+
+// countLine renders a counter map as "name 3, name 7" in key order.
+func countLine(m map[string]uint64) string {
+	var b strings.Builder
+	for _, k := range detmap.SortedKeys(m) {
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %d", k, m[k])
+	}
 	return b.String()
 }
 
@@ -289,6 +397,7 @@ func (s Scenario) Run() (*Report, error) {
 		Drops:     c.Drops(),
 		Lost:      c.Lost(),
 		Delivered: c.Delivered(),
+		Frames:    frameReport(c),
 	}
 	if c.Assign != nil {
 		rep.Shards = c.Assign.Shards
@@ -341,6 +450,7 @@ func (c *Cluster) Snapshot(name string, loads ...*ActiveLoad) *Report {
 		Drops:     c.Drops(),
 		Lost:      c.Lost(),
 		Delivered: c.Delivered(),
+		Frames:    frameReport(c),
 	}
 	for _, ae := range c.Applied() {
 		rep.Events = append(rep.Events, EventReport{AtNS: int64(ae.At), Event: ae.Event.String()})

@@ -169,7 +169,8 @@ func (w *shardServant) loop() error {
 				return w.abort(err)
 			}
 			if err := wire.WriteControl(w.conn, shardnet.MsgDone,
-				shardnet.EncodeDone(target, w.k.Fired, capture)); err != nil {
+				shardnet.EncodeDone(target, w.k.Fired,
+					w.c.Nets[w.shard].Acct.Snapshot(), capture)); err != nil {
 				return err
 			}
 		case shardnet.MsgAdvance:

@@ -27,6 +27,7 @@
 package insertion
 
 import (
+	"repro/internal/frameacct"
 	"repro/internal/micropacket"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -189,6 +190,10 @@ func (s *Station) SetEgress(sw int) {
 // EgressSwitch returns the switch index of the current egress, or -1.
 func (s *Station) EgressSwitch() int { return s.egressSwitch }
 
+// Net returns the phys.Net the station's ports live on (and thereby the
+// frame-accounting ledger its MAC decisions are counted in).
+func (s *Station) Net() *phys.Net { return s.net }
+
 // OnRing reports whether the station currently has a ring egress.
 func (s *Station) OnRing() bool { return s.egress != nil }
 
@@ -262,20 +267,28 @@ func (s *Station) handleFrame(port *phys.Port, f phys.Frame) {
 	pkt := f.Pkt
 	if pkt.Type == micropacket.TypeRostering {
 		if s.OnControl != nil {
-			s.OnControl(port, f)
+			s.OnControl(port, f) // the agent accounts the frame's fate
+		} else {
+			s.net.Acct.Lose(frameacct.LossNoHandler)
 		}
 		return
 	}
 	if pkt.Type == micropacket.TypeDiagnostic && pkt.Tag == KeepaliveTag && pkt.Dst == s.ID {
-		return // liveness already recorded; strip silently
+		// Liveness already recorded; strip silently.
+		s.net.Acct.Consume(frameacct.ConsumeKeepalive)
+		return
 	}
 	switch {
 	case pkt.IsBroadcast() && pkt.Src == s.ID:
 		// Our broadcast completed a full tour: strip it.
 		s.Stripped++
+		s.net.Acct.Consume(frameacct.ConsumeBroadcastStrip)
 		return
 	case pkt.IsBroadcast():
+		// The host observes a copy; the frame itself continues its tour
+		// (its ledger fate is decided by forward).
 		s.Delivered++
+		s.net.Acct.HostCopy()
 		if s.OnDeliver != nil {
 			s.OnDeliver(pkt)
 		}
@@ -283,6 +296,7 @@ func (s *Station) handleFrame(port *phys.Port, f phys.Frame) {
 	case pkt.Dst == s.ID:
 		// Destination strip: unicast leaves the ring here.
 		s.Delivered++
+		s.net.Acct.Consume(frameacct.ConsumeHost)
 		if s.OnDeliver != nil {
 			s.OnDeliver(pkt)
 		}
@@ -303,11 +317,14 @@ func (e *fwdEvent) dispatch() {
 	s, f := e.s, e.f
 	e.s, e.f = nil, phys.Frame{}
 	s.fwdFree = append(s.fwdFree, e)
+	s.net.Acct.Exit()
 	if s.egress == nil {
 		s.Unrouted++
+		s.net.Acct.Lose(frameacct.LossUnroutedTransit)
 		return
 	}
 	s.Forwarded++
+	s.net.Acct.Relaunch()
 	s.egress.Send(f)
 }
 
@@ -317,13 +334,16 @@ func (e *fwdEvent) dispatch() {
 func (s *Station) forward(f phys.Frame) {
 	if s.egress == nil {
 		s.Unrouted++
+		s.net.Acct.Lose(frameacct.LossUnroutedTransit)
 		return
 	}
 	if f.Hops >= s.MaxHops {
 		s.Expired++
+		s.net.Acct.Lose(frameacct.LossHopExpired)
 		return
 	}
 	f.Hops++
+	s.net.Acct.Enter()
 	// Update the local view (EWMA with alpha = 1/4, ×16 fixed point).
 	occ := s.egress.QueueLen()
 	s.viewX16 += (occ*16 - s.viewX16) / 4

@@ -202,9 +202,10 @@ func (e *Engine) schedule(t sim.Time, fn func(), desc *shardnet.Action, read boo
 }
 
 // DeferRoute forwards a barrier-deferred crossbar write from srcShard
-// to the transport's capture queue; wire it to phys.Cluster.RouteSink.
-func (e *Engine) DeferRoute(srcShard int, op phys.RouteOp) {
-	e.tr.DeferRoute(srcShard, op)
+// to the transport's capture queue, tagged with the virtual instant it
+// lands; wire it to phys.Cluster.RouteSink.
+func (e *Engine) DeferRoute(srcShard int, at sim.Time, op phys.RouteOp) {
+	e.tr.DeferRoute(srcShard, at, op)
 }
 
 // drain collects everything captured since the last barrier and

@@ -115,10 +115,10 @@ func TestActionsRunBeforeInstantEvents(t *testing.T) {
 func TestDeferredRoutesApplyAtBarrier(t *testing.T) {
 	r := newRig(t)
 	var applied []int
-	r.e.Transport().BindRoutes(func(op phys.RouteOp) { applied = append(applied, op.In) })
+	r.e.Transport().BindRoutes(func(_ sim.Time, op phys.RouteOp) { applied = append(applied, op.In) })
 	r.k[0].At(100, func() {
-		r.e.DeferRoute(0, phys.RouteOp{Switch: 0, In: 1, Out: 7})
-		r.e.DeferRoute(0, phys.RouteOp{Switch: 0, In: 2, Out: 7})
+		r.e.DeferRoute(0, 0, phys.RouteOp{Switch: 0, In: 1, Out: 7})
+		r.e.DeferRoute(0, 0, phys.RouteOp{Switch: 0, In: 2, Out: 7})
 	})
 	r.e.RunUntil(10 * sim.Microsecond)
 	if len(applied) != 2 || applied[0] != 1 || applied[1] != 2 {

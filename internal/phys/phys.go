@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/enc8b10b"
+	"repro/internal/frameacct"
 	"repro/internal/micropacket"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -151,6 +152,13 @@ type Net struct {
 	// Delivered counts frames handed to receivers.
 	Delivered sim.Counter
 
+	// Acct is the Net's frame-lifecycle ledger: every creation and
+	// typed death of a frame on this Net, plus the residual gauges that
+	// make the conservation invariant exact mid-flight. The legacy
+	// counters above keep their historical semantics; Acct is the
+	// complete account.
+	Acct frameacct.Acct
+
 	ports []*Port
 	links []*Link
 
@@ -285,15 +293,19 @@ func (p *Port) SetCapacity(c int) { p.cap = c }
 // layer above is responsible for avoiding drops via flow control; the
 // experiments assert the drop counter stays at zero for AmpNet MACs.
 func (p *Port) Send(f Frame) bool {
+	p.net.Acct.Offer()
 	if p.link == nil || !p.link.up {
 		p.net.Lost.Inc()
+		p.net.Acct.Lose(frameacct.LossDarkPort)
 		return false
 	}
 	if p.QueueLen() >= p.cap {
 		p.net.Drops.Inc()
+		p.net.Acct.Lose(frameacct.LossFifoFull)
 		return false
 	}
 	p.fifo = append(p.fifo, f)
+	p.net.Acct.Enqueue()
 	if !p.txBusy {
 		p.startTx()
 	}
@@ -306,8 +318,10 @@ func (p *Port) Send(f Frame) bool {
 // hardware's dedicated rostering path guarantees. Returns false only if
 // the link is dark.
 func (p *Port) SendPriority(f Frame) bool {
+	p.net.Acct.Offer()
 	if p.link == nil || !p.link.up {
 		p.net.Lost.Inc()
+		p.net.Acct.Lose(frameacct.LossDarkPort)
 		return false
 	}
 	f.Prio = true
@@ -324,6 +338,7 @@ func (p *Port) SendPriority(f Frame) bool {
 	} else {
 		p.fifo = append(p.fifo, f)
 	}
+	p.net.Acct.Enqueue()
 	if !p.txBusy {
 		p.startTx()
 	}
@@ -337,6 +352,7 @@ func (p *Port) startTx() {
 		return
 	}
 	p.txBusy = true
+	p.net.Acct.Launch()
 	f := p.fifo[p.fifoHead]
 	ser := SerTime(f.Wire + p.net.IFG)
 	link := p.link
@@ -375,14 +391,17 @@ func (p *Port) startTx() {
 // injections share this path, so a split link delivers byte-for-byte
 // what a local one would.
 func (n *Net) CompleteDelivery(dst *Port, f Frame, link *Link, epoch uint64) {
+	n.Acct.Arrive()
 	if link.epoch != epoch || !link.up {
 		n.Lost.Inc()
+		n.Acct.Lose(frameacct.LossLinkCut)
 		return
 	}
 	if n.DeepPHY {
 		pkt, ok := n.deepPath(f)
 		if !ok {
 			n.CRCDrops.Inc()
+			n.Acct.Lose(frameacct.LossCRC)
 			return
 		}
 		hops := f.Hops
@@ -391,8 +410,11 @@ func (n *Net) CompleteDelivery(dst *Port, f Frame, link *Link, epoch uint64) {
 	}
 	dst.Received++
 	n.Delivered.Inc()
+	n.Acct.Deliver()
 	if dst.onFrame != nil {
 		dst.onFrame(dst, f)
+	} else {
+		n.Acct.Lose(frameacct.LossNoHandler)
 	}
 }
 
@@ -483,6 +505,15 @@ func (l *Link) Fail() {
 	l.up = false
 	l.epoch++
 	for _, p := range l.ports {
+		// Frames queued behind the serializing head die here, uncounted
+		// by any delivery event; the head itself (if the transmitter was
+		// busy) is already launched and its scheduled arrival dies as a
+		// counted stale-epoch LossLinkCut.
+		cleared := p.QueueLen()
+		if p.txBusy {
+			cleared--
+		}
+		p.net.Acct.ClearFifo(cleared)
 		for i := p.fifoHead; i < len(p.fifo); i++ {
 			p.fifo[i] = Frame{}
 		}

@@ -1,6 +1,9 @@
 package phys
 
-import "repro/internal/sim"
+import (
+	"repro/internal/frameacct"
+	"repro/internal/sim"
+)
 
 // Hot-path event pools.
 //
@@ -130,11 +133,16 @@ func (w *swForward) dispatch() {
 	s, out, f := w.s, w.out, w.f
 	w.s, w.f = nil, Frame{}
 	s.net.swFree = append(s.net.swFree, w)
+	s.net.Acct.Exit()
 	if s.failed {
+		s.net.Acct.Lose(frameacct.LossSwitchDead)
 		return
 	}
 	if out < len(s.ports) && s.ports[out].Up() {
 		s.Forwarded++
+		s.net.Acct.Relaunch()
 		s.ports[out].Send(f)
+	} else {
+		s.net.Acct.Lose(frameacct.LossEgressDark)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/frameacct"
 	"repro/internal/micropacket"
 	"repro/internal/sim"
 )
@@ -223,17 +224,26 @@ func (s *Switch) floodAdmit(f Frame) bool {
 func (s *Switch) receiveFlood(in int, f Frame) {
 	if f.Hops >= MaxFloodHops {
 		s.FloodExpired++
+		s.net.Acct.Lose(frameacct.LossFloodExpired)
 		return
 	}
 	if !s.floodAdmit(f) {
 		s.FloodDeduped++
+		s.net.Acct.Lose(frameacct.LossFloodDeduped)
 		return
 	}
 	f.Hops++
+	s.net.Acct.Enter()
 	s.net.K.Do(s.net.K.Now()+s.latency, func() {
+		s.net.Acct.Exit()
 		if s.failed {
+			s.net.Acct.Lose(frameacct.LossSwitchDead)
 			return
 		}
+		// The fan-out stage absorbs the arriving wave; every copy it
+		// emits is a fresh origin with its own ledger life (zero live
+		// egress ports simply means zero offspring).
+		s.net.Acct.Consume(frameacct.ConsumeFloodFanout)
 		for i, p := range s.ports {
 			if i == in || !p.Up() {
 				continue
@@ -247,6 +257,7 @@ func (s *Switch) receiveFlood(in int, f Frame) {
 // receive handles a frame arriving on port index in.
 func (s *Switch) receive(in int, f Frame) {
 	if s.failed {
+		s.net.Acct.Lose(frameacct.LossSwitchDead)
 		return
 	}
 	if f.Pkt.Type == micropacket.TypeRostering {
@@ -263,6 +274,7 @@ func (s *Switch) receive(in int, f Frame) {
 		f.VC = uint16(in)
 		if in >= len(s.xbar) || s.xbar[in] < 0 {
 			s.Unrouted++
+			s.net.Acct.Lose(frameacct.LossUnroutedXbar)
 			return
 		}
 		out = int(s.xbar[in])
@@ -270,6 +282,7 @@ func (s *Switch) receive(in int, f Frame) {
 		o, ok := s.vcRoutes[uint32(in)<<16|uint32(f.VC)]
 		if !ok {
 			s.Unrouted++
+			s.net.Acct.Lose(frameacct.LossUnroutedVC)
 			return
 		}
 		out = o
@@ -277,6 +290,7 @@ func (s *Switch) receive(in int, f Frame) {
 	// Cut-through forward after the switch latency, via a pooled
 	// record (the per-frame closure + Timer here used to be one of the
 	// hottest allocation sites in the simulator).
+	s.net.Acct.Enter()
 	w := s.net.newSwForward(s, out, f)
 	s.net.K.Do(s.net.K.Now()+s.latency, w.run)
 }

@@ -28,12 +28,12 @@ type Cluster struct {
 	// Assign is the shard assignment of a sharded fabric (nil when the
 	// whole fabric runs on one kernel). RouteSink, set by the parallel
 	// engine's transport, receives crossbar programming aimed at a
-	// switch owned by another shard; it is applied at the next window
-	// barrier, which is always before any frame that needs the route
-	// can arrive (the frame has at least one full cross-shard flight
-	// ahead of it).
+	// switch owned by another shard together with the virtual instant
+	// the write lands (see Program); the transport carries it across
+	// the next window barrier and schedules it on the owning shard's
+	// kernel at exactly that instant.
 	Assign    *Assignment
-	RouteSink func(srcShard int, op RouteOp)
+	RouteSink func(srcShard int, at sim.Time, op RouteOp)
 }
 
 // RouteOp is one crossbar write as a plain record: which switch, which
@@ -174,18 +174,37 @@ func (c *Cluster) ShardOfNode(n int) int {
 }
 
 // Program applies a crossbar write aimed at op.Switch on behalf of
-// shard srcShard. A local switch (or an unsharded fabric) is
-// programmed immediately — the historical synchronous semantics. A
-// remote switch's programming is routed through RouteSink to the next
-// window barrier: conservative lookahead guarantees the first frame
-// that could need the route is still at least one cross-shard flight
-// away, so the deferral is invisible to the simulation.
-func (c *Cluster) Program(srcShard int, op RouteOp) {
+// shard srcShard, landing at virtual time at.
+//
+// at == 0 is the historical node-port semantics: a local switch (or an
+// unsharded fabric) is programmed immediately; a remote switch's write
+// is applied when it crosses the next window barrier.
+//
+// A positive at models programming that propagates to the switch like
+// a circuit-setup cell: the write lands at exactly at on every engine.
+// Rostering issues its trunk-crossing VC writes with at = now + the
+// fiber flight along the hop's path, which buys two guarantees at
+// once. A node's own frames pay the same flight plus serialization and
+// per-switch cut-through latency, so they can never outrun their setup
+// cell; and a frame already in flight when the write is issued keeps
+// the stale route — in serial and sharded runs alike. (Deferring such
+// a write to the barrier instead is NOT invisible: a frame launched
+// before the write can be received mid-window, see the stale table,
+// and die at a port the serial engine's immediate write would have
+// steered it away from.) The timestamp is always honorable on the
+// sharded engine because a remote write's path crosses a cut fiber,
+// so the accumulated flight is at least one lookahead window.
+func (c *Cluster) Program(srcShard int, at sim.Time, op RouteOp) {
 	if c.Assign == nil || c.Assign.SwitchShard[op.Switch] == srcShard || c.RouteSink == nil {
-		op.Apply(c)
+		k := c.Switches[op.Switch].net.K
+		if at <= k.Now() {
+			op.Apply(c)
+			return
+		}
+		k.AtPri(at, -1, 0, func() { op.Apply(c) })
 		return
 	}
-	c.RouteSink(srcShard, op)
+	c.RouteSink(srcShard, at, op)
 }
 
 // NumNodes returns the node count.

@@ -3,6 +3,7 @@ package rostering
 import (
 	"encoding/binary"
 
+	"repro/internal/frameacct"
 	"repro/internal/insertion"
 	"repro/internal/micropacket"
 	"repro/internal/phys"
@@ -242,16 +243,20 @@ func (a *Agent) floodExcept(pkt *micropacket.Packet, skip *phys.Port) {
 // must not be rostered, since it would neither keepalive nor forward
 // reliably.
 func (a *Agent) handleControl(port *phys.Port, f phys.Frame) {
+	acct := &port.Net().Acct
 	if a.stopped {
+		acct.Lose(frameacct.LossAgentStopped)
 		return
 	}
 	origin, epoch, ann := decodeAnnouncement(f.Pkt)
 	switch {
 	case epoch < a.epoch:
+		acct.Lose(frameacct.LossStaleRound)
 		return // stale round
 	case epoch > a.epoch:
 		// Someone started a newer round: join it and contribute our
 		// own link state.
+		acct.Consume(frameacct.ConsumeControl)
 		a.beginEpoch(epoch)
 		a.lsdb[origin] = ann
 		a.floodExcept(f.Pkt, port)
@@ -265,8 +270,10 @@ func (a *Agent) handleControl(port *phys.Port, f phys.Frame) {
 	// Same epoch: accept if new origin or newer sequence.
 	prev, seen := a.lsdb[origin]
 	if seen && !newerSeq(ann.Seq, prev.Seq) {
+		acct.Lose(frameacct.LossDupAnnounce)
 		return // duplicate: do not re-flood (this breaks flood loops)
 	}
+	acct.Consume(frameacct.ConsumeControl)
 	a.lsdb[origin] = ann
 	a.floodExcept(f.Pkt, port)
 	if !a.exploring {
@@ -325,7 +332,21 @@ func (a *Agent) adopt() {
 		// port to the downstream node's; a hop healing across trunks
 		// additionally programs each trunk crossing under our virtual
 		// circuit (our node id), so many hops can share a trunk.
+		//
+		// The trunk-crossing writes are issued as circuit-setup cells:
+		// each lands after the fiber flight from this node to its
+		// switch along the path (setup accumulates below). Our own
+		// frames pay the same flight plus serialization and per-switch
+		// cut-through latency, so they can never outrun the setup; a
+		// frame already in flight keeps the stale route — identically
+		// on the serial and sharded engines, which is what keeps their
+		// reports byte-equal when a ring heals under live traffic.
 		path := r.PathOf(a.ID)
+		now := a.K.Now()
+		var setup sim.Time
+		if l := a.Cluster.NodeLinks[a.ID][path[0]]; l != nil {
+			setup = l.Prop()
+		}
 		for j, sw := range path {
 			ingress := a.ID
 			if j > 0 {
@@ -333,6 +354,7 @@ func (a *Agent) adopt() {
 				if t == nil {
 					break // trunk died since the database settled; next round heals
 				}
+				setup += t.Link.Prop()
 				ingress = t.PortB
 				if t.A == sw {
 					ingress = t.PortA
@@ -350,9 +372,9 @@ func (a *Agent) adopt() {
 				}
 			}
 			if j == 0 {
-				a.Cluster.Program(a.Shard, phys.RouteOp{Switch: sw, In: ingress, Out: egress})
+				a.Cluster.Program(a.Shard, 0, phys.RouteOp{Switch: sw, In: ingress, Out: egress})
 			} else {
-				a.Cluster.Program(a.Shard, phys.RouteOp{Switch: sw, In: ingress, Out: egress, VC: uint16(a.ID), IsVC: true})
+				a.Cluster.Program(a.Shard, now+setup, phys.RouteOp{Switch: sw, In: ingress, Out: egress, VC: uint16(a.ID), IsVC: true})
 			}
 		}
 		a.Station.SetEgress(via)

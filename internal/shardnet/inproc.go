@@ -24,7 +24,7 @@ type Inproc struct {
 	frameSeq []uint64
 	routes   [][]RouteRec
 
-	applyRoute func(phys.RouteOp)
+	applyRoute func(at sim.Time, op phys.RouteOp)
 
 	// Window hand-off: one target send and one done receive per worker
 	// per window. Workers park between windows, so driver read phases
@@ -98,12 +98,12 @@ func (x *capture) RemoteFrame(src, dst *phys.Port, f phys.Frame, link *phys.Link
 // DeferRoute is the sanctioned route-capture path, called (via
 // phys.Cluster.RouteSink) from shard context for crossbar writes aimed
 // at a remote switch.
-func (t *Inproc) DeferRoute(srcShard int, op phys.RouteOp) {
-	t.routes[srcShard] = append(t.routes[srcShard], RouteRec{Src: srcShard, Op: op})
+func (t *Inproc) DeferRoute(srcShard int, at sim.Time, op phys.RouteOp) {
+	t.routes[srcShard] = append(t.routes[srcShard], RouteRec{Src: srcShard, At: at, Op: op})
 }
 
 // BindRoutes sets the RouteOp applier used by Deliver.
-func (t *Inproc) BindRoutes(apply func(phys.RouteOp)) { t.applyRoute = apply }
+func (t *Inproc) BindRoutes(apply func(at sim.Time, op phys.RouteOp)) { t.applyRoute = apply }
 
 // worker runs shard i's kernel window by window.
 func (t *Inproc) worker(i int, ch chan sim.Time) {
@@ -206,7 +206,7 @@ func (t *Inproc) Collect() ([]FrameRec, []RouteRec, error) {
 // engine would have used.
 func (t *Inproc) Deliver(frames []FrameRec, routes []RouteRec) error {
 	for _, r := range routes {
-		t.applyRoute(r.Op)
+		t.applyRoute(r.At, r.Op)
 	}
 	for i := range frames {
 		pf := &frames[i]

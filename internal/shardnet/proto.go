@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/frameacct"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -48,7 +49,15 @@ const (
 
 // ProtoVersion is the shard-worker protocol version carried in
 // MsgHello; coordinator and worker must agree exactly.
-const ProtoVersion = 1
+//
+// Version history:
+//
+//	1: initial protocol.
+//	2: MsgDone carries the shard's frame-accounting ledger snapshot
+//	   (frameacct.SnapshotLen bytes) between the fired count and the
+//	   capture block, so the coordinator can byte-compare conservation
+//	   counters per window.
+const ProtoVersion = 2
 
 // Worker launch environment: the coordinator passes the connect
 // address and shard id to cmd/ampshard through these variables.
@@ -189,24 +198,29 @@ func DecodeTime(p []byte) (sim.Time, error) {
 	return t, c.close()
 }
 
-// EncodeDone frames a MsgDone payload: the granted target, the
-// shard kernel's cumulative event count, and the capture block.
-func EncodeDone(target sim.Time, fired uint64, capture []byte) []byte {
+// EncodeDone frames a MsgDone payload: the granted target, the shard
+// kernel's cumulative event count, the shard's frame-accounting ledger
+// snapshot (exactly frameacct.SnapshotLen bytes), and the capture
+// block.
+func EncodeDone(target sim.Time, fired uint64, acct, capture []byte) []byte {
 	var b []byte
 	b = appendU64(b, uint64(target))
 	b = appendU64(b, fired)
+	b = append(b, acct...)
 	return append(b, capture...)
 }
 
-// DecodeDone parses a MsgDone payload. The capture block aliases p.
-func DecodeDone(p []byte) (target sim.Time, fired uint64, capture []byte, err error) {
+// DecodeDone parses a MsgDone payload. The acct snapshot and capture
+// block alias p.
+func DecodeDone(p []byte) (target sim.Time, fired uint64, acct, capture []byte, err error) {
 	c := &cursor{buf: p}
 	target = c.time()
 	fired = c.u64()
+	acct = c.take(frameacct.SnapshotLen)
 	if c.err != nil {
-		return 0, 0, nil, c.err
+		return 0, 0, nil, nil, c.err
 	}
-	return target, fired, c.buf, nil
+	return target, fired, acct, c.buf, nil
 }
 
 // EncodeApply frames a MsgApply payload: the fence instant and the
@@ -268,8 +282,8 @@ func DecodeApplied(p []byte) (sim.Time, []byte, error) {
 //
 // and one route is
 //
-//	src u16 | switch u16 | in u16 | out u32 (two's complement) |
-//	vc u16 | isvc u8
+//	src u16 | at u64 | switch u16 | in u16 |
+//	out u32 (two's complement) | vc u16 | isvc u8
 func EncodeCapture(frames []FrameRec, routes []RouteRec) ([]byte, error) {
 	var b []byte
 	b = appendU32(b, uint32(len(frames)))
@@ -300,6 +314,7 @@ func EncodeCapture(frames []FrameRec, routes []RouteRec) ([]byte, error) {
 	b = appendU32(b, uint32(len(routes)))
 	for _, r := range routes {
 		b = appendU16(b, uint16(r.Src))
+		b = appendU64(b, uint64(r.At))
 		b = appendU16(b, uint16(r.Op.Switch))
 		b = appendU16(b, uint16(r.Op.In))
 		b = appendU32(b, uint32(int32(r.Op.Out)))
@@ -352,6 +367,7 @@ func DecodeCapture(p []byte) ([]FrameRec, []RouteRec, error) {
 	for i := 0; i < nr && c.err == nil; i++ {
 		var r RouteRec
 		r.Src = int(c.u16())
+		r.At = c.time()
 		r.Op.Switch = int(c.u16())
 		r.Op.In = int(c.u16())
 		r.Op.Out = int(int32(c.u32()))

@@ -3,9 +3,11 @@ package shardnet
 import (
 	"bytes"
 	"encoding/hex"
+	"strings"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/frameacct"
 	"repro/internal/micropacket"
 	"repro/internal/phys"
 	"repro/internal/sim"
@@ -22,7 +24,7 @@ func TestProtoGoldenVectors(t *testing.T) {
 		got  []byte
 		hex  string
 	}{
-		{"hello", EncodeHello(3), "03000100"},
+		{"hello", EncodeHello(3), "03000200"},
 		{"time", EncodeTime(1000), "e803000000000000"},
 		{"ready", EncodeReady(Ready{
 			Shard: 2, Wire: wire.V2,
@@ -30,8 +32,11 @@ func TestProtoGoldenVectors(t *testing.T) {
 		}), "0200" + "02" + "8877665544332211" + "0df0fecaefbeadde" + "fa00000000000000"},
 		{"apply", EncodeApply(7, []Action{{Kind: 0x02, Data: []byte("x")}}),
 			"0700000000000000" + "0100" + "02" + "01000000" + "78"},
-		{"done", EncodeDone(9, 5, []byte{0xAA}),
-			"0900000000000000" + "0500000000000000" + "aa"},
+		// proto 2: a zero ledger snapshot sits between fired and the
+		// capture block.
+		{"done", EncodeDone(9, 5, make([]byte, frameacct.SnapshotLen), []byte{0xAA}),
+			"0900000000000000" + "0500000000000000" +
+				strings.Repeat("00", frameacct.SnapshotLen) + "aa"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -104,7 +109,7 @@ func testCapture(t *testing.T) ([]FrameRec, []RouteRec) {
 	}
 	routes := []RouteRec{
 		{Src: 0, Op: phys.RouteOp{Switch: 2, In: 3, Out: 4}},
-		{Src: 1, Op: phys.RouteOp{Switch: 1, In: 0, Out: -1, VC: 7, IsVC: true}},
+		{Src: 1, At: 14302970, Op: phys.RouteOp{Switch: 1, In: 0, Out: -1, VC: 7, IsVC: true}},
 	}
 	return frames, routes
 }

@@ -58,9 +58,13 @@ type FrameRec struct {
 
 // RouteRec is one barrier-deferred crossbar write with its source
 // shard (the capture queue it came from; application order is
-// source-shard FIFO).
+// source-shard FIFO) and the virtual instant the write lands. At == 0
+// applies on receipt, at the barrier; a positive At is scheduled on
+// the owning shard's kernel at exactly that instant (see
+// phys.Cluster.Program for why trunk-crossing writes are timestamped).
 type RouteRec struct {
 	Src int
+	At  sim.Time
 	Op  phys.RouteOp
 }
 
@@ -91,13 +95,15 @@ type ShardStats struct {
 // the coordinator between windows, never from shard context.
 type Transport interface {
 	// BindRoutes sets how collected RouteOps are applied at Deliver
-	// (the parallel engine binds them to the built phys.Cluster).
-	BindRoutes(apply func(phys.RouteOp))
+	// (the parallel engine binds them to the built phys.Cluster,
+	// scheduling timestamped writes on the owning shard's kernel).
+	BindRoutes(apply func(at sim.Time, op phys.RouteOp))
 
-	// DeferRoute captures a crossbar write aimed at a remote switch;
+	// DeferRoute captures a crossbar write aimed at a remote switch,
+	// landing at virtual time at (0 = on receipt, at the barrier);
 	// wire it to phys.Cluster.RouteSink. It is the only Transport
 	// method shard context may call.
-	DeferRoute(srcShard int, op phys.RouteOp)
+	DeferRoute(srcShard int, at sim.Time, op phys.RouteOp)
 
 	// Grant runs every shard to target (inclusive) and returns when
 	// all are parked there. A shard that panics or disconnects turns

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/frameacct"
 	"repro/internal/phys"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -299,7 +300,7 @@ func (s *Socket) Grant(target sim.Time) error {
 		if err != nil {
 			return s.fail(fmt.Errorf("%w (window %d)", err, s.window))
 		}
-		done, fired, capture, err := DecodeDone(payload)
+		done, fired, acct, capture, err := DecodeDone(payload)
 		if err != nil {
 			return s.fail(fmt.Errorf("shardnet: shard %d done: %w", p.shard, err))
 		}
@@ -310,6 +311,15 @@ func (s *Socket) Grant(target sim.Time) error {
 			return s.fail(fmt.Errorf(
 				"shardnet: replica divergence at window %d: shard %d worker fired %d events, coordinator %d",
 				s.window, p.shard, fired, s.kernels[p.shard].Fired))
+		}
+		// The frame ledger is as shard-authoritative as the fired count:
+		// every Acct mutation of shard p happens in its kernel context or
+		// at a mirrored fence, so the worker's snapshot must byte-equal
+		// the coordinator's replica of that Net.
+		if local := s.nets[p.shard].Acct.Snapshot(); !bytes.Equal(acct, local) {
+			return s.fail(fmt.Errorf(
+				"shardnet: replica divergence at window %d: shard %d frame ledger: %s",
+				s.window, p.shard, frameacct.SnapshotDiff(local, acct)))
 		}
 		s.remote[p.shard] = capture
 	}

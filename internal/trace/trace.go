@@ -1,8 +1,9 @@
 // Package trace provides a structured event timeline for a running
-// cluster: roster adoptions, peer liveness transitions, node lifecycle
-// and failover takeovers, each stamped with virtual time. It observes
-// the cluster through its public hooks (chaining any already-installed
-// callbacks), so attaching a tracer changes no behavior.
+// cluster: roster adoptions, peer liveness transitions, node lifecycle,
+// failover takeovers, trunk cuts and typed frame losses, each stamped
+// with virtual time. It observes the cluster through its public hooks
+// (chaining any already-installed callbacks), so attaching a tracer
+// changes no behavior.
 package trace
 
 import (
@@ -12,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/frameacct"
 	"repro/internal/rostering"
 	"repro/internal/sim"
 )
@@ -26,6 +28,8 @@ const (
 	KindPeerDown
 	KindPeerUp
 	KindTakeover
+	KindFrameLoss
+	KindTrunkFail
 )
 
 // String names the kind.
@@ -41,6 +45,10 @@ func (k Kind) String() string {
 		return "PEER-UP"
 	case KindTakeover:
 		return "TAKEOVER"
+	case KindFrameLoss:
+		return "FRAME-LOSS"
+	case KindTrunkFail:
+		return "TRUNK-FAIL"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -50,8 +58,8 @@ func (k Kind) String() string {
 type Event struct {
 	At   sim.Time
 	Kind Kind
-	Node int    // observing node
-	Arg  int    // peer id / ring size / group id, by kind
+	Node int    // observing node (-1 for shard- or fabric-scoped events)
+	Arg  int    // peer id / ring size / group id / loss cause / trunk id, by kind
 	Text string // human-readable detail
 }
 
@@ -62,6 +70,14 @@ type Event struct {
 type Tracer struct {
 	c       *core.Cluster
 	perNode [][]Event
+	// perNet buffers the frame-loss timeline per shard Net: the ledger
+	// Observer fires on the owning shard's kernel, so these buffers too
+	// are single-writer under the parallel engine.
+	perNet [][]Event
+	// fabric buffers fabric-scoped events (trunk failures). Plan events
+	// fire single-threaded — on the serial kernel, or at a window
+	// barrier with every shard parked — so one buffer suffices.
+	fabric []Event
 	// Cap bounds memory per observing node; older events are discarded
 	// FIFO. 0 = unbounded.
 	Cap int
@@ -70,7 +86,37 @@ type Tracer struct {
 // Attach installs a tracer on every node of the cluster, chaining the
 // hooks already present.
 func Attach(c *core.Cluster) *Tracer {
-	t := &Tracer{c: c, perNode: make([][]Event, len(c.Nodes))}
+	t := &Tracer{c: c,
+		perNode: make([][]Event, len(c.Nodes)),
+		perNet:  make([][]Event, len(c.Nets)),
+	}
+	for s, net := range c.Nets {
+		s, net := s, net
+		// The ledger Observer is a pure callback (no kernel events), so
+		// chaining it keeps attachment behavior-neutral.
+		prevObs := net.Acct.Observer
+		net.Acct.Observer = func(cause frameacct.LossCause, n int) {
+			t.perNet[s] = t.capped(append(t.perNet[s], Event{
+				At: net.K.Now(), Kind: KindFrameLoss, Node: -1, Arg: int(cause),
+				Text: fmt.Sprintf("%d frame(s) lost: %s (net %d)", n, cause, s),
+			}))
+			if prevObs != nil {
+				prevObs(cause, n)
+			}
+		}
+	}
+	prevEvent := c.OnEvent
+	c.OnEvent = func(e core.Event) {
+		if e.Kind == core.EvFailTrunk {
+			t.fabric = t.capped(append(t.fabric, Event{
+				At: c.Now(), Kind: KindTrunkFail, Node: -1, Arg: e.Switch,
+				Text: fmt.Sprintf("trunk %d cut", e.Switch),
+			}))
+		}
+		if prevEvent != nil {
+			prevEvent(e)
+		}
+	}
 	for i, nd := range c.Nodes {
 		i, nd := i, nd
 		prevRoster := nd.OnRoster
@@ -109,12 +155,16 @@ func Attach(c *core.Cluster) *Tracer {
 }
 
 func (t *Tracer) add(e Event) {
-	n := e.Node
-	if t.Cap > 0 && len(t.perNode[n]) >= t.Cap {
-		copy(t.perNode[n], t.perNode[n][1:])
-		t.perNode[n] = t.perNode[n][:len(t.perNode[n])-1]
+	t.perNode[e.Node] = t.capped(append(t.perNode[e.Node], e))
+}
+
+// capped enforces the per-buffer Cap, discarding oldest-first.
+func (t *Tracer) capped(buf []Event) []Event {
+	if t.Cap > 0 && len(buf) > t.Cap {
+		copy(buf, buf[len(buf)-t.Cap:])
+		buf = buf[:t.Cap]
 	}
-	t.perNode[n] = append(t.perNode[n], e)
+	return buf
 }
 
 // NoteTakeover records a failover takeover; callers wire it from their
@@ -139,6 +189,10 @@ func (t *Tracer) Events() []Event {
 	for _, evs := range t.perNode {
 		out = append(out, evs...)
 	}
+	for _, evs := range t.perNet {
+		out = append(out, evs...)
+	}
+	out = append(out, t.fabric...)
 	sort.SliceStable(out, func(a, b int) bool {
 		if out[a].At != out[b].At {
 			return out[a].At < out[b].At

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/frameacct"
+	"repro/internal/phys"
 	"repro/internal/sim"
 )
 
@@ -104,8 +106,74 @@ func TestNoteTakeover(t *testing.T) {
 	}
 }
 
+// TestFrameLossAndTrunkFailTimeline drives a trunked fabric through a
+// trunk cut and a node crash and requires both new kinds to appear:
+// the cut as a fabric-scoped TRUNK-FAIL, and the frames the faults
+// strand as FRAME-LOSS entries whose Arg carries the typed cause.
+func TestFrameLossAndTrunkFailTimeline(t *testing.T) {
+	topo := phys.DualRing(6, 50)
+	c := core.New(core.Options{Fabric: &topo, Seed: 3})
+	tr := Attach(c)
+	if err := c.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	// Faults go through an installed plan: OnEvent (and therefore the
+	// TRUNK-FAIL timeline) observes plan events, not direct calls.
+	if err := c.Install(core.Plan{
+		core.FailTrunk(5*sim.Millisecond, 0),
+		core.CrashNode(10*sim.Millisecond, 5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(30 * sim.Millisecond)
+
+	cuts := tr.Filter(KindTrunkFail)
+	if len(cuts) != 1 || cuts[0].Arg != 0 {
+		t.Fatalf("trunk-fail events = %+v, want one for trunk 0", cuts)
+	}
+	losses := tr.Filter(KindFrameLoss)
+	if len(losses) == 0 {
+		t.Fatal("no frame-loss events after a trunk cut and a node crash")
+	}
+	acct := c.FrameAcct()
+	for _, e := range losses {
+		cause := frameacct.LossCause(e.Arg)
+		if cause >= frameacct.NumCauses || acct.Losses[cause] == 0 {
+			t.Fatalf("frame-loss event %+v names cause %v with a zero ledger counter", e, cause)
+		}
+	}
+	if !strings.Contains(tr.String(), "TRUNK-FAIL") {
+		t.Fatalf("timeline missing TRUNK-FAIL:\n%s", tr.String())
+	}
+}
+
+// TestObserverChainingPreserved mirrors TestHookChainingPreserved for
+// the ledger Observer: a user-installed loss observer must keep firing
+// with a tracer attached on top.
+func TestObserverChainingPreserved(t *testing.T) {
+	topo := phys.DualRing(6, 50)
+	c := core.New(core.Options{Fabric: &topo, Seed: 3})
+	userLosses := 0
+	c.Nets[0].Acct.Observer = func(frameacct.LossCause, int) { userLosses++ }
+	tr := Attach(c)
+	if err := c.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	c.CrashNode(0)
+	c.Run(30 * sim.Millisecond)
+	want := 0
+	for _, e := range tr.Filter(KindFrameLoss) {
+		if strings.Contains(e.Text, "(net 0)") {
+			want++
+		}
+	}
+	if want == 0 || userLosses != want {
+		t.Fatalf("user observer saw %d losses, tracer saw %d on net 0", userLosses, want)
+	}
+}
+
 func TestKindString(t *testing.T) {
-	for k := KindRoster; k <= KindTakeover; k++ {
+	for k := KindRoster; k <= KindTrunkFail; k++ {
 		if k.String() == "" {
 			t.Fatal("empty kind name")
 		}
