@@ -17,6 +17,7 @@ import (
 	"repro/internal/netcache"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -248,7 +249,7 @@ func BenchmarkE12AmpIPCollectives(b *testing.B) {
 // Node counts here stop at 248 — the ceiling of the wire v1 address
 // space these scenarios run under; the v2 sizes beyond it are the
 // BenchmarkE15* pair below.
-func benchParsim(b *testing.B, nodes, shards int) {
+func benchParsim(b *testing.B, nodes, shards int, rec *telemetry.Recorder) {
 	topo := phys.Sharded(8, nodes/8, 1, 50)
 	for i := range topo.Trunks {
 		topo.Trunks[i].FiberM = 200
@@ -256,11 +257,14 @@ func benchParsim(b *testing.B, nodes, shards int) {
 	var events uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Steady-state recording cost: keep the span buffers' capacity
+		// across iterations (nil-safe no-op for the telemetry-off runs).
+		rec.Reset()
 		var cl *core.Cluster
 		rep, err := core.Scenario{
 			Name: "bench",
 			Opts: core.Options{Fabric: &topo, Seed: 1, Shards: shards,
-				HeartbeatInterval: 1 * sim.Millisecond},
+				HeartbeatInterval: 1 * sim.Millisecond, Telemetry: rec},
 			BootWindow: 200 * sim.Millisecond,
 			Plan:       core.Plan{core.FailSwitch(5*sim.Millisecond, 7), core.RestoreSwitch(15*sim.Millisecond, 7)},
 			Loads: []core.Load{&core.PubSubLoad{
@@ -290,8 +294,8 @@ func benchParsim(b *testing.B, nodes, shards int) {
 	}
 }
 
-func BenchmarkE14ParsimSerial64(b *testing.B)  { benchParsim(b, 64, 1) }
-func BenchmarkE14ParsimSharded64(b *testing.B) { benchParsim(b, 64, 8) }
+func BenchmarkE14ParsimSerial64(b *testing.B)  { benchParsim(b, 64, 1, nil) }
+func BenchmarkE14ParsimSharded64(b *testing.B) { benchParsim(b, 64, 8, nil) }
 
 // BenchmarkE14Parsim64 is the frame-accounting overhead guard: the
 // same 8-shard 64-node scenario, but its baseline was captured with
@@ -300,15 +304,25 @@ func BenchmarkE14ParsimSharded64(b *testing.B) { benchParsim(b, 64, 8) }
 // benchguard invocation) than the fleet's shared tolerance. Accounting
 // is always on, so any future growth of the ledger's hot-path cost —
 // new counters, heavier cause classification — lands here first.
-func BenchmarkE14Parsim64(b *testing.B)         { benchParsim(b, 64, 8) }
-func BenchmarkE14ParsimSerial128(b *testing.B)  { benchParsim(b, 128, 1) }
-func BenchmarkE14ParsimSharded128(b *testing.B) { benchParsim(b, 128, 8) }
+func BenchmarkE14Parsim64(b *testing.B) { benchParsim(b, 64, 8, nil) }
+
+// BenchmarkE14Parsim64Telemetry is the telemetry-overhead guard: the
+// exact BenchmarkE14Parsim64 scenario with a wall-clock span recorder
+// attached. CI's benchguard holds the Parsim64/Parsim64Telemetry ratio
+// to ≥0.95 — recording every window/run/exchange span may cost at most
+// 5% — so the flight recorder stays cheap enough to leave on.
+func BenchmarkE14Parsim64Telemetry(b *testing.B) {
+	benchParsim(b, 64, 8, telemetry.NewRecorder(nil))
+}
+
+func BenchmarkE14ParsimSerial128(b *testing.B)  { benchParsim(b, 128, 1, nil) }
+func BenchmarkE14ParsimSharded128(b *testing.B) { benchParsim(b, 128, 8, nil) }
 
 // The 248-node pair is the v1 address-space ceiling: heavyweight
 // (tens of seconds per iteration), for on-demand speedup measurements
 // rather than the CI guard.
-func BenchmarkE14ParsimSerial248(b *testing.B)  { benchParsim(b, 248, 1) }
-func BenchmarkE14ParsimSharded248(b *testing.B) { benchParsim(b, 248, 8) }
+func BenchmarkE14ParsimSerial248(b *testing.B)  { benchParsim(b, 248, 1, nil) }
+func BenchmarkE14ParsimSharded248(b *testing.B) { benchParsim(b, 248, 8, nil) }
 
 // --- E16: scaling efficiency (cut-aware partition, internal/phys) ---
 

@@ -24,6 +24,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/phys"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,10 @@ func main() {
 	fiber := flag.Float64("fiber", 0, "fiber-meters override for single runs")
 	shards := flag.Int("shards", 0,
 		"run shard-aware experiments (e13, e14) on the parallel sharded engine (internal/parsim) with this many shards (0/1 = serial; others ignore it)")
+	timeline := flag.String("timeline", "",
+		"single runs: write each run's engine span timeline as Chrome trace-event JSON to this file (multiple experiments insert their id before the extension); needs a parallel sharded run to have spans")
+	ampshard := flag.String("ampshard", "",
+		"path to the cmd/ampshard worker binary; enables the socket-transport leg of wall-clock experiments (e17)")
 
 	sweep := flag.Bool("sweep", false, "sweep experiments × seeds × topology variants")
 	seeds := flag.Int("seeds", 8, "sweep: seeds per variant")
@@ -80,29 +85,65 @@ func main() {
 	}
 
 	p := experiments.Params{Seed: *seed, Nodes: *nodes, Switches: *switches, FiberM: *fiber, Shards: *shards}
+	if *ampshard != "" {
+		p.ShardWorker = []string{*ampshard}
+	}
 	if *exp != "" {
-		for _, id := range strings.Split(*exp, ",") {
+		ids := strings.Split(*exp, ",")
+		for _, id := range ids {
 			s := experiments.ByID(strings.TrimSpace(id))
 			if s == nil {
 				fmt.Fprintf(os.Stderr, "ampbench: unknown experiment %q (try -list)\n", id)
 				os.Exit(1)
 			}
-			run(*s, p)
+			run(*s, p, profilePath(*timeline, s.ID, len(ids) > 1))
 		}
 		return
 	}
 	fmt.Println("AmpNet reproduction — all experiments (deterministic; see EXPERIMENTS.md)")
-	for _, s := range experiments.All() {
-		run(s, p)
+	all := experiments.All()
+	for _, s := range all {
+		run(s, p, profilePath(*timeline, s.ID, len(all) > 1))
 	}
 }
 
-func run(s experiments.Spec, p experiments.Params) {
-	start := time.Now() //ampvet:allow walltime operator-facing progress print, never enters a Report
+// profilePath names one experiment's timeline file: the -timeline path
+// as given for a single experiment, with the experiment id inserted
+// before the extension when several run ("out.json" → "out.e14.json").
+func profilePath(base, id string, multi bool) string {
+	if base == "" || !multi {
+		return base
+	}
+	if dot := strings.LastIndex(base, "."); dot > strings.LastIndex(base, "/") {
+		return base[:dot] + "." + id + base[dot:]
+	}
+	return base + "." + id
+}
+
+func run(s experiments.Spec, p experiments.Params, timeline string) {
+	if timeline != "" && p.Telemetry == nil {
+		// One recorder per run so each profile holds only its own spans.
+		p.Telemetry = telemetry.NewRecorder(nil)
+	}
+	sw := telemetry.StartStopwatch(nil)
 	t := s.Run(p.Merged(s.Defaults))
 	t.Fprint(os.Stdout)
-	//ampvet:allow walltime operator-facing progress print, never enters a Report
-	fmt.Printf("  [%s completed in %v wall time]\n", s.ID, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  [%s completed in %v wall time]\n", s.ID, sw.Elapsed().Round(time.Millisecond))
+	if timeline != "" {
+		writeTimeline(timeline, s.ID, p.Telemetry)
+	}
+}
+
+// writeTimeline exports one run's recorded spans as a Chrome
+// trace-event profile (load in Perfetto or chrome://tracing).
+func writeTimeline(path, id string, rec *telemetry.Recorder) {
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		fmt.Fprintf(os.Stderr, "ampbench: %s recorded no spans (timelines need a parallel sharded run, e.g. -shards 4 or a wall-clock experiment)\n", id)
+		return
+	}
+	writeFile(path, func(w io.Writer) error { return telemetry.WriteTrace(w, spans) })
+	fmt.Printf("  [%s timeline: %d spans written to %s]\n", id, len(spans), path)
 }
 
 func runSweep(exp string, seeds int, baseSeed uint64, par int, noVariants bool, shards int, jsonOut, csvOut string, quiet bool) {
@@ -136,7 +177,7 @@ func runSweep(exp string, seeds int, baseSeed uint64, par int, noVariants bool, 
 				done, len(plan), r.Exp, r.Variant, r.Seed, status)
 		}
 	}
-	start := time.Now() //ampvet:allow walltime operator-facing progress print, never enters a Report
+	sw := telemetry.StartStopwatch(nil)
 	rep, err := harness.Sweep(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ampbench: %v\n", err)
@@ -159,8 +200,7 @@ func runSweep(exp string, seeds int, baseSeed uint64, par int, noVariants bool, 
 		}
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d runs in %v wall time, %d errors\n",
-		//ampvet:allow walltime operator-facing progress print, never enters a Report
-		len(rep.Runs), time.Since(start).Round(time.Millisecond), errs)
+		len(rep.Runs), sw.Elapsed().Round(time.Millisecond), errs)
 	if errs > 0 {
 		os.Exit(1)
 	}

@@ -29,6 +29,7 @@ import (
 	ampnet "repro"
 	"repro/internal/detmap"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -77,6 +78,8 @@ func main() {
 	wireV := flag.String("wire", "v2",
 		"MicroPacket wire-format version: v1 (one-byte addresses, ≤255 nodes), v2 (uint16 addresses, ≤65535 nodes), or auto")
 	report := flag.String("report", "", "write the deterministic scenario report JSON to this file")
+	timeline := flag.String("timeline", "",
+		"write the engine's wall-clock span timeline (per-shard window/run/barrier-exchange spans) as Chrome trace-event JSON to this file, loadable in Perfetto or chrome://tracing; requires -shards > 1")
 	flag.Parse()
 
 	vd := func(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) }
@@ -118,6 +121,14 @@ func main() {
 		worker = []string{w}
 	}
 
+	var rec *telemetry.Recorder
+	if *timeline != "" {
+		if *shards <= 1 {
+			log.Fatal("ampsim: -timeline needs -shards > 1 (the serial engine has no windows or barriers to record)")
+		}
+		rec = telemetry.NewRecorder(nil)
+	}
+
 	var c *ampnet.Cluster
 	var tr *trace.Tracer
 	s := ampnet.Scenario{
@@ -126,6 +137,7 @@ func main() {
 			Fabric: &topo, FiberMeters: *fiber, Seed: *seed,
 			DeepPHY: *deep, Shards: *shards,
 			Transport: *transport, ShardWorker: worker,
+			Telemetry: rec,
 		},
 		Plan: p,
 		For:  vd(*runFor),
@@ -231,5 +243,20 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nreport written to %s\n", *report)
+	}
+	if rec != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.WriteTrace(f, rec.Spans()); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline (%d spans) written to %s — load in Perfetto or chrome://tracing\n",
+			rec.Len(), *timeline)
 	}
 }

@@ -1,0 +1,14 @@
+// Package telemetry mirrors repro/internal/telemetry for the walltime
+// fixture: the analyzer exempts the telemetry package wholesale (it is
+// the tree's one audited wall-clock surface), so none of the reads and
+// waits below carry want comments.
+package telemetry
+
+import "time"
+
+func now() int64 { return time.Now().UnixNano() }
+
+func elapsed(start time.Time) time.Duration {
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}

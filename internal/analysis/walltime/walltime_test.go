@@ -8,5 +8,5 @@ import (
 )
 
 func TestWalltime(t *testing.T) {
-	analysistest.Run(t, "testdata", walltime.Analyzer, "a")
+	analysistest.Run(t, "testdata", walltime.Analyzer, "a", "telemetry")
 }

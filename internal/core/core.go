@@ -18,6 +18,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/shardnet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -107,6 +108,25 @@ type Options struct {
 	// receive hardware (CRC/code violation) and repaired by the
 	// higher layers.
 	BER float64
+
+	// Telemetry, if set, receives the run's wall-clock span timeline
+	// (window grant → shard run → barrier exchange, plus socket-
+	// transport round-trips) on the parallel engine; see
+	// internal/telemetry. Attaching a recorder changes no simulation
+	// behavior and no Report bytes — wall readings live only in the
+	// recorder. Ignored on the serial engine. Not part of the cluster
+	// spec: socket shard workers measure their own runs and ship
+	// summaries in the MsgDone telemetry block.
+	Telemetry *telemetry.Recorder
+	// TelemetryInReport opts the deterministic telemetry plane
+	// (per-shard window/event counters, heal-latency histograms — all
+	// virtual-time quantities) into Report JSON as a "telemetry"
+	// object. Off by default so existing report bytes are unchanged;
+	// the plane still prints in Report.Summary() either way. Note that
+	// the opted-in JSON names shard structure, so it only byte-matches
+	// across runs with the same Shards value — unlike the base report,
+	// which is byte-identical serial vs sharded.
+	TelemetryInReport bool
 }
 
 func (o *Options) fill() {

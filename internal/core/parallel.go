@@ -188,6 +188,14 @@ func newParallel(opts Options) *Cluster {
 	if sock != nil {
 		sock.SetFingerprint(shardnet.Fingerprint(ph, opts.Seed, lookahead, spec))
 	}
+	if opts.Telemetry != nil {
+		// Wall-clock plane only: the recorder observes window/run/barrier
+		// spans and changes neither simulation behavior nor Report bytes.
+		// It stays out of the shard-worker spec — each worker measures
+		// its own runs and ships summaries in the MsgDone telemetry
+		// block.
+		eng.SetRecorder(opts.Telemetry)
+	}
 	c.Phys = ph
 	c.Net = nets[0]
 	c.Nets = nets
@@ -212,14 +220,44 @@ func (c *Cluster) EventsFired() uint64 {
 	return n
 }
 
-// ParStats returns the parallel engine's window/barrier statistics, or
-// nil on the serial engine.
+// ParStats returns the parallel engine's window/barrier statistics
+// (fabric-wide sums), or nil on the serial engine.
 func (c *Cluster) ParStats() *parsim.Stats {
 	if c.par == nil {
 		return nil
 	}
 	st := c.par.e.Stats
 	return &st
+}
+
+// ShardParStats returns the deterministic per-shard telemetry plane —
+// one parsim.ShardStat per shard — or nil on the serial engine. Safe
+// whenever the driver may observe the simulation (shards parked).
+func (c *Cluster) ShardParStats() []parsim.ShardStat {
+	if c.par == nil {
+		return nil
+	}
+	return c.par.e.ShardStats()
+}
+
+// OnBarrier installs fn as an observer of the parallel engine's
+// barriers, chained before any previously installed observer; it
+// reports false on the serial engine. fn runs on the driver goroutine
+// with all kernels parked on at; frames/routes are the barrier drain's
+// batch sizes and action marks fences forced by coordinator work.
+// Observing is behavior-neutral — fn must not mutate model state.
+func (c *Cluster) OnBarrier(fn func(at sim.Time, frames, routes int, action bool)) bool {
+	if c.par == nil {
+		return false
+	}
+	prev := c.par.e.OnFence
+	c.par.e.OnFence = func(at sim.Time, frames, routes int, action bool) {
+		fn(at, frames, routes, action)
+		if prev != nil {
+			prev(at, frames, routes, action)
+		}
+	}
+	return true
 }
 
 // Lookahead returns the parallel engine's window bound (0 on the

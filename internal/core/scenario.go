@@ -8,6 +8,7 @@ import (
 	"repro/internal/detmap"
 	"repro/internal/rostering"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -109,6 +110,101 @@ type Report struct {
 	LookaheadNS  int64   `json:"-"` // window bound; sim.MaxTime = decoupled
 	CutLinks     int     `json:"-"` // links crossing shards
 	MinCutFiberM float64 `json:"-"` // shortest cross-shard fiber, meters
+
+	// Det is the deterministic telemetry plane (parallel engine only;
+	// nil on serial): per-shard, per-window sim-time metrics sampled at
+	// barriers, byte-reproducible for a given simulation. Like the
+	// partition fields above it stays out of the JSON so serial and
+	// sharded reports remain byte-identical; it prints in Summary.
+	// Telemetry is the same plane copied into the JSON when
+	// Options.TelemetryInReport opts in — such reports only byte-match
+	// other runs with the same Shards value.
+	Det       *TelemetryReport `json:"-"`
+	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
+}
+
+// TelemetryReport is the deterministic telemetry plane of a parallel
+// run: the engine's fabric-wide window/barrier counters, the per-shard
+// detail, and the heal-span latency histogram over the run's plan
+// events. Every field derives from virtual-plane quantities only
+// (kernel fired counts, barrier batch sizes, sim-time spans), so the
+// section is byte-reproducible across runs and transports; the socket
+// transport's I/O byte counters are deliberately excluded.
+type TelemetryReport struct {
+	// Per-window counters: Windows are granted parallel windows,
+	// Advances dead-time clock hops that granted no execution.
+	Windows  uint64 `json:"windows"`
+	Advances uint64 `json:"advances,omitempty"`
+	// Per-barrier counters: Barriers are all synchronization points,
+	// Fences the subset forced by mutating coordinator work; Frames and
+	// Routes sum the barrier drains' cross-shard batch sizes.
+	Barriers uint64 `json:"barriers"`
+	Fences   uint64 `json:"fences,omitempty"`
+	Frames   uint64 `json:"frames"`
+	Routes   uint64 `json:"routes"`
+	// Actions counts executed coordinator closures.
+	Actions uint64 `json:"actions,omitempty"`
+	// LookaheadNS is the window bound the engine ran under.
+	LookaheadNS int64 `json:"lookahead_ns"`
+	// Shards is the per-shard detail, indexed by shard id.
+	Shards []ShardTelemetry `json:"shards"`
+	// HealNS is the distribution of the run's heal-span latencies (the
+	// nonzero EventReport.HealNS values), as fixed power-of-two buckets.
+	HealNS *telemetry.HistReport `json:"heal_ns,omitempty"`
+}
+
+// ShardTelemetry is one shard's slice of the deterministic plane.
+type ShardTelemetry struct {
+	Shard       int    `json:"shard"`
+	Events      uint64 `json:"events"`
+	Windows     uint64 `json:"windows"`
+	BusyWindows uint64 `json:"busy_windows"`
+	Frames      uint64 `json:"frames,omitempty"`
+	Routes      uint64 `json:"routes,omitempty"`
+	// EvPerWindow is the shard's window-occupancy histogram: events
+	// executed per granted window, bucket 0 counting idle windows.
+	EvPerWindow telemetry.HistReport `json:"events_per_window"`
+}
+
+// telemetryReport assembles the deterministic plane from the parallel
+// engine's counters; nil on the serial engine. events supplies the
+// heal-span latencies.
+func telemetryReport(c *Cluster, events []EventReport) *TelemetryReport {
+	st := c.ParStats()
+	if st == nil {
+		return nil
+	}
+	tr := &TelemetryReport{
+		Windows:     st.Windows,
+		Advances:    st.Advances,
+		Barriers:    st.Barriers,
+		Fences:      st.Fences,
+		Frames:      st.Frames,
+		Routes:      st.Routes,
+		Actions:     st.Actions,
+		LookaheadNS: int64(c.Lookahead()),
+	}
+	for _, s := range c.ShardParStats() {
+		tr.Shards = append(tr.Shards, ShardTelemetry{
+			Shard:       s.Shard,
+			Events:      s.Events,
+			Windows:     s.Windows,
+			BusyWindows: s.BusyWindows,
+			Frames:      s.Frames,
+			Routes:      s.Routes,
+			EvPerWindow: *s.EvPerWindow.Report(),
+		})
+	}
+	var heal telemetry.Hist
+	for _, e := range events {
+		if e.HealNS > 0 {
+			heal.Observe(uint64(e.HealNS))
+		}
+	}
+	if heal.N > 0 {
+		tr.HealNS = heal.Report()
+	}
+	return tr
 }
 
 // FrameReport is the Report's frame-accounting section: the fabric-wide
@@ -216,6 +312,18 @@ func (r *Report) Summary() string {
 		fmt.Fprintf(&b, "  %d shards: partition [%s], cut %d links (min fiber %.0f m), lookahead %s\n",
 			r.Shards, r.Partition, r.CutLinks, r.MinCutFiberM, la)
 	}
+	if d := r.Det; d != nil {
+		fmt.Fprintf(&b, "  engine: %d windows (%d advances), %d barriers (%d fences), %d actions; %d frames + %d routes crossed shards\n",
+			d.Windows, d.Advances, d.Barriers, d.Fences, d.Actions, d.Frames, d.Routes)
+		for _, s := range d.Shards {
+			fmt.Fprintf(&b, "    shard %d: %d events, busy %d/%d windows, occupancy %s ev/window\n",
+				s.Shard, s.Events, s.BusyWindows, s.Windows, histLine(s.EvPerWindow))
+		}
+		if h := d.HealNS; h != nil && h.Count > 0 {
+			fmt.Fprintf(&b, "    heal spans: %d observed, mean %v, max %v\n",
+				h.Count, sim.Time(h.Sum/h.Count), sim.Time(h.Max))
+		}
+	}
 	for _, e := range r.Events {
 		fmt.Fprintf(&b, "  t=%-12v %s", sim.Time(e.AtNS), e.Event)
 		if e.HealNS > 0 {
@@ -262,6 +370,14 @@ func (r *Report) Summary() string {
 		}
 	}
 	return b.String()
+}
+
+// histLine renders a HistReport as a compact mean/max digest.
+func histLine(h telemetry.HistReport) string {
+	if h.Count == 0 {
+		return "mean 0, max 0"
+	}
+	return fmt.Sprintf("mean %d, max %d", h.Sum/h.Count, h.Max)
 }
 
 // countLine renders a counter map as "name 3, name 7" in key order.
@@ -425,6 +541,10 @@ func (s Scenario) Run() (*Report, error) {
 	for _, a := range actives {
 		rep.Loads = append(rep.Loads, *a.Report())
 	}
+	rep.Det = telemetryReport(c, rep.Events)
+	if c.Opts.TelemetryInReport {
+		rep.Telemetry = rep.Det
+	}
 	return rep, nil
 }
 
@@ -457,6 +577,10 @@ func (c *Cluster) Snapshot(name string, loads ...*ActiveLoad) *Report {
 	}
 	for _, a := range loads {
 		rep.Loads = append(rep.Loads, *a.Report())
+	}
+	rep.Det = telemetryReport(c, nil)
+	if c.Opts.TelemetryInReport {
+		rep.Telemetry = rep.Det
 	}
 	return rep
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/shardnet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -75,7 +76,7 @@ func ServeShard(addr string, shard int) error {
 	if typ != shardnet.MsgSpec {
 		return fmt.Errorf("core: shard worker: got message %#02x, want spec", typ)
 	}
-	w := &shardServant{conn: conn, shard: shard}
+	w := &shardServant{conn: conn, shard: shard, clock: telemetry.Wall}
 	if os.Getenv(EnvTestDie) == strconv.Itoa(shard) {
 		w.die = true
 	}
@@ -109,6 +110,14 @@ type shardServant struct {
 	k     *sim.Kernel
 	tr    shardnet.Transport
 	ports map[uint32]*phys.Port
+
+	// clock times the window runs for the MsgDone telemetry summary;
+	// lastDone is the clock reading after the previous done send, so the
+	// next grant can report the worker's idle (barrier-wait) time. Wall
+	// plane only: these readings travel in the telemetry block and never
+	// touch replica state or the capture bytes.
+	clock    telemetry.Clock
+	lastDone int64
 }
 
 // build rebuilds the coordinator's cluster from the spec. New panics on
@@ -160,19 +169,26 @@ func (w *shardServant) loop() error {
 				// this into a run failure, never a hang.
 				os.Exit(3)
 			}
+			var tel shardnet.TelemetrySummary
+			run0 := w.clock.Now()
+			if w.lastDone != 0 {
+				tel.IdleNS = uint64(run0 - w.lastDone)
+			}
 			if err := w.runTo(target); err != nil {
 				return w.abort(err)
 			}
+			tel.RunNS = uint64(w.clock.Now() - run0)
 			w.park(target)
 			capture, err := w.capture()
 			if err != nil {
 				return w.abort(err)
 			}
 			if err := wire.WriteControl(w.conn, shardnet.MsgDone,
-				shardnet.EncodeDone(target, w.k.Fired,
+				shardnet.EncodeDone(target, w.k.Fired, tel,
 					w.c.Nets[w.shard].Acct.Snapshot(), capture)); err != nil {
 				return err
 			}
+			w.lastDone = w.clock.Now()
 		case shardnet.MsgAdvance:
 			at, err := shardnet.DecodeTime(payload)
 			if err != nil {

@@ -1,17 +1,29 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
 
 // Every experiment must be a pure function of its Params: two runs with
 // the same seed must render byte-identical tables. This is the property
 // the sweep harness builds on — without it, cross-seed aggregates would
-// mix run-to-run noise into the statistics.
+// mix run-to-run noise into the statistics. Wall-clock experiments
+// (Spec.Wall) are excluded for the same reason the sweep harness
+// excludes them: their tables time concurrent shard goroutines, whose
+// clock reads interleave differently run to run even under an injected
+// manual clock. TestE17SpeedupStructure covers their deterministic
+// half.
 func TestAllSpecsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full experiment suite twice")
 	}
 	for _, s := range All() {
 		s := s
+		if s.Wall {
+			continue
+		}
 		t.Run(s.ID, func(t *testing.T) {
 			t.Parallel()
 			p := Params{Seed: 7}.Merged(s.Defaults)
@@ -21,6 +33,43 @@ func TestAllSpecsDeterministic(t *testing.T) {
 				t.Fatalf("two same-seed runs of %s differ:\n--- first\n%s\n--- second\n%s", s.ID, a, b)
 			}
 		})
+	}
+}
+
+// TestE17SpeedupStructure checks the speedup study's deterministic
+// half on a scaled-down fabric: every sharded report byte-matches the
+// serial one, the socket leg reports itself skipped when no worker
+// binary is supplied, and the machine-honesty metrics (cores,
+// GOMAXPROCS) are present. Wall numbers themselves are machine-bound
+// and not asserted.
+func TestE17SpeedupStructure(t *testing.T) {
+	tab := E17SpeedupP(Params{
+		Seed: 7, Nodes: 12, Switches: 4,
+		Telemetry: telemetry.NewRecorder(telemetry.NewManualClock(0, 1000)),
+	})
+	if tab.Metrics["all_identical"] != 1 {
+		t.Fatalf("sharded reports diverged from serial:\n%s", tab.String())
+	}
+	if tab.Metrics["cores"] < 1 || tab.Metrics["gomaxprocs"] < 1 {
+		t.Fatalf("machine-honesty metrics missing: %v", tab.Metrics)
+	}
+	var sawSerial, sawSharded, sawSkipped bool
+	for _, row := range tab.Rows {
+		switch {
+		case row[0] == "inproc" && row[7] == "serial":
+			sawSerial = true
+		case row[0] == "inproc" && row[7] == "yes":
+			sawSharded = true
+			if row[4] == "-" || row[5] == "-" {
+				t.Fatalf("sharded row missing busy/wait decomposition: %v", row)
+			}
+		case row[0] == "socket" && row[2] == "skipped":
+			sawSkipped = true
+		}
+	}
+	if !sawSerial || !sawSharded || !sawSkipped {
+		t.Fatalf("rows missing (serial %v, sharded %v, socket-skipped %v):\n%s",
+			sawSerial, sawSharded, sawSkipped, tab.String())
 	}
 }
 

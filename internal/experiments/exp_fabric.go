@@ -82,7 +82,8 @@ func E13FabricHealP(p Params) *Table {
 			}
 			rep, err := core.Scenario{
 				Name: fmt.Sprintf("e13-%s-%s", topo.Name, sched.name),
-				Opts: core.Options{Fabric: &topo, Seed: p.seed(), Shards: shards},
+				Opts: core.Options{Fabric: &topo, Seed: p.seed(), Shards: shards,
+					Telemetry: p.Telemetry},
 				Plan: sched.plan(topo.Nodes),
 				Loads: []core.Load{&core.PubSubLoad{
 					Publisher: 0, Topic: 1, Every: 50 * sim.Microsecond,

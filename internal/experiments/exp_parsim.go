@@ -84,7 +84,7 @@ func E14ParsimScaleP(p Params) *Table {
 				// byte-identical across engines, name included.
 				Name: "e14-" + shape,
 				Opts: core.Options{Fabric: &topo, Seed: p.seed(), Shards: shards,
-					HeartbeatInterval: 1 * sim.Millisecond},
+					HeartbeatInterval: 1 * sim.Millisecond, Telemetry: p.Telemetry},
 				BootWindow: 100 * sim.Millisecond,
 				Plan:       core.Plan{core.FailSwitch(5*sim.Millisecond, p.Switches-1), core.RestoreSwitch(15*sim.Millisecond, p.Switches-1)},
 				Loads: []core.Load{&core.PubSubLoad{

@@ -52,7 +52,7 @@ func E16ScalingEfficiencyP(p Params) *Table {
 			rep, err := core.Scenario{
 				Name: "e16-" + shape,
 				Opts: core.Options{Fabric: &topo, Seed: p.seed(), Shards: shards,
-					HeartbeatInterval: 1 * sim.Millisecond},
+					HeartbeatInterval: 1 * sim.Millisecond, Telemetry: p.Telemetry},
 				BootWindow: 100 * sim.Millisecond,
 				// FailSwitch/RestoreSwitch, the E14 fault family: it exercises
 				// heal + reroute under load and is byte-identical across engines

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Params parameterizes a single experiment run. The zero value means
@@ -18,6 +20,16 @@ type Params struct {
 	// serial engine. Reports are byte-identical either way, so this is
 	// a wall-clock knob, not a semantic one.
 	Shards int
+	// ShardWorker is the worker command for the socket transport
+	// (cmd/ampshard argv); nil restricts wall-clock experiments to the
+	// in-process transport. Excluded from JSON and Label: it names a
+	// host binary, not a topology.
+	ShardWorker []string `json:"-"`
+	// Telemetry, when set, is attached to every parallel cluster the
+	// experiment builds (Options.Telemetry), collecting wall-clock
+	// window/run/barrier spans for timeline export. Reports stay
+	// byte-identical with or without it.
+	Telemetry *telemetry.Recorder `json:"-"`
 }
 
 // seed returns the effective kernel seed.
@@ -44,6 +56,12 @@ func (p Params) Merged(d Params) Params {
 	}
 	if p.Shards == 0 {
 		p.Shards = d.Shards
+	}
+	if p.ShardWorker == nil {
+		p.ShardWorker = d.ShardWorker
+	}
+	if p.Telemetry == nil {
+		p.Telemetry = d.Telemetry
 	}
 	return p
 }
@@ -84,7 +102,13 @@ type Spec struct {
 	// sweep harness only stamps a shard count onto these, so a "pN"
 	// variant label always means the parallel engine actually ran.
 	Sharded bool
-	Run     func(Params) *Table
+	// Wall marks experiments whose tables contain wall-clock
+	// measurements (speedup curves, span decompositions). The sweep
+	// harness excludes them from the default all-experiments plan —
+	// default sweeps stay byte-reproducible — so they only run when
+	// named explicitly.
+	Wall bool
+	Run  func(Params) *Table
 }
 
 // All returns every experiment in DESIGN.md §2 order, with the default
@@ -156,6 +180,11 @@ func All() []Spec {
 			Variants: []Params{{Nodes: 96, Switches: 8}},
 			Sharded:  true,
 			Run:      E16ScalingEfficiencyP},
+		{ID: "e17", Short: "multi-core speedup study: wall time, busy/wait decomposition vs shards × transport",
+			Defaults: Params{Nodes: 96, Switches: 8},
+			Sharded:  true,
+			Wall:     true,
+			Run:      E17SpeedupP},
 	}
 }
 

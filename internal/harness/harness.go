@@ -149,6 +149,13 @@ func Plan(cfg Config) ([]Run, error) {
 	}
 	var runs []Run
 	for _, s := range specs {
+		// Wall-clock experiments (Spec.Wall) never join the default
+		// all-experiments plan: sweep aggregates must stay
+		// byte-reproducible across machines. Naming one explicitly in
+		// cfg.Experiments still runs it.
+		if s.Wall && len(cfg.Experiments) == 0 {
+			continue
+		}
 		for _, v := range variantsOf(s, cfg.NoVariants) {
 			// Only experiments that actually honor Params.Shards get
 			// stamped: a "pN" label must never claim the parallel

@@ -49,20 +49,52 @@ import (
 	"repro/internal/phys"
 	"repro/internal/shardnet"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
-// Stats counts the engine's work for per-window reporting.
+// Stats counts the engine's work — the fabric-wide sums of the
+// deterministic telemetry plane (per-shard detail is ShardStats).
+//
+// Per-window counters, incremented once per granted parallel window:
+// Windows. Advances counts dead-time clock hops onto a coordinator
+// action's instant — windows that moved the clock without granting any
+// shard execution.
+//
+// Per-barrier counters, incremented at every synchronization point:
+// Barriers (one per window, plus one per action or driver fence that
+// drained), and Frames/Routes, which accumulate each barrier drain's
+// cross-shard frame and deferred crossbar-write batch sizes. Fences is
+// the subset of barriers forced by mutating coordinator work (action
+// fences and driver fences).
+//
+// Actions counts executed coordinator closures; several same-instant
+// actions share one fence, so Actions ≥ Fences on action-heavy runs.
 type Stats struct {
-	// Windows is the number of parallel windows executed; Barriers the
-	// number of synchronization points (windows plus action stops).
 	Windows  uint64
 	Barriers uint64
-	// Frames is the number of cross-shard frames exchanged at
-	// barriers; Routes the number of barrier-deferred crossbar writes.
-	Frames uint64
-	Routes uint64
-	// Actions is the number of coordinator actions executed.
-	Actions uint64
+	Frames   uint64
+	Routes   uint64
+	Actions  uint64
+	Advances uint64
+	Fences   uint64
+}
+
+// ShardStat is one shard's deterministic telemetry: virtual-plane
+// quantities only (kernel fired counts sampled at barriers, transport
+// capture counters), byte-reproducible for a given simulation. The
+// exception is BytesOut/BytesIn — socket-transport I/O totals, zero on
+// the in-process transport — which report surfaces claiming cross-
+// transport byte equality must exclude.
+type ShardStat struct {
+	Shard       int
+	Events      uint64 // kernel events executed on this shard
+	Windows     uint64 // windows granted (transport view)
+	BusyWindows uint64 // windows in which the shard executed ≥1 event
+	Frames      uint64 // cross-shard frames this shard captured
+	Routes      uint64 // deferred crossbar writes this shard captured
+	BytesOut    uint64
+	BytesIn     uint64
+	EvPerWindow telemetry.Hist // events-per-window occupancy histogram
 }
 
 // action is one coordinator closure, run at `at` with all shards
@@ -95,6 +127,31 @@ type Engine struct {
 	failed error
 
 	Stats Stats
+
+	// det is the per-shard deterministic telemetry plane, sampled at
+	// window barriers from virtual-plane quantities only.
+	det []shardDet
+
+	// rec is the wall-clock telemetry plane: nil (the default) records
+	// nothing; when set, the coordinator stamps window/exchange/action
+	// spans here and the transport adds shard-run and round-trip spans.
+	// Wall readings never reach Stats, ShardStats, or any Report field.
+	rec *telemetry.Recorder
+
+	// OnFence, if set, observes every barrier after its drain, with all
+	// kernels parked on at: frames/routes are the batch sizes the drain
+	// delivered, action marks fences forced by coordinator work (plan
+	// events, driver fences) as opposed to plain window barriers. Purely
+	// observational — the hook must not mutate model state.
+	OnFence func(at sim.Time, frames, routes int, action bool)
+}
+
+// shardDet accumulates one shard's deterministic metrics.
+type shardDet struct {
+	events      uint64
+	busyWindows uint64
+	lastFired   uint64
+	evPerWindow telemetry.Hist
 }
 
 // New builds an engine over one kernel+Net pair per shard on the
@@ -118,12 +175,59 @@ func NewWithTransport(kernels []*sim.Kernel, nets []*phys.Net, lookahead sim.Tim
 	if tr == nil {
 		tr = shardnet.NewInproc(kernels, nets)
 	}
-	return &Engine{
+	e := &Engine{
 		Kernels:   kernels,
 		Nets:      nets,
 		tr:        tr,
 		lookahead: lookahead,
-	}, nil
+		det:       make([]shardDet, len(kernels)),
+	}
+	for i, k := range kernels {
+		e.det[i].lastFired = k.Fired
+	}
+	return e, nil
+}
+
+// SetRecorder attaches the wall-clock span recorder (nil detaches).
+// Call before the first RunUntil; the recorder is handed to the
+// transport too, so shard goroutines and socket peers stamp their own
+// spans. Attaching a recorder changes no simulation behavior and no
+// Report bytes — the equivalence battery pins that.
+func (e *Engine) SetRecorder(r *telemetry.Recorder) {
+	r.EnsureShards(len(e.Kernels))
+	e.rec = r
+	if tr, ok := e.tr.(interface {
+		SetRecorder(*telemetry.Recorder)
+	}); ok {
+		tr.SetRecorder(r)
+	}
+}
+
+// ShardStats returns the deterministic per-shard telemetry plane,
+// merging the engine's barrier-sampled kernel metrics with the
+// transport's capture counters. Safe to call whenever the driver may
+// observe the simulation (shards parked).
+func (e *Engine) ShardStats() []ShardStat {
+	ts := e.tr.ShardStats()
+	out := make([]ShardStat, len(e.det))
+	for i := range e.det {
+		d := &e.det[i]
+		s := ShardStat{
+			Shard:       i,
+			Events:      d.events,
+			BusyWindows: d.busyWindows,
+			EvPerWindow: d.evPerWindow,
+		}
+		if i < len(ts) {
+			s.Windows = ts[i].Windows
+			s.Frames = ts[i].Frames
+			s.Routes = ts[i].Routes
+			s.BytesOut = ts[i].BytesOut
+			s.BytesIn = ts[i].BytesIn
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // Shutdown closes the transport (stopping the shard workers, and on
@@ -213,18 +317,19 @@ func (e *Engine) DeferRoute(srcShard int, at sim.Time, op phys.RouteOp) {
 // cross-shard frames in the canonical (arrival, transmit time, source
 // shard, sequence) order, each scheduled on its destination kernel at
 // its exact arrival time. Runs single-threaded with all kernels
-// parked.
-func (e *Engine) drain() error {
+// parked. Returns the batch sizes for the barrier observer.
+func (e *Engine) drain() (nframes, nroutes int, err error) {
 	frames, routes, err := e.tr.Collect()
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	e.Stats.Routes += uint64(len(routes))
 	e.Stats.Frames += uint64(len(frames))
+	nframes, nroutes = len(frames), len(routes)
 	if len(frames) == 0 && len(routes) == 0 {
 		// Nothing crossed this barrier — common during decoupled
 		// phases; skip the sort and the transport's delivery pass.
-		return nil
+		return 0, 0, nil
 	}
 	// Canonical batch order: arrival, then the wire key (transmit
 	// start, sending-port identity by way of source shard and capture
@@ -254,21 +359,50 @@ func (e *Engine) drain() error {
 		}
 		return 0
 	})
-	return e.tr.Deliver(frames, routes)
+	return nframes, nroutes, e.tr.Deliver(frames, routes)
 }
 
 // runWindow executes all shards in parallel up to target (inclusive),
 // then drains the barrier.
 func (e *Engine) runWindow(target sim.Time) error {
+	w0 := e.rec.Begin()
 	if err := e.tr.Grant(target); err != nil {
 		return err
 	}
 	e.Stats.Windows++
 	e.Stats.Barriers++
-	if err := e.drain(); err != nil {
+	// Sample the deterministic plane: every kernel is parked on target,
+	// so the fired deltas are the exact per-shard event counts of this
+	// window regardless of transport or host scheduling.
+	for i, k := range e.Kernels {
+		d := &e.det[i]
+		delta := k.Fired - d.lastFired
+		d.lastFired = k.Fired
+		d.events += delta
+		if delta > 0 {
+			d.busyWindows++
+		}
+		d.evPerWindow.Observe(delta)
+	}
+	// One clock read ends the window span and starts the exchange span:
+	// the two intervals are adjacent by construction, and the shared
+	// read halves the coordinator's per-window clock cost.
+	x0 := e.rec.Begin()
+	e.rec.CoordSpan(-1, telemetry.SpanWindow, w0, x0, int64(target))
+	nf, nr, err := e.drain()
+	if err != nil {
 		return err
 	}
+	// An empty drain returns without sorting or delivering; its span
+	// would be zero-length noise, and skipping it saves a clock read on
+	// every decoupled-phase window.
+	if nf+nr > 0 {
+		e.rec.Coord(telemetry.SpanExchange, x0, int64(target))
+	}
 	e.now = target
+	if e.OnFence != nil {
+		e.OnFence(target, nf, nr, false)
+	}
 	return nil
 }
 
@@ -293,6 +427,7 @@ func (e *Engine) runActionsAtNow() error {
 	ran := false
 	var descs []shardnet.Action
 	mirror := false
+	a0 := e.rec.Begin()
 	for len(e.actions) > 0 && e.actions[0].at == e.now {
 		a := e.actions[0]
 		e.actions = e.actions[1:]
@@ -313,15 +448,23 @@ func (e *Engine) runActionsAtNow() error {
 	if !ran {
 		return nil
 	}
+	e.rec.Coord(telemetry.SpanAction, a0, int64(e.now))
 	if mirror {
+		e.Stats.Fences++
 		if err := e.tr.Fence(e.now, descs); err != nil {
 			return err
 		}
 	}
-	if err := e.drain(); err != nil {
+	x0 := e.rec.Begin()
+	nf, nr, err := e.drain()
+	if err != nil {
 		return err
 	}
+	e.rec.Coord(telemetry.SpanExchange, x0, int64(e.now))
 	e.Stats.Barriers++
+	if e.OnFence != nil {
+		e.OnFence(e.now, nf, nr, true)
+	}
 	return nil
 }
 
@@ -333,15 +476,22 @@ func (e *Engine) DriverFence(acts []shardnet.Action) error {
 	if e.failed != nil {
 		return e.failed
 	}
+	e.Stats.Fences++
 	if err := e.tr.Fence(e.now, acts); err != nil {
 		e.fail(err)
 		return e.failed
 	}
-	if err := e.drain(); err != nil {
+	x0 := e.rec.Begin()
+	nf, nr, err := e.drain()
+	if err != nil {
 		e.fail(err)
 		return e.failed
 	}
+	e.rec.Coord(telemetry.SpanExchange, x0, int64(e.now))
 	e.Stats.Barriers++
+	if e.OnFence != nil {
+		e.OnFence(e.now, nf, nr, true)
+	}
 	return nil
 }
 
@@ -429,6 +579,7 @@ func (e *Engine) RunUntil(deadline sim.Time) sim.Time {
 			e.fail(err)
 			return e.now
 		}
+		e.Stats.Advances++
 		e.now = at
 	}
 	return e.now

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Inproc is the in-process transport: one worker goroutine per shard,
@@ -44,6 +45,19 @@ type Inproc struct {
 
 	stats  []ShardStats
 	closed sync.Once
+
+	// rec is the wall-clock telemetry recorder (nil: record nothing).
+	// Each shard worker stamps its own run spans into its private
+	// buffer — the same single-writer discipline as the capture queues —
+	// so recording takes no locks on the window hot path.
+	rec *telemetry.Recorder
+}
+
+// SetRecorder attaches the wall-clock span recorder. Call before the
+// first Grant, from the driver goroutine.
+func (t *Inproc) SetRecorder(r *telemetry.Recorder) {
+	r.EnsureShards(len(t.kernels))
+	t.rec = r
 }
 
 // NewInproc builds the in-process transport over one kernel+Net pair
@@ -121,7 +135,9 @@ func (t *Inproc) runShard(i int, target sim.Time) (err error) {
 			err = fmt.Errorf("shardnet: shard %d panicked in window ending %v: %v\n%s", i, target, r, debug.Stack())
 		}
 	}()
+	start := t.rec.Begin()
 	t.kernels[i].RunUntil(target)
+	t.rec.Shard(i, telemetry.SpanRun, start, int64(target))
 	return nil
 }
 
@@ -142,7 +158,9 @@ func (t *Inproc) Grant(target sim.Time) error {
 	if len(t.work) == 0 {
 		// Single shard: run directly; a panic propagates as it would
 		// on the serial engine.
+		start := t.rec.Begin()
 		t.kernels[0].RunUntil(target)
+		t.rec.Shard(0, telemetry.SpanRun, start, int64(target))
 		return nil
 	}
 	granted := 0

@@ -57,7 +57,14 @@ const (
 //	   (frameacct.SnapshotLen bytes) between the fired count and the
 //	   capture block, so the coordinator can byte-compare conservation
 //	   counters per window.
-const ProtoVersion = 2
+//	3: MsgDone carries a fixed-size telemetry summary (TelemetrySummary,
+//	   TelemetrySummaryLen bytes: worker-measured run and idle wall
+//	   nanoseconds) between the fired count and the acct snapshot. The
+//	   summary is wall-clock data: the coordinator feeds it to the
+//	   telemetry recorder only and structurally excludes it from the
+//	   replica byte-comparison, so two runs of the same simulation still
+//	   verify even though their wall readings differ.
+const ProtoVersion = 3
 
 // Worker launch environment: the coordinator passes the connect
 // address and shard id to cmd/ampshard through these variables.
@@ -198,29 +205,60 @@ func DecodeTime(p []byte) (sim.Time, error) {
 	return t, c.close()
 }
 
+// TelemetrySummary is the worker-measured wall-clock block of one
+// MsgDone (protocol v3): how long the worker's kernel ran for the
+// window, and how long the worker sat idle between its previous done
+// send and this grant (its view of barrier wait plus coordinator
+// latency). Wall-clock only — never compared across replicas, never
+// part of any Report surface.
+type TelemetrySummary struct {
+	RunNS  uint64
+	IdleNS uint64
+}
+
+// TelemetrySummaryLen is the fixed encoded size of a TelemetrySummary.
+const TelemetrySummaryLen = 16
+
+// EncodeTelemetrySummary appends the fixed-size telemetry block to b.
+func EncodeTelemetrySummary(b []byte, t TelemetrySummary) []byte {
+	b = appendU64(b, t.RunNS)
+	return appendU64(b, t.IdleNS)
+}
+
+// DecodeTelemetrySummary parses a fixed-size telemetry block.
+func DecodeTelemetrySummary(p []byte) (TelemetrySummary, error) {
+	c := &cursor{buf: p}
+	t := TelemetrySummary{RunNS: c.u64(), IdleNS: c.u64()}
+	return t, c.close()
+}
+
 // EncodeDone frames a MsgDone payload: the granted target, the shard
-// kernel's cumulative event count, the shard's frame-accounting ledger
-// snapshot (exactly frameacct.SnapshotLen bytes), and the capture
-// block.
-func EncodeDone(target sim.Time, fired uint64, acct, capture []byte) []byte {
+// kernel's cumulative event count, the worker's wall-clock telemetry
+// summary (exactly TelemetrySummaryLen bytes), the shard's
+// frame-accounting ledger snapshot (exactly frameacct.SnapshotLen
+// bytes), and the capture block.
+func EncodeDone(target sim.Time, fired uint64, tel TelemetrySummary, acct, capture []byte) []byte {
 	var b []byte
 	b = appendU64(b, uint64(target))
 	b = appendU64(b, fired)
+	b = EncodeTelemetrySummary(b, tel)
 	b = append(b, acct...)
 	return append(b, capture...)
 }
 
 // DecodeDone parses a MsgDone payload. The acct snapshot and capture
 // block alias p.
-func DecodeDone(p []byte) (target sim.Time, fired uint64, acct, capture []byte, err error) {
+func DecodeDone(p []byte) (target sim.Time, fired uint64, tel TelemetrySummary, acct, capture []byte, err error) {
 	c := &cursor{buf: p}
 	target = c.time()
 	fired = c.u64()
+	tel.RunNS = c.u64()
+	tel.IdleNS = c.u64()
 	acct = c.take(frameacct.SnapshotLen)
 	if c.err != nil {
-		return 0, 0, nil, nil, c.err
+		return 0, 0, TelemetrySummary{}, nil, nil, c.err
 	}
-	return target, fired, acct, c.buf, nil
+	return target, fired, tel, acct, c.buf, nil
 }
 
 // EncodeApply frames a MsgApply payload: the fence instant and the

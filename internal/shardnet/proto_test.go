@@ -24,7 +24,7 @@ func TestProtoGoldenVectors(t *testing.T) {
 		got  []byte
 		hex  string
 	}{
-		{"hello", EncodeHello(3), "03000200"},
+		{"hello", EncodeHello(3), "03000300"},
 		{"time", EncodeTime(1000), "e803000000000000"},
 		{"ready", EncodeReady(Ready{
 			Shard: 2, Wire: wire.V2,
@@ -32,10 +32,12 @@ func TestProtoGoldenVectors(t *testing.T) {
 		}), "0200" + "02" + "8877665544332211" + "0df0fecaefbeadde" + "fa00000000000000"},
 		{"apply", EncodeApply(7, []Action{{Kind: 0x02, Data: []byte("x")}}),
 			"0700000000000000" + "0100" + "02" + "01000000" + "78"},
-		// proto 2: a zero ledger snapshot sits between fired and the
-		// capture block.
-		{"done", EncodeDone(9, 5, make([]byte, frameacct.SnapshotLen), []byte{0xAA}),
+		// proto 3: the fixed-size telemetry summary sits between fired
+		// and the ledger snapshot, then the capture block.
+		{"done", EncodeDone(9, 5, TelemetrySummary{RunNS: 0x0102, IdleNS: 0x0304},
+			make([]byte, frameacct.SnapshotLen), []byte{0xAA}),
 			"0900000000000000" + "0500000000000000" +
+				"0201000000000000" + "0403000000000000" +
 				strings.Repeat("00", frameacct.SnapshotLen) + "aa"},
 	}
 	for _, tc := range cases {
@@ -92,6 +94,51 @@ func TestApplyRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDoneTelemetryRoundTrip pins the protocol-3 MsgDone layout as a
+// property: for any target/fired/telemetry/ledger/capture combination
+// the decode inverts the encode, the telemetry block never bleeds into
+// the acct or capture bytes (the slices the replica comparison reads),
+// and truncating inside any fixed-size region is an error.
+func TestDoneTelemetryRoundTrip(t *testing.T) {
+	prop := func(target, fired, runNS, idleNS uint64, acctSeed byte, capture []byte) bool {
+		acct := bytes.Repeat([]byte{acctSeed}, frameacct.SnapshotLen)
+		tel := TelemetrySummary{RunNS: runNS, IdleNS: idleNS}
+		enc := EncodeDone(sim.Time(target), fired, tel, acct, capture)
+		gotTarget, gotFired, gotTel, gotAcct, gotCapture, err := DecodeDone(enc)
+		return err == nil &&
+			gotTarget == sim.Time(target) && gotFired == fired && gotTel == tel &&
+			bytes.Equal(gotAcct, acct) && bytes.Equal(gotCapture, capture)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+
+	full := EncodeDone(7, 3, TelemetrySummary{RunNS: 1, IdleNS: 2},
+		make([]byte, frameacct.SnapshotLen), nil)
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, _, _, _, err := DecodeDone(full[:cut]); err == nil {
+			t.Fatalf("done truncated to %d of %d bytes decoded", cut, len(full))
+		}
+	}
+	// The standalone telemetry-block codec must agree with DecodeDone
+	// and reject any other size.
+	tel := TelemetrySummary{RunNS: 0xFEED, IdleNS: 0xBEEF}
+	blk := EncodeTelemetrySummary(nil, tel)
+	if len(blk) != TelemetrySummaryLen {
+		t.Fatalf("telemetry block is %d bytes, want %d", len(blk), TelemetrySummaryLen)
+	}
+	got, err := DecodeTelemetrySummary(blk)
+	if err != nil || got != tel {
+		t.Fatalf("telemetry round-trip = (%+v, %v), want %+v", got, err, tel)
+	}
+	if _, err := DecodeTelemetrySummary(blk[:TelemetrySummaryLen-1]); err == nil {
+		t.Fatal("truncated telemetry block decoded")
+	}
+	if _, err := DecodeTelemetrySummary(append(blk, 0)); err == nil {
+		t.Fatal("oversized telemetry block decoded")
 	}
 }
 

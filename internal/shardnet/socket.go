@@ -13,6 +13,7 @@ import (
 	"repro/internal/frameacct"
 	"repro/internal/phys"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -280,11 +281,13 @@ func (s *Socket) start() error {
 
 // Grant runs the window locally and on every worker, then cross-checks
 // each worker's event count and stores its capture block for the next
-// Collect.
+// Collect. The MsgDone telemetry summary feeds the wall-clock recorder
+// only — it is read before, and never enters, the replica comparisons.
 func (s *Socket) Grant(target sim.Time) error {
 	if err := s.ensureStarted(); err != nil {
 		return err
 	}
+	rtt0 := s.rec.Begin()
 	msg := EncodeTime(target)
 	for _, p := range s.peers {
 		if err := p.send(MsgRun, msg); err != nil {
@@ -300,9 +303,21 @@ func (s *Socket) Grant(target sim.Time) error {
 		if err != nil {
 			return s.fail(fmt.Errorf("%w (window %d)", err, s.window))
 		}
-		done, fired, acct, capture, err := DecodeDone(payload)
+		done, fired, tel, acct, capture, err := DecodeDone(payload)
 		if err != nil {
 			return s.fail(fmt.Errorf("shardnet: shard %d done: %w", p.shard, err))
+		}
+		if s.rec != nil {
+			// Round-trip as the coordinator saw it, plus the worker's own
+			// run/idle measurements re-anchored at the round-trip start
+			// (worker clocks are not synchronized with ours; durations
+			// are what matters).
+			end := s.rec.Begin()
+			s.rec.CoordSpan(p.shard, telemetry.SpanRTT, rtt0, end, int64(target))
+			s.rec.CoordSpan(p.shard, telemetry.SpanWorkerRun, rtt0, rtt0+int64(tel.RunNS), int64(target))
+			if tel.IdleNS > 0 {
+				s.rec.CoordSpan(p.shard, telemetry.SpanWorkerIdle, rtt0-int64(tel.IdleNS), rtt0, int64(target))
+			}
 		}
 		if done != target {
 			return s.fail(fmt.Errorf("shardnet: shard %d finished window %v, granted %v", p.shard, done, target))

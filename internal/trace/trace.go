@@ -30,6 +30,16 @@ const (
 	KindTakeover
 	KindFrameLoss
 	KindTrunkFail
+	// KindWindowFence marks a parallel-engine barrier that moved state:
+	// a drain that delivered cross-shard frames or deferred routes, or a
+	// fence forced by mutating coordinator work. Pure-idle barriers are
+	// not recorded, so the timeline stays proportional to activity.
+	// Absent on the serial engine (it has no barriers).
+	KindWindowFence
+	// KindActionRun marks a fired plan event (a coordinator action), so
+	// engine fences interleave with the roster/liveness timeline they
+	// caused.
+	KindActionRun
 )
 
 // String names the kind.
@@ -49,6 +59,10 @@ func (k Kind) String() string {
 		return "FRAME-LOSS"
 	case KindTrunkFail:
 		return "TRUNK-FAIL"
+	case KindWindowFence:
+		return "FENCE"
+	case KindActionRun:
+		return "ACTION"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -107,6 +121,12 @@ func Attach(c *core.Cluster) *Tracer {
 	}
 	prevEvent := c.OnEvent
 	c.OnEvent = func(e core.Event) {
+		// Plan events fire single-threaded (serial kernel, or at a fence
+		// with every shard parked), so the fabric buffer is safe here.
+		t.fabric = t.capped(append(t.fabric, Event{
+			At: c.Now(), Kind: KindActionRun, Node: -1, Arg: int(e.Kind),
+			Text: e.String(),
+		}))
 		if e.Kind == core.EvFailTrunk {
 			t.fabric = t.capped(append(t.fabric, Event{
 				At: c.Now(), Kind: KindTrunkFail, Node: -1, Arg: e.Switch,
@@ -117,6 +137,25 @@ func Attach(c *core.Cluster) *Tracer {
 			prevEvent(e)
 		}
 	}
+	// Engine barriers (parallel engine only; OnBarrier is a no-op that
+	// reports false on serial). Only barriers that moved state are kept —
+	// a drain that delivered something, or a coordinator-work fence — so
+	// quiet runs don't flood the timeline with idle window crossings. The
+	// hook runs on the driver goroutine with all shards parked, so the
+	// fabric buffer stays single-writer.
+	c.OnBarrier(func(at sim.Time, frames, routes int, action bool) {
+		if frames == 0 && routes == 0 && !action {
+			return
+		}
+		text := fmt.Sprintf("barrier: %d frames, %d routes", frames, routes)
+		if action {
+			text += " (coordinator fence)"
+		}
+		t.fabric = t.capped(append(t.fabric, Event{
+			At: at, Kind: KindWindowFence, Node: -1, Arg: frames + routes,
+			Text: text,
+		}))
+	})
 	for i, nd := range c.Nodes {
 		i, nd := i, nd
 		prevRoster := nd.OnRoster

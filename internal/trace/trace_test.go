@@ -172,8 +172,54 @@ func TestObserverChainingPreserved(t *testing.T) {
 	}
 }
 
+// TestEngineFenceTimeline runs the same faulted scenario sharded and
+// serial: the sharded timeline must interleave the plan event (ACTION)
+// with state-moving engine barriers (FENCE), while the serial timeline
+// — which has no barriers — records the ACTION only.
+func TestEngineFenceTimeline(t *testing.T) {
+	c := core.New(core.Options{Nodes: 4, Switches: 2, Shards: 2})
+	defer c.Close()
+	tr := Attach(c)
+	if err := c.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install(core.Plan{core.CrashNode(5*sim.Millisecond, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(30 * sim.Millisecond)
+	acts := tr.Filter(KindActionRun)
+	if len(acts) != 1 || acts[0].Text != "crash-node 3" {
+		t.Fatalf("action events = %+v, want one crash-node 3", acts)
+	}
+	fences := tr.Filter(KindWindowFence)
+	if len(fences) == 0 {
+		t.Fatal("no window-fence events on a sharded run with cross-shard traffic")
+	}
+	for _, e := range fences {
+		if e.Arg == 0 && !strings.Contains(e.Text, "coordinator fence") {
+			t.Fatalf("idle barrier recorded: %+v", e)
+		}
+	}
+
+	s := core.New(core.Options{Nodes: 4, Switches: 2})
+	trs := Attach(s)
+	if err := s.Boot(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Install(core.Plan{core.CrashNode(5*sim.Millisecond, 3)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(30 * sim.Millisecond)
+	if len(trs.Filter(KindActionRun)) != 1 {
+		t.Fatalf("serial action events = %+v", trs.Filter(KindActionRun))
+	}
+	if got := trs.Filter(KindWindowFence); len(got) != 0 {
+		t.Fatalf("serial run recorded engine fences: %+v", got)
+	}
+}
+
 func TestKindString(t *testing.T) {
-	for k := KindRoster; k <= KindTrunkFail; k++ {
+	for k := KindRoster; k <= KindActionRun; k++ {
 		if k.String() == "" {
 			t.Fatal("empty kind name")
 		}
